@@ -1,0 +1,94 @@
+/// \file bench_backend_compare.cpp
+/// \brief Experiment P1: the paper's central performance claim — the
+/// QCLAB++ in-place kernels vs the MATLAB-QCLAB algorithm of forming the
+/// sparse extended unitary I (x) U (x) I and multiplying (paper §3.2).
+/// Expected shape: the kernel backend wins at every size and the gap grows
+/// with the register size (the sparse path pays O(2^n) matrix construction
+/// per gate on top of the multiply).
+
+#include <benchmark/benchmark.h>
+
+#include "qclab/qclab.hpp"
+
+namespace {
+
+using T = double;
+using C = std::complex<T>;
+
+template <typename BackendT>
+void runGate(benchmark::State& state, const qclab::qgates::QGate<T>& gate) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<C> psi(std::size_t{1} << n);
+  psi[0] = C(1);
+  const BackendT backend;
+  for (auto _ : state) {
+    backend.applyGate(psi, n, gate);
+    benchmark::DoNotOptimize(psi.data());
+  }
+}
+
+void BM_Kernel_Hadamard(benchmark::State& state) {
+  const qclab::qgates::Hadamard<T> gate(static_cast<int>(state.range(0)) / 2);
+  runGate<qclab::sim::KernelBackend<T>>(state, gate);
+}
+BENCHMARK(BM_Kernel_Hadamard)->DenseRange(4, 18, 2);
+
+void BM_SparseKron_Hadamard(benchmark::State& state) {
+  const qclab::qgates::Hadamard<T> gate(static_cast<int>(state.range(0)) / 2);
+  runGate<qclab::sim::SparseKronBackend<T>>(state, gate);
+}
+BENCHMARK(BM_SparseKron_Hadamard)->DenseRange(4, 18, 2);
+
+void BM_Kernel_Cnot(benchmark::State& state) {
+  const qclab::qgates::CX<T> gate(0, static_cast<int>(state.range(0)) - 1);
+  runGate<qclab::sim::KernelBackend<T>>(state, gate);
+}
+BENCHMARK(BM_Kernel_Cnot)->DenseRange(4, 18, 2);
+
+void BM_SparseKron_Cnot(benchmark::State& state) {
+  const qclab::qgates::CX<T> gate(0, static_cast<int>(state.range(0)) - 1);
+  runGate<qclab::sim::SparseKronBackend<T>>(state, gate);
+}
+BENCHMARK(BM_SparseKron_Cnot)->DenseRange(4, 18, 2);
+
+void BM_Kernel_Rzz(benchmark::State& state) {
+  const qclab::qgates::RotationZZ<T> gate(
+      0, static_cast<int>(state.range(0)) - 1, 0.7);
+  runGate<qclab::sim::KernelBackend<T>>(state, gate);
+}
+BENCHMARK(BM_Kernel_Rzz)->DenseRange(4, 16, 4);
+
+void BM_SparseKron_Rzz(benchmark::State& state) {
+  const qclab::qgates::RotationZZ<T> gate(
+      0, static_cast<int>(state.range(0)) - 1, 0.7);
+  runGate<qclab::sim::SparseKronBackend<T>>(state, gate);
+}
+BENCHMARK(BM_SparseKron_Rzz)->DenseRange(4, 16, 4);
+
+/// Whole-circuit comparison: a QFT, both backends.
+template <typename BackendT>
+void runQft(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto circuit = qclab::algorithms::qft<T>(n);
+  const BackendT backend;
+  const auto initial =
+      qclab::basisState<T>(std::string(static_cast<std::size_t>(n), '0'));
+  for (auto _ : state) {
+    auto simulation = circuit.simulate(initial, backend);
+    benchmark::DoNotOptimize(simulation.state(0).data());
+  }
+}
+
+void BM_Kernel_QftCircuit(benchmark::State& state) {
+  runQft<qclab::sim::KernelBackend<T>>(state);
+}
+BENCHMARK(BM_Kernel_QftCircuit)->DenseRange(4, 14, 2);
+
+void BM_SparseKron_QftCircuit(benchmark::State& state) {
+  runQft<qclab::sim::SparseKronBackend<T>>(state);
+}
+BENCHMARK(BM_SparseKron_QftCircuit)->DenseRange(4, 14, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

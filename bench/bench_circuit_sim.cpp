@@ -1,0 +1,87 @@
+/// \file bench_circuit_sim.cpp
+/// \brief Experiment P3: end-to-end simulation throughput for the paper's
+/// workload families — QFT, Grover, GHZ, and random circuits — on the
+/// default kernel backend.
+
+#include <benchmark/benchmark.h>
+
+#include "qclab/qclab.hpp"
+
+namespace {
+
+using T = double;
+
+void simulateCircuit(benchmark::State& state,
+                     const qclab::QCircuit<T>& circuit) {
+  const auto initial = qclab::basisState<T>(
+      std::string(static_cast<std::size_t>(circuit.nbQubits()), '0'));
+  std::size_t gates = 0;
+  for (auto _ : state) {
+    auto simulation = circuit.simulate(initial);
+    benchmark::DoNotOptimize(simulation.state(0).data());
+    gates += circuit.nbObjectsRecursive();
+  }
+  state.counters["gates/s"] = benchmark::Counter(
+      static_cast<double>(gates), benchmark::Counter::kIsRate);
+}
+
+void BM_Qft(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  simulateCircuit(state, qclab::algorithms::qft<T>(n));
+}
+BENCHMARK(BM_Qft)->DenseRange(4, 16, 4);
+
+void BM_Ghz(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  simulateCircuit(state, qclab::algorithms::ghz<T>(n));
+}
+BENCHMARK(BM_Ghz)->DenseRange(4, 20, 4);
+
+void BM_GroverOneIteration(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const std::string marked(static_cast<std::size_t>(n), '1');
+  simulateCircuit(state,
+                  qclab::algorithms::grover<T>(marked, 1, /*measure=*/false));
+}
+BENCHMARK(BM_GroverOneIteration)->DenseRange(4, 12, 2);
+
+void BM_RandomCircuit100Gates(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  qclab::random::Rng rng(42);
+  qclab::QCircuit<T> circuit(n);
+  // Inline random circuit builder (H / CX / RZ mix typical of benchmarks).
+  for (int i = 0; i < 100; ++i) {
+    const int q = static_cast<int>(rng.uniformInt(n));
+    switch (rng.uniformInt(3)) {
+      case 0:
+        circuit.push_back(qclab::qgates::Hadamard<T>(q));
+        break;
+      case 1: {
+        int target = static_cast<int>(rng.uniformInt(n));
+        while (target == q) target = static_cast<int>(rng.uniformInt(n));
+        circuit.push_back(qclab::qgates::CX<T>(q, target));
+        break;
+      }
+      default:
+        circuit.push_back(
+            qclab::qgates::RotationZ<T>(q, rng.uniform(-3.14, 3.14)));
+        break;
+    }
+  }
+  simulateCircuit(state, circuit);
+}
+BENCHMARK(BM_RandomCircuit100Gates)->DenseRange(4, 16, 4);
+
+void BM_CircuitMatrixExtraction(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto circuit = qclab::algorithms::qft<T>(n);
+  for (auto _ : state) {
+    auto matrix = circuit.matrix();
+    benchmark::DoNotOptimize(matrix.data());
+  }
+}
+BENCHMARK(BM_CircuitMatrixExtraction)->DenseRange(2, 10, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

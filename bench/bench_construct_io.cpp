@@ -1,0 +1,102 @@
+/// \file bench_construct_io.cpp
+/// \brief Experiment P6: circuit construction and I/O cost (paper §2 and
+/// §4) — push_back rate, terminal drawing, LaTeX export, OpenQASM export
+/// and import, as a function of gate count.
+
+#include <benchmark/benchmark.h>
+
+#include "qclab/qclab.hpp"
+
+namespace {
+
+using T = double;
+
+qclab::QCircuit<T> layeredCircuit(int nbQubits, int nbGates) {
+  qclab::QCircuit<T> circuit(nbQubits);
+  qclab::random::Rng rng(7);
+  for (int i = 0; i < nbGates; ++i) {
+    const int q = static_cast<int>(rng.uniformInt(nbQubits));
+    if (i % 3 == 0 && nbQubits > 1) {
+      int target = static_cast<int>(rng.uniformInt(nbQubits));
+      while (target == q) target = static_cast<int>(rng.uniformInt(nbQubits));
+      circuit.push_back(qclab::qgates::CX<T>(q, target));
+    } else {
+      circuit.push_back(qclab::qgates::Hadamard<T>(q));
+    }
+  }
+  return circuit;
+}
+
+void BM_PushBack(benchmark::State& state) {
+  const int nbGates = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    qclab::QCircuit<T> circuit(8);
+    for (int i = 0; i < nbGates; ++i) {
+      circuit.push_back(qclab::qgates::Hadamard<T>(i % 8));
+    }
+    benchmark::DoNotOptimize(circuit.nbObjects());
+  }
+  state.counters["gates/s"] = benchmark::Counter(
+      static_cast<double>(nbGates) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PushBack)->RangeMultiplier(10)->Range(10, 10000);
+
+void BM_Draw(benchmark::State& state) {
+  const auto circuit = layeredCircuit(8, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto drawing = circuit.draw();
+    benchmark::DoNotOptimize(drawing.data());
+  }
+}
+BENCHMARK(BM_Draw)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_ToTex(benchmark::State& state) {
+  const auto circuit = layeredCircuit(8, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto tex = circuit.toTex();
+    benchmark::DoNotOptimize(tex.data());
+  }
+}
+BENCHMARK(BM_ToTex)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_ToQasm(benchmark::State& state) {
+  const auto circuit = layeredCircuit(8, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto qasm = circuit.toQASM();
+    benchmark::DoNotOptimize(qasm.data());
+  }
+}
+BENCHMARK(BM_ToQasm)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_ParseQasm(benchmark::State& state) {
+  const auto qasm =
+      layeredCircuit(8, static_cast<int>(state.range(0))).toQASM();
+  for (auto _ : state) {
+    auto circuit = qclab::io::parseQasm<T>(qasm);
+    benchmark::DoNotOptimize(circuit.nbObjects());
+  }
+}
+BENCHMARK(BM_ParseQasm)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_CloneDeepCopy(benchmark::State& state) {
+  const auto circuit = layeredCircuit(8, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto copy = circuit.clone();
+    benchmark::DoNotOptimize(copy.get());
+  }
+}
+BENCHMARK(BM_CloneDeepCopy)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_Inverted(benchmark::State& state) {
+  const auto circuit = layeredCircuit(8, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto inverse = circuit.inverted();
+    benchmark::DoNotOptimize(inverse.nbObjects());
+  }
+}
+BENCHMARK(BM_Inverted)->RangeMultiplier(4)->Range(16, 1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+/// \file bench_fable.cpp
+/// \brief Experiment P11 (extension): FABLE block-encoding synthesis cost
+/// and circuit size, with and without angle compression — reproducing the
+/// shape of the FABLE paper's compression claim (structured matrices
+/// compress dramatically; dense random matrices do not).
+
+#include <benchmark/benchmark.h>
+
+#include "qclab/qclab.hpp"
+
+namespace {
+
+using T = double;
+using C = std::complex<T>;
+using M = qclab::dense::Matrix<T>;
+
+M randomMatrix(int n, std::uint64_t seed) {
+  const std::size_t dim = std::size_t{1} << n;
+  qclab::random::Rng rng(seed);
+  M a(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      a(i, j) = C(rng.uniform(-1.0, 1.0));
+    }
+  }
+  return a;
+}
+
+M constantMatrix(int n, double value) {
+  const std::size_t dim = std::size_t{1} << n;
+  M a(dim, dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) a(i, j) = C(value);
+  }
+  return a;
+}
+
+void BM_FableSynthesisDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = randomMatrix(n, 5);
+  std::size_t gates = 0;
+  for (auto _ : state) {
+    auto encoding = qclab::algorithms::fable(a);
+    gates = encoding.circuit.nbObjectsRecursive();
+    benchmark::DoNotOptimize(encoding.circuit.nbObjects());
+  }
+  state.counters["gates"] = static_cast<double>(gates);
+}
+BENCHMARK(BM_FableSynthesisDense)->DenseRange(1, 4, 1);
+
+void BM_FableSynthesisCompressed(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto a = constantMatrix(n, 0.4);  // maximally compressible
+  std::size_t gates = 0;
+  for (auto _ : state) {
+    auto encoding = qclab::algorithms::fable(a, 1e-10);
+    gates = encoding.circuit.nbObjectsRecursive();
+    benchmark::DoNotOptimize(encoding.circuit.nbObjects());
+  }
+  state.counters["gates"] = static_cast<double>(gates);
+}
+BENCHMARK(BM_FableSynthesisCompressed)->DenseRange(1, 4, 1);
+
+void BM_FableSimulate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto encoding = qclab::algorithms::fable(randomMatrix(n, 6));
+  const auto initial = qclab::basisState<T>(
+      std::string(static_cast<std::size_t>(2 * n + 1), '0'));
+  for (auto _ : state) {
+    auto simulation = encoding.circuit.simulate(initial);
+    benchmark::DoNotOptimize(simulation.state(0).data());
+  }
+}
+BENCHMARK(BM_FableSimulate)->DenseRange(1, 4, 1);
+
+void BM_MultiplexedRySynthesis(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  qclab::random::Rng rng(7);
+  std::vector<T> angles(std::size_t{1} << k);
+  for (auto& angle : angles) angle = rng.uniform(-3.0, 3.0);
+  std::vector<int> controls(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) controls[static_cast<std::size_t>(i)] = i;
+  for (auto _ : state) {
+    auto circuit = qclab::algorithms::multiplexedRY(controls, k, angles);
+    benchmark::DoNotOptimize(circuit.nbObjects());
+  }
+}
+BENCHMARK(BM_MultiplexedRySynthesis)->DenseRange(2, 10, 2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,104 @@
+/// \file bench_gate_apply.cpp
+/// \brief Experiment P2: per-gate-type application cost of the QCLAB++-style
+/// kernel backend as a function of register size.  The expected shape is
+/// O(2^n) per gate with diagonal < single-qubit < controlled < general
+/// two-qubit constants.
+
+#include <benchmark/benchmark.h>
+
+#include "qclab/qclab.hpp"
+
+namespace {
+
+using T = double;
+using C = std::complex<T>;
+
+std::vector<C> makeState(int nbQubits) {
+  std::vector<C> state(std::size_t{1} << nbQubits);
+  state[0] = C(1);
+  return state;
+}
+
+void BM_Hadamard(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto psi = makeState(n);
+  const auto u = qclab::qgates::Hadamard<T>(0).matrix();
+  for (auto _ : state) {
+    qclab::sim::apply1(psi, n, n / 2, u);
+    benchmark::DoNotOptimize(psi.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(psi.size()) *
+                          sizeof(C));
+}
+BENCHMARK(BM_Hadamard)->DenseRange(8, 20, 4);
+
+void BM_DiagonalRz(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto psi = makeState(n);
+  const auto u = qclab::qgates::RotationZ<T>(0, 0.7).matrix();
+  for (auto _ : state) {
+    qclab::sim::applyDiagonal1(psi, n, n / 2, u(0, 0), u(1, 1));
+    benchmark::DoNotOptimize(psi.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(psi.size()) *
+                          sizeof(C));
+}
+BENCHMARK(BM_DiagonalRz)->DenseRange(8, 20, 4);
+
+void BM_Cnot(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto psi = makeState(n);
+  for (auto _ : state) {
+    qclab::sim::applyControlled1(psi, n, {0}, {1}, n - 1,
+                                 qclab::dense::pauliX<T>());
+    benchmark::DoNotOptimize(psi.data());
+  }
+}
+BENCHMARK(BM_Cnot)->DenseRange(8, 20, 4);
+
+void BM_Toffoli(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto psi = makeState(n);
+  for (auto _ : state) {
+    qclab::sim::applyControlled1(psi, n, {0, 1}, {1, 1}, n - 1,
+                                 qclab::dense::pauliX<T>());
+    benchmark::DoNotOptimize(psi.data());
+  }
+}
+BENCHMARK(BM_Toffoli)->DenseRange(8, 20, 4);
+
+void BM_Swap(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto psi = makeState(n);
+  for (auto _ : state) {
+    qclab::sim::applySwap(psi, n, 0, n - 1);
+    benchmark::DoNotOptimize(psi.data());
+  }
+}
+BENCHMARK(BM_Swap)->DenseRange(8, 20, 4);
+
+void BM_GeneralTwoQubit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto psi = makeState(n);
+  const auto u = qclab::qgates::RotationXX<T>(0, 1, 0.9).matrix();
+  for (auto _ : state) {
+    qclab::sim::applyK(psi, n, {0, n - 1}, u);
+    benchmark::DoNotOptimize(psi.data());
+  }
+}
+BENCHMARK(BM_GeneralTwoQubit)->DenseRange(8, 20, 4);
+
+void BM_MeasureProbability(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto psi = makeState(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qclab::sim::measureProbability0(psi, n, n / 2));
+  }
+}
+BENCHMARK(BM_MeasureProbability)->DenseRange(8, 20, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

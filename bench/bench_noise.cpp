@@ -1,0 +1,70 @@
+/// \file bench_noise.cpp
+/// \brief Experiment P9 (extension): cost of density-matrix (noisy)
+/// simulation — O(4^n) state, gate conjugation, channel application — and
+/// the repetition-code experiment end to end.
+
+#include <benchmark/benchmark.h>
+
+#include "qclab/qclab.hpp"
+
+namespace {
+
+using T = double;
+
+void BM_DensityGate(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  qclab::noise::DensityMatrix<T> rho(std::string(n, '0'));
+  const qclab::qgates::Hadamard<T> gate(n / 2);
+  for (auto _ : state) {
+    rho.applyGate(gate);
+    benchmark::DoNotOptimize(rho.matrix().data());
+  }
+}
+BENCHMARK(BM_DensityGate)->DenseRange(2, 8, 2);
+
+void BM_DensityChannel(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  qclab::noise::DensityMatrix<T> rho(std::string(n, '0'));
+  const auto channel = qclab::noise::KrausChannel<T>::depolarizing(0.01);
+  for (auto _ : state) {
+    rho.applyChannel(channel, {n / 2});
+    benchmark::DoNotOptimize(rho.matrix().data());
+  }
+}
+BENCHMARK(BM_DensityChannel)->DenseRange(2, 8, 2);
+
+void BM_NoisyBellCircuit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto circuit = qclab::algorithms::ghz<T>(n);
+  const auto model = qclab::noise::NoiseModel<T>::depolarizing(0.01);
+  for (auto _ : state) {
+    auto rho = qclab::noise::simulateDensity(circuit, std::string(n, '0'),
+                                             model);
+    benchmark::DoNotOptimize(rho.matrix().data());
+  }
+}
+BENCHMARK(BM_NoisyBellCircuit)->DenseRange(2, 8, 2);
+
+void BM_RepetitionCodeExperiment(benchmark::State& state) {
+  const double p = 0.05;
+  const T h = 1.0 / std::sqrt(2.0);
+  const std::vector<std::complex<T>> v = {{h, 0.0}, {0.0, h}};
+  const auto initial =
+      qclab::dense::kron(v, qclab::basisState<T>("0000"));
+  const auto encoder = qclab::algorithms::repetitionEncoder<T>(5);
+  const auto corrector =
+      qclab::algorithms::repetitionSyndromeAndCorrect<T>();
+  const auto channel = qclab::noise::KrausChannel<T>::bitFlip(p);
+  for (auto _ : state) {
+    qclab::noise::DensityMatrix<T> rho(initial);
+    qclab::noise::simulateDensity(encoder, rho);
+    for (int q = 0; q < 3; ++q) rho.applyChannel(channel, {q});
+    qclab::noise::simulateDensity(corrector, rho);
+    benchmark::DoNotOptimize(rho.purity());
+  }
+}
+BENCHMARK(BM_RepetitionCodeExperiment);
+
+}  // namespace
+
+BENCHMARK_MAIN();

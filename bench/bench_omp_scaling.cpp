@@ -1,0 +1,70 @@
+/// \file bench_omp_scaling.cpp
+/// \brief Experiment P5: OpenMP thread scaling of the kernel backend (our
+/// CPU substitute for the paper's GPU acceleration claim).  Sweeps the
+/// thread count on a fixed 20-qubit state.  On a single-core machine every
+/// row degenerates to the 1-thread time; the harness itself is the
+/// deliverable.
+
+#include <benchmark/benchmark.h>
+
+#ifdef QCLAB_HAS_OPENMP
+#include <omp.h>
+#endif
+
+#include "qclab/qclab.hpp"
+
+namespace {
+
+using T = double;
+using C = std::complex<T>;
+
+constexpr int kQubits = 20;
+
+void BM_Apply1Threads(benchmark::State& state) {
+#ifdef QCLAB_HAS_OPENMP
+  omp_set_num_threads(static_cast<int>(state.range(0)));
+#endif
+  std::vector<C> psi(std::size_t{1} << kQubits);
+  psi[0] = C(1);
+  const auto u = qclab::qgates::Hadamard<T>(0).matrix();
+  for (auto _ : state) {
+    qclab::sim::apply1(psi, kQubits, kQubits / 2, u);
+    benchmark::DoNotOptimize(psi.data());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Apply1Threads)->DenseRange(1, 4, 1)->UseRealTime();
+
+void BM_SpmvThreads(benchmark::State& state) {
+#ifdef QCLAB_HAS_OPENMP
+  omp_set_num_threads(static_cast<int>(state.range(0)));
+#endif
+  const qclab::qgates::Hadamard<T> gate(kQubits / 2);
+  const auto extended = qclab::sim::extendedUnitary(kQubits, gate);
+  std::vector<C> psi(std::size_t{1} << kQubits);
+  psi[0] = C(1);
+  for (auto _ : state) {
+    psi = extended.apply(psi);
+    benchmark::DoNotOptimize(psi.data());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SpmvThreads)->DenseRange(1, 4, 1)->UseRealTime();
+
+void BM_MeasureProbabilityThreads(benchmark::State& state) {
+#ifdef QCLAB_HAS_OPENMP
+  omp_set_num_threads(static_cast<int>(state.range(0)));
+#endif
+  std::vector<C> psi(std::size_t{1} << kQubits,
+                     C(1.0 / std::sqrt(static_cast<double>(1ULL << kQubits))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        qclab::sim::measureProbability0(psi, kQubits, kQubits / 2));
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_MeasureProbabilityThreads)->DenseRange(1, 4, 1)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/// \file bench_stabilizer.cpp
+/// \brief Experiment P10 (extension): stabilizer vs state-vector scaling on
+/// Clifford workloads — the polynomial-vs-exponential crossover behind the
+/// paper's §5.4 footnote on efficient QEC simulation.
+
+#include <benchmark/benchmark.h>
+
+#include "qclab/qclab.hpp"
+
+namespace {
+
+using T = double;
+
+qclab::QCircuit<T> ghzWithMeasurements(int n) {
+  auto circuit = qclab::algorithms::ghz<T>(n);
+  for (int q = 0; q < n; ++q) {
+    circuit.push_back(qclab::Measurement<T>(q));
+  }
+  return circuit;
+}
+
+void BM_StateVector_GhzShot(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto circuit = ghzWithMeasurements(n);
+  const auto initial = qclab::basisState<T>(std::string(n, '0'));
+  for (auto _ : state) {
+    auto simulation = circuit.simulate(initial);
+    benchmark::DoNotOptimize(simulation.branches().data());
+  }
+}
+BENCHMARK(BM_StateVector_GhzShot)->DenseRange(4, 16, 4);
+
+void BM_Stabilizer_GhzShot(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto circuit = ghzWithMeasurements(n);
+  qclab::random::Rng rng(1);
+  for (auto _ : state) {
+    qclab::stabilizer::Tableau tableau(n);
+    auto outcome = qclab::stabilizer::simulateShot(circuit, tableau, rng);
+    benchmark::DoNotOptimize(outcome.data());
+  }
+}
+BENCHMARK(BM_Stabilizer_GhzShot)->RangeMultiplier(4)->Range(4, 1024);
+
+void BM_Stabilizer_TableauGates(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  qclab::stabilizer::Tableau tableau(n);
+  int q = 0;
+  for (auto _ : state) {
+    tableau.h(q);
+    tableau.cx(q, (q + 1) % n);
+    tableau.s(q);
+    q = (q + 1) % n;
+    benchmark::DoNotOptimize(&tableau);
+  }
+}
+BENCHMARK(BM_Stabilizer_TableauGates)->RangeMultiplier(4)->Range(16, 1024);
+
+void BM_Stabilizer_Measurement(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  qclab::random::Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    qclab::stabilizer::Tableau tableau(n);
+    for (int q = 0; q < n; ++q) tableau.h(q);
+    state.ResumeTiming();
+    for (int q = 0; q < n; ++q) {
+      benchmark::DoNotOptimize(tableau.measure(q, rng));
+    }
+  }
+}
+BENCHMARK(BM_Stabilizer_Measurement)->RangeMultiplier(4)->Range(16, 256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+/// \file bench_transpile.cpp
+/// \brief Experiment P7 (ablation): effect of the optimization passes on
+/// gate count and downstream simulation time for rotation-heavy circuits
+/// (the workload class of the F3C compiler built on QCLAB).
+
+#include <benchmark/benchmark.h>
+
+#include "qclab/qclab.hpp"
+
+namespace {
+
+using T = double;
+
+/// Trotter-like circuit: layers of RZ/RZZ with many same-axis repeats —
+/// exactly what rotation fusion is for.
+qclab::QCircuit<T> trotterLikeCircuit(int nbQubits, int layers) {
+  qclab::QCircuit<T> circuit(nbQubits);
+  qclab::random::Rng rng(13);
+  for (int layer = 0; layer < layers; ++layer) {
+    for (int q = 0; q < nbQubits; ++q) {
+      circuit.push_back(
+          qclab::qgates::RotationZ<T>(q, rng.uniform(-0.1, 0.1)));
+      circuit.push_back(
+          qclab::qgates::RotationZ<T>(q, rng.uniform(-0.1, 0.1)));
+    }
+    for (int q = 0; q + 1 < nbQubits; ++q) {
+      circuit.push_back(
+          qclab::qgates::RotationZZ<T>(q, q + 1, rng.uniform(-0.1, 0.1)));
+      circuit.push_back(
+          qclab::qgates::RotationZZ<T>(q, q + 1, rng.uniform(-0.1, 0.1)));
+    }
+  }
+  return circuit;
+}
+
+void BM_OptimizePass(benchmark::State& state) {
+  const auto circuit = trotterLikeCircuit(6, static_cast<int>(state.range(0)));
+  std::size_t before = circuit.nbObjectsRecursive();
+  std::size_t after = 0;
+  for (auto _ : state) {
+    auto optimized = qclab::transpile::optimize(circuit);
+    after = optimized.nbObjectsRecursive();
+    benchmark::DoNotOptimize(optimized.nbObjects());
+  }
+  state.counters["gates_before"] = static_cast<double>(before);
+  state.counters["gates_after"] = static_cast<double>(after);
+}
+BENCHMARK(BM_OptimizePass)->DenseRange(1, 9, 2);
+
+void BM_SimulateUnoptimized(benchmark::State& state) {
+  const auto circuit = trotterLikeCircuit(10, static_cast<int>(state.range(0)));
+  const auto initial = qclab::basisState<T>(std::string(10, '0'));
+  for (auto _ : state) {
+    auto simulation = circuit.simulate(initial);
+    benchmark::DoNotOptimize(simulation.state(0).data());
+  }
+  state.counters["gates"] =
+      static_cast<double>(circuit.nbObjectsRecursive());
+}
+BENCHMARK(BM_SimulateUnoptimized)->DenseRange(1, 9, 2);
+
+void BM_SimulateOptimized(benchmark::State& state) {
+  const auto circuit = qclab::transpile::optimize(
+      trotterLikeCircuit(10, static_cast<int>(state.range(0))));
+  const auto initial = qclab::basisState<T>(std::string(10, '0'));
+  for (auto _ : state) {
+    auto simulation = circuit.simulate(initial);
+    benchmark::DoNotOptimize(simulation.state(0).data());
+  }
+  state.counters["gates"] =
+      static_cast<double>(circuit.nbObjectsRecursive());
+}
+BENCHMARK(BM_SimulateOptimized)->DenseRange(1, 9, 2);
+
+void BM_FuseRotationsOnly(benchmark::State& state) {
+  const auto circuit = trotterLikeCircuit(6, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto fused = qclab::transpile::fuseRotations(circuit);
+    benchmark::DoNotOptimize(fused.nbObjects());
+  }
+}
+BENCHMARK(BM_FuseRotationsOnly)->DenseRange(1, 9, 4);
+
+void BM_CancelInversePairsOnly(benchmark::State& state) {
+  // H-heavy circuit with many adjacent self-inverses.
+  qclab::QCircuit<T> circuit(6);
+  for (int i = 0; i < 64 * static_cast<int>(state.range(0)); ++i) {
+    circuit.push_back(qclab::qgates::Hadamard<T>(i % 6));
+  }
+  for (auto _ : state) {
+    auto cleaned = qclab::transpile::cancelInversePairs(circuit);
+    benchmark::DoNotOptimize(cleaned.nbObjects());
+  }
+}
+BENCHMARK(BM_CancelInversePairsOnly)->DenseRange(1, 9, 4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

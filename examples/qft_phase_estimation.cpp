@@ -1,0 +1,54 @@
+/// \file qft_phase_estimation.cpp
+/// \brief Extension example: the quantum Fourier transform and quantum
+/// phase estimation, exercising nested circuits, custom matrix gates, and
+/// the OpenQASM round trip.
+
+#include <cstdio>
+
+#include "qclab/qclab.hpp"
+
+int main() {
+  using T = double;
+  using namespace qclab;
+
+  // --- QFT ---------------------------------------------------------------
+  auto qft3 = algorithms::qft<T>(3);
+  std::printf("3-qubit QFT:\n%s\n", qft3.draw().c_str());
+
+  // The QFT of a basis state is a uniform superposition with linear phases.
+  const auto simulation = qft3.simulate("001");
+  const auto& amplitudes = simulation.state(0);
+  std::printf("QFT|001> amplitudes (all |a| = 1/sqrt(8) = %.4f):\n",
+              1.0 / std::sqrt(8.0));
+  for (std::size_t i = 0; i < amplitudes.size(); ++i) {
+    std::printf("  |%zu>: %+.4f%+.4fi  (|a| = %.4f)\n", i,
+                amplitudes[i].real(), amplitudes[i].imag(),
+                std::abs(amplitudes[i]));
+  }
+
+  // Round trip through OpenQASM.
+  const auto qasm = qft3.toQASM();
+  const auto reparsed = io::parseQasm<T>(qasm);
+  const auto distance = qft3.matrix().distanceMax(reparsed.matrix());
+  std::printf("\nQASM round-trip max deviation: %.2e\n", distance);
+
+  // --- QPE ---------------------------------------------------------------
+  // Estimate the phase of the T gate (eigenvalue e^{i pi / 4} on |1>,
+  // i.e. phi = 1/8) with 3 counting qubits: expect the exact result '001'.
+  const auto tGate = qgates::TGate<T>(0).matrix();
+  auto qpe = algorithms::phaseEstimation<T>(3, tGate);
+
+  // Initial state: counting register |000>, target in eigenstate |1>.
+  auto initial = dense::kron(basisState<T>("000"), basisState<T>("1"));
+  const auto qpeSim = qpe.simulate(initial);
+
+  std::printf("\nQPE of the T gate (phi = 1/8):\n");
+  const auto results = qpeSim.results();
+  const auto probabilities = qpeSim.probabilities();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("  counting register '%s' -> phi = %.4f (p = %.4f)\n",
+                results[i].c_str(),
+                algorithms::phaseFromBits(results[i]), probabilities[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+/// \file quickstart.cpp
+/// \brief The paper's introductory circuit (1): a Hadamard, a CNOT, and two
+/// measurements, simulated from |00> (paper §2-§4).
+///
+/// Demonstrates circuit construction, terminal drawing, OpenQASM and LaTeX
+/// export, and simulation with branch inspection.
+
+#include <cstdio>
+
+#include "qclab/qclab.hpp"
+
+int main() {
+  using T = double;
+  using namespace qclab;
+
+  // circuit = qclab.QCircuit(2);
+  QCircuit<T> circuit(2);
+
+  // circuit.push_back(qclab.qgates.Hadamard(0));
+  // circuit.push_back(qclab.qgates.CNOT(0,1));
+  circuit.push_back(std::make_unique<qgates::Hadamard<T>>(0));
+  circuit.push_back(std::make_unique<qgates::CNOT<T>>(0, 1));
+
+  // circuit.push_back(qclab.Measurement(0));
+  // circuit.push_back(qclab.Measurement(1));
+  circuit.push_back(std::make_unique<Measurement<T>>(0));
+  circuit.push_back(std::make_unique<Measurement<T>>(1));
+
+  std::printf("Circuit diagram:\n%s\n", circuit.draw().c_str());
+  std::printf("OpenQASM export:\n%s\n", circuit.toQASM().c_str());
+
+  // simulation = circuit.simulate('00');
+  const auto simulation = circuit.simulate("00");
+
+  std::printf("results      probabilities\n");
+  const auto results = simulation.results();
+  const auto probabilities = simulation.probabilities();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("  '%s'      %.4f\n", results[i].c_str(), probabilities[i]);
+  }
+
+  std::printf("\ncounts over 1000 shots (seed 1):\n");
+  for (const auto& [result, count] : simulation.countsMap(1000, 1)) {
+    std::printf("  '%s': %llu\n", result.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+
+  std::printf("\nLaTeX export (toTex):\n%s", circuit.toTex().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+/// \file teleportation.cpp
+/// \brief Quantum teleportation (paper §5.1): teleports
+/// v = (1/sqrt(2), i/sqrt(2)) from qubit 0 to qubit 2 using a Bell pair and
+/// mid-circuit measurements, then verifies the transfer with
+/// reducedStatevector.
+
+#include <cstdio>
+
+#include "qclab/qclab.hpp"
+
+int main() {
+  using T = double;
+  using namespace qclab;
+
+  // qtc = qclab.QCircuit(3); ... (paper §5.1)
+  QCircuit<T> qtc(3);
+  qtc.push_back(std::make_unique<qgates::CNOT<T>>(0, 1));
+  qtc.push_back(std::make_unique<qgates::Hadamard<T>>(0));
+  qtc.push_back(std::make_unique<Measurement<T>>(0));
+  qtc.push_back(std::make_unique<Measurement<T>>(1));
+  qtc.push_back(std::make_unique<qgates::CNOT<T>>(1, 2));
+  qtc.push_back(std::make_unique<qgates::CZ<T>>(0, 2));
+
+  std::printf("Teleportation circuit:\n%s\n", qtc.draw().c_str());
+
+  // v = [1/sqrt(2); 1i/sqrt(2)]; initial_state = kron(v, bell);
+  const T h = 1.0 / std::sqrt(2.0);
+  const std::vector<std::complex<T>> v = {{h, 0.0}, {0.0, h}};
+  const auto initialState = algorithms::teleportationInput(v);
+
+  const auto simulation = qtc.simulate(initialState);
+
+  std::printf("results      probabilities\n");
+  const auto results = simulation.results();
+  const auto probabilities = simulation.probabilities();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::printf("  '%s'      %.4f\n", results[i].c_str(), probabilities[i]);
+  }
+
+  // Verify teleportation on every branch: the reduced state of qubit 2 must
+  // equal v regardless of the measured outcome.
+  const auto states = simulation.states();
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto reduced =
+        reducedStatevector<T>(states[i], {0, 1}, results[i]);
+    std::printf(
+        "outcome '%s': reduced q2 state = (%+.4f%+.4fi, %+.4f%+.4fi)\n",
+        results[i].c_str(), reduced[0].real(), reduced[0].imag(),
+        reduced[1].real(), reduced[1].imag());
+  }
+  return 0;
+}

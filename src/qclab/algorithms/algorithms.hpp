@@ -1,0 +1,20 @@
+#pragma once
+
+/// \file algorithms.hpp
+/// \brief Umbrella header for the circuit-builder library.
+
+#include "qclab/algorithms/amplitude_estimation.hpp"
+#include "qclab/algorithms/communication.hpp"
+#include "qclab/algorithms/counting.hpp"
+#include "qclab/algorithms/fable.hpp"
+#include "qclab/algorithms/grover.hpp"
+#include "qclab/algorithms/multiplexed.hpp"
+#include "qclab/algorithms/oracles.hpp"
+#include "qclab/algorithms/phase_estimation.hpp"
+#include "qclab/algorithms/qaoa.hpp"
+#include "qclab/algorithms/qft.hpp"
+#include "qclab/algorithms/repetition_code.hpp"
+#include "qclab/algorithms/states.hpp"
+#include "qclab/algorithms/teleportation.hpp"
+#include "qclab/algorithms/tomography.hpp"
+#include "qclab/algorithms/trotter.hpp"

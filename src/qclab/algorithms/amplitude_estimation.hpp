@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file amplitude_estimation.hpp
+/// \brief Canonical (QPE-based) quantum amplitude estimation.
+///
+/// Given a state-preparation circuit A on n qubits and a set of "good"
+/// basis states G, amplitude estimation recovers a = || P_G A|0> ||^2 with
+/// quadratically fewer oracle queries than classical sampling.  The
+/// Grover-like iterate Q = -A S_0 A^H S_G has eigenvalues e^{+-2 i theta}
+/// with a = sin^2(theta); phase estimation on Q applied to A|0> reads
+/// theta off the counting register.
+
+#include <cmath>
+#include <set>
+
+#include "qclab/algorithms/phase_estimation.hpp"
+#include "qclab/algorithms/qft.hpp"
+#include "qclab/qcircuit.hpp"
+#include "qclab/util/bitstring.hpp"
+
+namespace qclab::algorithms {
+
+/// Result of an amplitude-estimation run.
+struct AmplitudeEstimate {
+  std::string bits;         ///< most likely counting-register outcome
+  double probability;       ///< its probability
+  double theta;             ///< estimated Grover angle in [0, pi/2]
+  double estimatedAmplitude;  ///< a_est = sin^2(theta)
+};
+
+/// Runs QPE-based amplitude estimation with `countingQubits` precision
+/// qubits: `statePrep` is the A circuit (no measurements), `goodStates`
+/// the set of good basis bitstrings on A's register.
+template <typename T>
+AmplitudeEstimate amplitudeEstimation(int countingQubits,
+                                      const QCircuit<T>& statePrep,
+                                      const std::set<std::string>& goodStates) {
+  util::require(countingQubits >= 1, "QAE needs >= 1 counting qubit");
+  util::require(!goodStates.empty(), "QAE needs >= 1 good state");
+  const int n = statePrep.nbQubits();
+  const int m = countingQubits;
+  const std::size_t dim = std::size_t{1} << n;
+
+  // Q = -A S_0 A^H S_G as a dense matrix on the data register.
+  const auto a = statePrep.matrix();
+  auto s0 = dense::Matrix<T>::identity(dim);
+  s0(0, 0) = std::complex<T>(-1);
+  auto sg = dense::Matrix<T>::identity(dim);
+  for (const auto& state : goodStates) {
+    const auto index = util::bitstringToIndex(state, n);
+    sg(index, index) = std::complex<T>(-1);
+  }
+  auto q = a * s0 * a.dagger() * sg;
+  q *= std::complex<T>(-1);
+
+  // QPE circuit: counting register 0..m-1, data register m..m+n-1 prepared
+  // by A.
+  QCircuit<T> circuit(m + n);
+  for (int c = 0; c < m; ++c) circuit.push_back(qgates::Hadamard<T>(c));
+  auto prep = QCircuit<T>(statePrep);
+  prep.setOffset(m);
+  circuit.push_back(std::move(prep));
+
+  std::vector<int> dataQubits(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) dataQubits[static_cast<std::size_t>(k)] = m + k;
+
+  dense::Matrix<T> power = q;
+  for (int k = 0; k < m; ++k) {
+    const int control = m - 1 - k;
+    std::vector<int> gateQubits = {control};
+    gateQubits.insert(gateQubits.end(), dataQubits.begin(), dataQubits.end());
+    const auto controlled = qgates::controlledMatrix<T>(
+        gateQubits, {control}, {1}, dataQubits, power);
+    circuit.push_back(qgates::MatrixGateN<T>(
+        gateQubits, controlled, "cQ^" + std::to_string(1ULL << k)));
+    if (k + 1 < m) power = power * power;
+  }
+
+  auto iqft = inverseQft<T>(m);
+  iqft.asBlock("QFT†");
+  circuit.push_back(std::move(iqft));
+  for (int c = 0; c < m; ++c) circuit.push_back(Measurement<T>(c));
+
+  const auto simulation =
+      circuit.simulate(std::string(static_cast<std::size_t>(m + n), '0'));
+
+  AmplitudeEstimate result{"", 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < simulation.nbBranches(); ++i) {
+    if (simulation.probability(i) > result.probability) {
+      result.probability = simulation.probability(i);
+      result.bits = simulation.result(i);
+    }
+  }
+  const double phi = phaseFromBits(result.bits);
+  double theta = M_PI * phi;
+  if (theta > M_PI / 2.0) theta = M_PI - theta;  // fold the +- pair
+  result.theta = theta;
+  const double s = std::sin(theta);
+  result.estimatedAmplitude = s * s;
+  return result;
+}
+
+}  // namespace qclab::algorithms

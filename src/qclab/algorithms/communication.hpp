@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file communication.hpp
+/// \brief Entanglement-assisted communication protocols: superdense coding
+/// (the dual of the teleportation example in paper §5.1) and W-state
+/// preparation.
+
+#include <cmath>
+
+#include "qclab/qcircuit.hpp"
+#include "qclab/util/bitstring.hpp"
+
+namespace qclab::algorithms {
+
+/// Superdense coding: transmits the two classical bits `bits` ("00".."11")
+/// through one qubit of a shared Bell pair.  The circuit prepares the Bell
+/// pair, encodes on qubit 0 (X for the second bit, Z for the first), and
+/// decodes; measuring yields `bits` with probability 1.
+template <typename T>
+QCircuit<T> superdenseCoding(const std::string& bits) {
+  util::require(bits.size() == 2 && util::isBitstring(bits),
+                "superdense coding transmits exactly two bits");
+  QCircuit<T> circuit(2);
+  // Shared Bell pair.
+  circuit.push_back(qgates::Hadamard<T>(0));
+  circuit.push_back(qgates::CX<T>(0, 1));
+  // Encoding on the sender's qubit.
+  if (bits[1] == '1') circuit.push_back(qgates::PauliX<T>(0));
+  if (bits[0] == '1') circuit.push_back(qgates::PauliZ<T>(0));
+  // Decoding at the receiver.
+  circuit.push_back(qgates::CX<T>(0, 1));
+  circuit.push_back(qgates::Hadamard<T>(0));
+  circuit.push_back(Measurement<T>(0));
+  circuit.push_back(Measurement<T>(1));
+  return circuit;
+}
+
+/// Prepares the n-qubit W state (|10...0> + |01...0> + ... + |0...01>)
+/// / sqrt(n) from |0...0>, using the cascade of controlled-RY rotations
+/// followed by CNOTs.
+template <typename T>
+QCircuit<T> wState(int nbQubits) {
+  util::require(nbQubits >= 2, "W state needs at least two qubits");
+  QCircuit<T> circuit(nbQubits);
+  circuit.push_back(qgates::PauliX<T>(0));
+  for (int i = 0; i + 1 < nbQubits; ++i) {
+    // Split amplitude 1/(n - i) off to the next qubit.
+    const T theta =
+        T(2) * std::acos(std::sqrt(T(1) / static_cast<T>(nbQubits - i)));
+    circuit.push_back(qgates::CRotationY<T>(i, i + 1, theta));
+    circuit.push_back(qgates::CX<T>(i + 1, i));
+  }
+  return circuit;
+}
+
+}  // namespace qclab::algorithms

@@ -1,0 +1,156 @@
+#pragma once
+
+/// \file counting.hpp
+/// \brief Quantum counting: estimates the number of marked states of a
+/// search problem by phase estimation on the Grover iterate.
+///
+/// The Grover operator G = diffuser . oracle has eigenvalues e^{±2 i theta}
+/// with sin^2(theta) = M / N (M marked states out of N = 2^n).  Running QPE
+/// with m counting qubits on G applied to the uniform superposition yields
+/// an estimate of theta and hence of M.
+
+#include <cmath>
+#include <set>
+
+#include "qclab/algorithms/grover.hpp"
+#include "qclab/algorithms/phase_estimation.hpp"
+#include "qclab/algorithms/qft.hpp"
+#include "qclab/qcircuit.hpp"
+
+namespace qclab::algorithms {
+
+/// Oracle flipping the phase of every state in `marked` (distinct
+/// bitstrings of equal length).  Built as a product of single-state MCZ
+/// oracles.
+template <typename T>
+QCircuit<T> groverOracleMulti(const std::set<std::string>& marked) {
+  util::require(!marked.empty(), "oracle needs at least one marked state");
+  const int n = static_cast<int>(marked.begin()->size());
+  QCircuit<T> oracle(n);
+  for (const auto& state : marked) {
+    util::require(static_cast<int>(state.size()) == n,
+                  "marked states must share one length");
+    oracle.push_back(groverOracle<T>(state));
+  }
+  oracle.asBlock("oracle");
+  return oracle;
+}
+
+/// Grover search over a *set* of marked states: uniform superposition,
+/// `iterations` multi-oracle + diffuser rounds (default: the optimal count
+/// round(pi / (4 asin(sqrt(M/N))) - 1/2)), and a final measurement.
+template <typename T>
+QCircuit<T> grover(const std::set<std::string>& marked, int iterations = -1,
+                   bool measure = true) {
+  util::require(!marked.empty(), "Grover needs at least one marked state");
+  const int n = static_cast<int>(marked.begin()->size());
+  util::require(n >= 2, "Grover needs at least two qubits");
+  if (iterations < 0) {
+    const double amplitude =
+        std::sqrt(static_cast<double>(marked.size()) /
+                  static_cast<double>(1ULL << n));
+    const double optimal =
+        std::round(M_PI / (4.0 * std::asin(amplitude)) - 0.5);
+    iterations = optimal < 1.0 ? 1 : static_cast<int>(optimal);
+  }
+  QCircuit<T> circuit(n);
+  for (int q = 0; q < n; ++q) circuit.push_back(qgates::Hadamard<T>(q));
+  for (int i = 0; i < iterations; ++i) {
+    circuit.push_back(groverOracleMulti<T>(marked));
+    circuit.push_back(groverDiffuser<T>(n));
+  }
+  if (measure) {
+    for (int q = 0; q < n; ++q) circuit.push_back(Measurement<T>(q));
+  }
+  return circuit;
+}
+
+/// Analytic success probability with M marked states out of 2^n:
+/// sin^2((2k+1) asin(sqrt(M/N))).
+inline double groverSuccessProbabilityMulti(int nbQubits, int nbMarked,
+                                            int iterations) {
+  const double amplitude = std::sqrt(static_cast<double>(nbMarked) /
+                                     static_cast<double>(1ULL << nbQubits));
+  const double s =
+      std::sin(static_cast<double>(2 * iterations + 1) * std::asin(amplitude));
+  return s * s;
+}
+
+/// Result of a quantum counting run.
+struct CountingResult {
+  std::string bits;      ///< most likely counting-register outcome
+  double probability;    ///< its probability
+  double theta;          ///< estimated Grover angle
+  double estimatedCount; ///< M_est = N sin^2(theta)
+};
+
+/// Runs quantum counting with `countingQubits` precision qubits over the
+/// search space of the bitstrings in `marked` and returns the estimate of
+/// the number of marked states.
+template <typename T>
+CountingResult quantumCounting(int countingQubits,
+                               const std::set<std::string>& marked) {
+  util::require(countingQubits >= 1, "counting needs >= 1 counting qubit");
+  util::require(!marked.empty(), "counting needs >= 1 marked state");
+  const int n = static_cast<int>(marked.begin()->size());
+  const int m = countingQubits;
+  const std::size_t searchDim = std::size_t{1} << n;
+
+  // Grover iterate as a matrix on the data register.  groverDiffuser
+  // implements I - 2|s><s| (a global phase of -1 relative to the textbook
+  // reflection 2|s><s| - I, irrelevant for search); counting measures the
+  // eigenphase, so restore the textbook convention explicitly.
+  QCircuit<T> iterate(n);
+  iterate.push_back(groverOracleMulti<T>(marked));
+  iterate.push_back(groverDiffuser<T>(n));
+  auto g = iterate.matrix();
+  g *= std::complex<T>(-1);
+
+  // QPE circuit: counting register 0..m-1, data register m..m+n-1.
+  QCircuit<T> circuit(m + n);
+  for (int q = 0; q < m; ++q) circuit.push_back(qgates::Hadamard<T>(q));
+  for (int q = 0; q < n; ++q) circuit.push_back(qgates::Hadamard<T>(m + q));
+
+  std::vector<int> dataQubits(static_cast<std::size_t>(n));
+  for (int q = 0; q < n; ++q) dataQubits[static_cast<std::size_t>(q)] = m + q;
+
+  dense::Matrix<T> power = g;
+  for (int k = 0; k < m; ++k) {
+    const int control = m - 1 - k;
+    std::vector<int> gateQubits = {control};
+    gateQubits.insert(gateQubits.end(), dataQubits.begin(), dataQubits.end());
+    const auto controlled = qgates::controlledMatrix<T>(
+        gateQubits, {control}, {1}, dataQubits, power);
+    circuit.push_back(qgates::MatrixGateN<T>(
+        gateQubits, controlled, "cG^" + std::to_string(1ULL << k)));
+    if (k + 1 < m) power = power * power;
+  }
+
+  auto iqft = inverseQft<T>(m);
+  iqft.asBlock("QFT†");
+  iqft.setOffset(0);
+  circuit.push_back(std::move(iqft));
+  for (int q = 0; q < m; ++q) circuit.push_back(Measurement<T>(q));
+
+  const auto simulation =
+      circuit.simulate(std::string(static_cast<std::size_t>(m + n), '0'));
+
+  CountingResult result{"", 0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < simulation.nbBranches(); ++i) {
+    if (simulation.probability(i) > result.probability) {
+      result.probability = simulation.probability(i);
+      result.bits = simulation.result(i);
+    }
+  }
+  // The register encodes phi = theta / pi (eigenphase 2*theta over 2*pi).
+  const double phi = phaseFromBits(result.bits);
+  result.theta = M_PI * phi;
+  // Eigenphases come in ± pairs; fold into [0, pi/2].
+  double folded = result.theta;
+  if (folded > M_PI / 2.0) folded = M_PI - folded;
+  const double s = std::sin(folded);
+  result.estimatedCount = static_cast<double>(searchDim) * s * s;
+  return result;
+}
+
+}  // namespace qclab::algorithms

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file fable.hpp
+/// \brief FABLE-style block encodings of real matrices (paper §1 cites
+/// FABLE, refs [6, 7], as a quantum compiler built on QCLAB).
+///
+/// For a real N x N matrix A (N = 2^n, |a_ij| <= 1) the circuit acts on
+/// 2n + 1 qubits — ancilla q0, work register q1..qn, system register
+/// q_{n+1}..q_{2n} — such that the top-left N x N block of the circuit
+/// unitary equals A / N:
+///   <0, 0, i| U |0, 0, j> = a_ij / N.
+/// Construction: H^n on the work register, a multiplexed RY on the ancilla
+/// with angles 2 arccos(a_ij) controlled on both registers, a register
+/// swap, and H^n again.  Dropping near-zero rotation angles (the
+/// "fast approximate" part of FABLE) compresses the circuit; the stranded
+/// CNOT pairs cancel in the transpiler.
+
+#include <cmath>
+#include <limits>
+
+#include "qclab/algorithms/multiplexed.hpp"
+#include "qclab/dense/matrix.hpp"
+#include "qclab/transpile/passes.hpp"
+
+namespace qclab::algorithms {
+
+/// A block-encoding circuit together with its subnormalization:
+/// topLeftBlock(circuit) * alpha == A.
+template <typename T>
+struct BlockEncoding {
+  QCircuit<T> circuit;
+  T alpha;  ///< subnormalization factor (N for FABLE)
+};
+
+/// Builds the FABLE block encoding of the real part of `a`.  Entries must
+/// satisfy |a_ij| <= 1.  `compressTol` drops multiplexed-rotation angles
+/// with magnitude <= tol and runs inverse-pair cancellation (0 disables
+/// compression).
+template <typename T>
+BlockEncoding<T> fable(const dense::Matrix<T>& a, T compressTol = T(0)) {
+  util::require(a.isSquare(), "FABLE needs a square matrix");
+  const std::size_t dim = a.rows();
+  util::require(util::isPowerOfTwo(dim), "FABLE needs a 2^n matrix");
+  const int n = util::log2PowerOfTwo(dim);
+  util::require(n >= 1, "FABLE needs at least a 2x2 matrix");
+
+  // Rotation angles theta_ij = 2 arccos(a_ij), flattened row-major so the
+  // control index (work register = i, system register = j) selects a_ij.
+  std::vector<T> angles(dim * dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      const T entry = std::real(a(i, j));
+      util::require(std::abs(std::imag(a(i, j))) <
+                        T(1e3) * std::numeric_limits<T>::epsilon(),
+                    "FABLE block encoding supports real matrices");
+      util::require(entry >= T(-1) && entry <= T(1),
+                    "FABLE entries must lie in [-1, 1]");
+      angles[i * dim + j] = T(2) * std::acos(entry);
+    }
+  }
+
+  const int total = 2 * n + 1;
+  QCircuit<T> circuit(total);
+  // Work register: q1..qn; system register: q_{n+1}..q_{2n}.
+  for (int q = 1; q <= n; ++q) {
+    circuit.push_back(qgates::Hadamard<T>(q));
+  }
+  std::vector<int> controls(static_cast<std::size_t>(2 * n));
+  for (int q = 0; q < 2 * n; ++q) {
+    controls[static_cast<std::size_t>(q)] = q + 1;
+  }
+  // Gray-code multiplexer: 2^{2n} CNOTs, and compression acts on the
+  // transformed angle coefficients where matrix structure shows up.
+  circuit.push_back(multiplexedRYGray<T>(controls, 0, angles, compressTol));
+  for (int q = 1; q <= n; ++q) {
+    circuit.push_back(qgates::SWAP<T>(q, q + n));
+  }
+  for (int q = 1; q <= n; ++q) {
+    circuit.push_back(qgates::Hadamard<T>(q));
+  }
+
+  if (compressTol > T(0)) {
+    circuit = transpile::cancelInversePairs(circuit);
+  }
+  return {std::move(circuit), static_cast<T>(dim)};
+}
+
+/// Extracts the top-left `blockDim` x `blockDim` sub-block of a circuit's
+/// unitary scaled by `alpha` — the matrix a BlockEncoding represents.
+template <typename T>
+dense::Matrix<T> encodedBlock(const BlockEncoding<T>& encoding,
+                              std::size_t blockDim) {
+  const auto u = encoding.circuit.matrix();
+  util::require(blockDim <= u.rows(), "block larger than the unitary");
+  dense::Matrix<T> block(blockDim, blockDim);
+  for (std::size_t i = 0; i < blockDim; ++i) {
+    for (std::size_t j = 0; j < blockDim; ++j) {
+      block(i, j) = u(i, j) * encoding.alpha;
+    }
+  }
+  return block;
+}
+
+}  // namespace qclab::algorithms

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file grover.hpp
+/// \brief Grover search circuits (paper §5.3), generalized to any register
+/// size and any marked bitstring.
+///
+/// The oracle flips the phase of the marked state with a single
+/// multi-controlled Z whose control states equal the marked bits; the
+/// diffuser reflects about the uniform superposition.  For the 2-qubit
+/// search of |11> this reduces exactly to the paper's CZ oracle and
+/// H,Z,CZ,H diffuser (up to global phase).
+
+#include <cmath>
+
+#include "qclab/qcircuit.hpp"
+#include "qclab/util/bitstring.hpp"
+
+namespace qclab::algorithms {
+
+/// Oracle circuit flipping the phase of |marked> (a bitstring of the
+/// register size).
+template <typename T>
+QCircuit<T> groverOracle(const std::string& marked) {
+  const int n = static_cast<int>(marked.size());
+  util::require(n >= 2, "Grover oracle needs at least two qubits");
+  util::require(util::isBitstring(marked), "marked state must be a bitstring");
+  QCircuit<T> oracle(n);
+  // Phase flip of |marked>: MCZ targeting the last qubit, with the control
+  // states of qubits 0..n-2 equal to the marked bits.  A marked last bit of
+  // 0 is handled by conjugating the target with X.
+  std::vector<int> controls(static_cast<std::size_t>(n - 1));
+  std::vector<int> states(static_cast<std::size_t>(n - 1));
+  for (int q = 0; q + 1 < n; ++q) {
+    controls[static_cast<std::size_t>(q)] = q;
+    states[static_cast<std::size_t>(q)] = marked[static_cast<std::size_t>(q)] - '0';
+  }
+  const bool flipTarget = marked.back() == '0';
+  if (flipTarget) oracle.push_back(qgates::PauliX<T>(n - 1));
+  oracle.push_back(qgates::MCZ<T>(controls, n - 1, states));
+  if (flipTarget) oracle.push_back(qgates::PauliX<T>(n - 1));
+  oracle.asBlock("oracle");
+  return oracle;
+}
+
+/// Diffuser circuit (reflection about the uniform superposition),
+/// implemented as H^n X^n MCZ X^n H^n.
+template <typename T>
+QCircuit<T> groverDiffuser(int nbQubits) {
+  util::require(nbQubits >= 2, "Grover diffuser needs at least two qubits");
+  QCircuit<T> diffuser(nbQubits);
+  for (int q = 0; q < nbQubits; ++q) diffuser.push_back(qgates::Hadamard<T>(q));
+  for (int q = 0; q < nbQubits; ++q) diffuser.push_back(qgates::PauliX<T>(q));
+  std::vector<int> controls(static_cast<std::size_t>(nbQubits - 1));
+  for (int q = 0; q + 1 < nbQubits; ++q)
+    controls[static_cast<std::size_t>(q)] = q;
+  diffuser.push_back(
+      qgates::MCZ<T>(controls, nbQubits - 1,
+                     std::vector<int>(controls.size(), 1)));
+  for (int q = 0; q < nbQubits; ++q) diffuser.push_back(qgates::PauliX<T>(q));
+  for (int q = 0; q < nbQubits; ++q) diffuser.push_back(qgates::Hadamard<T>(q));
+  diffuser.asBlock("diffuser");
+  return diffuser;
+}
+
+/// Optimal iteration count round(pi/4 * sqrt(2^n)) (capped below at 1).
+inline int groverIterations(int nbQubits) {
+  const double amplitude = 1.0 / std::sqrt(static_cast<double>(1ULL << nbQubits));
+  const double iterations =
+      std::round(M_PI / (4.0 * std::asin(amplitude)) - 0.5);
+  return iterations < 1.0 ? 1 : static_cast<int>(iterations);
+}
+
+/// Complete Grover circuit searching for `marked`: uniform superposition,
+/// `iterations` oracle+diffuser rounds (default: the optimal count), and a
+/// final measurement of every qubit.
+template <typename T>
+QCircuit<T> grover(const std::string& marked, int iterations = -1,
+                   bool measure = true) {
+  const int n = static_cast<int>(marked.size());
+  util::require(n >= 2, "Grover needs at least two qubits");
+  if (iterations < 0) iterations = groverIterations(n);
+  QCircuit<T> circuit(n);
+  for (int q = 0; q < n; ++q) circuit.push_back(qgates::Hadamard<T>(q));
+  for (int i = 0; i < iterations; ++i) {
+    circuit.push_back(groverOracle<T>(marked));
+    circuit.push_back(groverDiffuser<T>(n));
+  }
+  if (measure) {
+    for (int q = 0; q < n; ++q) circuit.push_back(Measurement<T>(q));
+  }
+  return circuit;
+}
+
+/// Analytic success probability of Grover search with `iterations` rounds
+/// on `nbQubits` qubits and a single marked state:
+/// sin^2((2k+1) * asin(2^{-n/2})).
+inline double groverSuccessProbability(int nbQubits, int iterations) {
+  const double amplitude = 1.0 / std::sqrt(static_cast<double>(1ULL << nbQubits));
+  const double angle = std::asin(amplitude);
+  const double s = std::sin(static_cast<double>(2 * iterations + 1) * angle);
+  return s * s;
+}
+
+}  // namespace qclab::algorithms

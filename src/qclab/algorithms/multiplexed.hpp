@@ -1,0 +1,191 @@
+#pragma once
+
+/// \file multiplexed.hpp
+/// \brief Uniformly controlled (multiplexed) rotations.
+///
+/// A multiplexed RY/RZ applies RY(theta_i) to the target for each basis
+/// state |i> of the control register — the core primitive of the FABLE
+/// block-encoding compiler built on QCLAB (paper §1, refs [6, 7]).  The
+/// standard recursive decomposition produces 2^k rotations interleaved
+/// with 2^k CNOTs:
+///   UC(c0, rest; theta) = UC(rest; (t_lo + t_hi)/2) CX(c0, t)
+///                         UC(rest; (t_lo - t_hi)/2) CX(c0, t).
+
+#include <functional>
+#include <vector>
+
+#include "qclab/qcircuit.hpp"
+
+namespace qclab::algorithms {
+
+namespace detail {
+
+template <typename T>
+void multiplexedRotation(QCircuit<T>& circuit,
+                         const std::vector<int>& controls, int target,
+                         std::vector<T> angles, bool zAxis, T dropTol) {
+  if (controls.empty()) {
+    util::require(angles.size() == 1, "angle count mismatch");
+    if (std::abs(angles[0]) > dropTol) {
+      if (zAxis) {
+        circuit.push_back(qgates::RotationZ<T>(target, angles[0]));
+      } else {
+        circuit.push_back(qgates::RotationY<T>(target, angles[0]));
+      }
+    }
+    return;
+  }
+  const std::size_t half = angles.size() / 2;
+  util::require(half * 2 == angles.size(), "angle count must be 2^k");
+  std::vector<T> sum(half), difference(half);
+  for (std::size_t i = 0; i < half; ++i) {
+    sum[i] = (angles[i] + angles[half + i]) / T(2);
+    difference[i] = (angles[i] - angles[half + i]) / T(2);
+  }
+  const std::vector<int> rest(controls.begin() + 1, controls.end());
+  multiplexedRotation(circuit, rest, target, std::move(sum), zAxis, dropTol);
+  circuit.push_back(qgates::CX<T>(controls[0], target));
+  multiplexedRotation(circuit, rest, target, std::move(difference), zAxis,
+                      dropTol);
+  circuit.push_back(qgates::CX<T>(controls[0], target));
+}
+
+}  // namespace detail
+
+/// Circuit applying RY(angles[i]) to `target` for control basis state |i>
+/// (controls listed MSB-first).  `angles` must have 2^#controls entries.
+/// Rotations with |angle| <= dropTol are omitted (FABLE-style compression;
+/// run transpile::cancelInversePairs afterwards to remove the CNOT pairs
+/// this strands).
+template <typename T>
+QCircuit<T> multiplexedRY(const std::vector<int>& controls, int target,
+                          const std::vector<T>& angles, T dropTol = T(0)) {
+  util::require(angles.size() == (std::size_t{1} << controls.size()),
+                "multiplexed rotation needs 2^#controls angles");
+  int maxQubit = target;
+  for (int c : controls) maxQubit = std::max(maxQubit, c);
+  QCircuit<T> circuit(maxQubit + 1);
+  detail::multiplexedRotation(circuit, controls, target, angles,
+                              /*zAxis=*/false, dropTol);
+  return circuit;
+}
+
+/// Multiplexed RZ (see multiplexedRY).
+template <typename T>
+QCircuit<T> multiplexedRZ(const std::vector<int>& controls, int target,
+                          const std::vector<T>& angles, T dropTol = T(0)) {
+  util::require(angles.size() == (std::size_t{1} << controls.size()),
+                "multiplexed rotation needs 2^#controls angles");
+  int maxQubit = target;
+  for (int c : controls) maxQubit = std::max(maxQubit, c);
+  QCircuit<T> circuit(maxQubit + 1);
+  detail::multiplexedRotation(circuit, controls, target, angles,
+                              /*zAxis=*/true, dropTol);
+  return circuit;
+}
+
+namespace detail {
+
+/// Sequency transform of the angle vector for the Gray-code multiplexer:
+/// phi_i = 2^{-k} sum_b (-1)^{gray(i) . b} theta_b.
+template <typename T>
+std::vector<T> grayAngles(const std::vector<T>& angles) {
+  const std::size_t dim = angles.size();
+  std::vector<T> transformed(dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    const std::size_t gray = i ^ (i >> 1);
+    T sum(0);
+    for (std::size_t b = 0; b < dim; ++b) {
+      const int parity = __builtin_popcountll(gray & b) & 1;
+      sum += parity ? -angles[b] : angles[b];
+    }
+    transformed[i] = sum / static_cast<T>(dim);
+  }
+  return transformed;
+}
+
+template <typename T>
+void multiplexedRotationGray(QCircuit<T>& circuit,
+                             const std::vector<int>& controls, int target,
+                             const std::vector<T>& angles, bool zAxis,
+                             T dropTol) {
+  const int k = static_cast<int>(controls.size());
+  if (k == 0) {
+    if (std::abs(angles[0]) > dropTol) {
+      if (zAxis) {
+        circuit.push_back(qgates::RotationZ<T>(target, angles[0]));
+      } else {
+        circuit.push_back(qgates::RotationY<T>(target, angles[0]));
+      }
+    }
+    return;
+  }
+  const auto phi = grayAngles(angles);
+  const std::size_t count = phi.size();
+  // Runs of CNOTs between retained rotations compose: only the parity of
+  // each control matters.  Dropping rotations therefore also removes the
+  // CNOTs between them (the FABLE compression).
+  std::vector<std::uint8_t> parity(static_cast<std::size_t>(k), 0);
+  const auto flush = [&]() {
+    for (int j = 0; j < k; ++j) {
+      if (parity[static_cast<std::size_t>(j)]) {
+        circuit.push_back(
+            qgates::CX<T>(controls[static_cast<std::size_t>(j)], target));
+        parity[static_cast<std::size_t>(j)] = 0;
+      }
+    }
+  };
+  for (std::size_t i = 0; i < count; ++i) {
+    if (std::abs(phi[i]) > dropTol) {
+      flush();
+      if (zAxis) {
+        circuit.push_back(qgates::RotationZ<T>(target, phi[i]));
+      } else {
+        circuit.push_back(qgates::RotationY<T>(target, phi[i]));
+      }
+    }
+    // CNOT on the bit where gray(i) and gray(i+1) differ; the final step
+    // wraps around to gray(0) = 0 and toggles the top bit.  Bit j (from
+    // LSB) of the angle index corresponds to controls[k-1-j] (controls are
+    // listed MSB-first).
+    const int changedBit =
+        (i + 1 == count) ? k - 1 : __builtin_ctzll(i + 1);
+    parity[static_cast<std::size_t>(k - 1 - changedBit)] ^= 1;
+  }
+  flush();
+}
+
+}  // namespace detail
+
+/// Gray-code multiplexed RY: equivalent to multiplexedRY but with only
+/// 2^k CNOTs (the FABLE / Möttönen construction).  Angle compression via
+/// `dropTol` applies to the *transformed* coefficients, which is where
+/// structured matrices become sparse.
+template <typename T>
+QCircuit<T> multiplexedRYGray(const std::vector<int>& controls, int target,
+                              const std::vector<T>& angles, T dropTol = T(0)) {
+  util::require(angles.size() == (std::size_t{1} << controls.size()),
+                "multiplexed rotation needs 2^#controls angles");
+  int maxQubit = target;
+  for (int c : controls) maxQubit = std::max(maxQubit, c);
+  QCircuit<T> circuit(maxQubit + 1);
+  detail::multiplexedRotationGray(circuit, controls, target, angles,
+                                  /*zAxis=*/false, dropTol);
+  return circuit;
+}
+
+/// Gray-code multiplexed RZ (see multiplexedRYGray).
+template <typename T>
+QCircuit<T> multiplexedRZGray(const std::vector<int>& controls, int target,
+                              const std::vector<T>& angles, T dropTol = T(0)) {
+  util::require(angles.size() == (std::size_t{1} << controls.size()),
+                "multiplexed rotation needs 2^#controls angles");
+  int maxQubit = target;
+  for (int c : controls) maxQubit = std::max(maxQubit, c);
+  QCircuit<T> circuit(maxQubit + 1);
+  detail::multiplexedRotationGray(circuit, controls, target, angles,
+                                  /*zAxis=*/true, dropTol);
+  return circuit;
+}
+
+}  // namespace qclab::algorithms

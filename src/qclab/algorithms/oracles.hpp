@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file oracles.hpp
+/// \brief Textbook oracle-based algorithms: Bernstein-Vazirani and
+/// Deutsch-Jozsa.  Both follow the standard phase-kickback layout with an
+/// ancilla prepared in |->; the oracles are built from CNOTs / X gates so
+/// the circuits export cleanly to OpenQASM.
+
+#include "qclab/qcircuit.hpp"
+#include "qclab/util/bitstring.hpp"
+
+namespace qclab::algorithms {
+
+/// Oracle for f(x) = s . x (mod 2): CNOT from every data qubit with a
+/// secret bit of 1 onto the ancilla (last qubit).
+template <typename T>
+QCircuit<T> innerProductOracle(const std::string& secret) {
+  const int n = static_cast<int>(secret.size());
+  util::require(n >= 1, "secret must have at least one bit");
+  util::require(util::isBitstring(secret), "secret must be a bitstring");
+  QCircuit<T> oracle(n + 1);
+  for (int q = 0; q < n; ++q) {
+    if (secret[static_cast<std::size_t>(q)] == '1') {
+      oracle.push_back(qgates::CX<T>(q, n));
+    }
+  }
+  oracle.asBlock("Uf");
+  return oracle;
+}
+
+/// Bernstein-Vazirani circuit recovering the secret bitstring in a single
+/// query: the measurement of the data register yields `secret` with
+/// probability 1.
+template <typename T>
+QCircuit<T> bernsteinVazirani(const std::string& secret) {
+  const int n = static_cast<int>(secret.size());
+  util::require(n >= 1, "secret must have at least one bit");
+  QCircuit<T> circuit(n + 1);
+  // Ancilla to |->.
+  circuit.push_back(qgates::PauliX<T>(n));
+  circuit.push_back(qgates::Hadamard<T>(n));
+  for (int q = 0; q < n; ++q) circuit.push_back(qgates::Hadamard<T>(q));
+  circuit.push_back(innerProductOracle<T>(secret));
+  for (int q = 0; q < n; ++q) circuit.push_back(qgates::Hadamard<T>(q));
+  for (int q = 0; q < n; ++q) circuit.push_back(Measurement<T>(q));
+  return circuit;
+}
+
+/// The kind of function a Deutsch-Jozsa oracle implements.
+enum class DeutschJozsaOracle {
+  kConstantZero,  ///< f(x) = 0
+  kConstantOne,   ///< f(x) = 1
+  kBalanced,      ///< f(x) = s . x for a nonzero mask (balanced)
+};
+
+/// Deutsch-Jozsa circuit on `nbQubits` data qubits.  For balanced oracles,
+/// `mask` selects the inner-product function (must be a nonzero bitstring).
+/// Measuring all-zeros on the data register means "constant"; anything else
+/// means "balanced" — with certainty.
+template <typename T>
+QCircuit<T> deutschJozsa(int nbQubits, DeutschJozsaOracle kind,
+                         const std::string& mask = "") {
+  util::require(nbQubits >= 1, "Deutsch-Jozsa needs at least one data qubit");
+  QCircuit<T> circuit(nbQubits + 1);
+  circuit.push_back(qgates::PauliX<T>(nbQubits));
+  circuit.push_back(qgates::Hadamard<T>(nbQubits));
+  for (int q = 0; q < nbQubits; ++q) {
+    circuit.push_back(qgates::Hadamard<T>(q));
+  }
+
+  switch (kind) {
+    case DeutschJozsaOracle::kConstantZero:
+      break;  // identity oracle
+    case DeutschJozsaOracle::kConstantOne:
+      circuit.push_back(qgates::PauliX<T>(nbQubits));
+      break;
+    case DeutschJozsaOracle::kBalanced: {
+      util::require(static_cast<int>(mask.size()) == nbQubits,
+                    "balanced oracle mask length must equal nbQubits");
+      util::require(mask.find('1') != std::string::npos,
+                    "balanced oracle mask must be nonzero");
+      circuit.push_back(innerProductOracle<T>(mask));
+      break;
+    }
+  }
+
+  for (int q = 0; q < nbQubits; ++q) {
+    circuit.push_back(qgates::Hadamard<T>(q));
+  }
+  for (int q = 0; q < nbQubits; ++q) {
+    circuit.push_back(Measurement<T>(q));
+  }
+  return circuit;
+}
+
+}  // namespace qclab::algorithms

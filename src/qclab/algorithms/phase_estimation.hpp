@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file phase_estimation.hpp
+/// \brief Quantum phase estimation for a single-qubit unitary.
+///
+/// Given U with eigenpair U|u> = e^{2 pi i phi}|u>, the circuit estimates
+/// phi to `countingQubits` bits: Hadamards on the counting register,
+/// controlled-U^{2^k} applications, then an inverse QFT and measurement of
+/// the counting register.  The target qubit is the last one.
+
+#include <cmath>
+
+#include "qclab/algorithms/qft.hpp"
+#include "qclab/qcircuit.hpp"
+
+namespace qclab::algorithms {
+
+/// Builds the QPE circuit for the 2x2 unitary `u`.  Counting qubits are
+/// 0..m-1 (qubit 0 ends up holding the most significant phase bit), the
+/// target is qubit m.  The caller prepares the target in the eigenstate via
+/// the initial state of simulate().
+template <typename T>
+QCircuit<T> phaseEstimation(int countingQubits, const dense::Matrix<T>& u,
+                            bool measure = true) {
+  util::require(countingQubits >= 1, "QPE needs at least one counting qubit");
+  util::require(u.rows() == 2 && u.cols() == 2, "QPE target must be 2x2");
+  util::require(u.isUnitary(T(1e-10)), "QPE matrix must be unitary");
+  const int m = countingQubits;
+  QCircuit<T> circuit(m + 1);
+
+  for (int q = 0; q < m; ++q) circuit.push_back(qgates::Hadamard<T>(q));
+
+  // Controlled powers: counting qubit q controls U^{2^{m-1-q}} so that the
+  // counting register (MSB-first) accumulates the phase in binary.  Each
+  // power is an exact CU via the ZYZ decomposition (global phase included).
+  dense::Matrix<T> power = u;
+  for (int k = 0; k < m; ++k) {
+    const int control = m - 1 - k;
+    circuit.push_back(qgates::CU<T>::fromMatrix(control, m, power));
+    if (k + 1 < m) power = power * power;
+  }
+
+  // Inverse QFT on the counting register as a nested sub-circuit.
+  auto iqft = inverseQft<T>(m);
+  iqft.asBlock("QFT†");
+  circuit.push_back(std::move(iqft));
+
+  if (measure) {
+    for (int q = 0; q < m; ++q) circuit.push_back(Measurement<T>(q));
+  }
+  return circuit;
+}
+
+/// Converts a measured counting-register bitstring (MSB first) to the phase
+/// estimate phi in [0, 1).
+inline double phaseFromBits(const std::string& bits) {
+  double phi = 0.0;
+  double weight = 0.5;
+  for (char c : bits) {
+    if (c == '1') phi += weight;
+    weight /= 2.0;
+  }
+  return phi;
+}
+
+}  // namespace qclab::algorithms

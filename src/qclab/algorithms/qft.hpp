@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file qft.hpp
+/// \brief Quantum Fourier transform circuits.
+///
+/// qft(n) maps basis state |j> to (1/sqrt(2^n)) sum_k e^{2 pi i j k / 2^n} |k>,
+/// built from Hadamards, controlled phases, and a final qubit reversal.
+
+#include <cmath>
+
+#include "qclab/qcircuit.hpp"
+
+namespace qclab::algorithms {
+
+/// The n-qubit QFT circuit.  `withSwaps` appends the qubit-reversal swaps
+/// (true gives the textbook DFT matrix).
+template <typename T>
+QCircuit<T> qft(int nbQubits, bool withSwaps = true) {
+  util::require(nbQubits >= 1, "QFT needs at least one qubit");
+  QCircuit<T> circuit(nbQubits);
+  for (int q = 0; q < nbQubits; ++q) {
+    circuit.push_back(qgates::Hadamard<T>(q));
+    for (int k = q + 1; k < nbQubits; ++k) {
+      const T theta = static_cast<T>(M_PI / static_cast<double>(1ULL << (k - q)));
+      circuit.push_back(qgates::CPhase<T>(k, q, theta));
+    }
+  }
+  if (withSwaps) {
+    for (int q = 0; q < nbQubits / 2; ++q) {
+      circuit.push_back(qgates::SWAP<T>(q, nbQubits - 1 - q));
+    }
+  }
+  return circuit;
+}
+
+/// The inverse QFT circuit.
+template <typename T>
+QCircuit<T> inverseQft(int nbQubits, bool withSwaps = true) {
+  return qft<T>(nbQubits, withSwaps).inverted();
+}
+
+/// The DFT matrix the QFT implements: F(j, k) = w^{jk} / sqrt(N) with
+/// w = e^{2 pi i / N} (reference for tests).
+template <typename T>
+dense::Matrix<T> dftMatrix(int nbQubits) {
+  const std::size_t dim = std::size_t{1} << nbQubits;
+  dense::Matrix<T> f(dim, dim);
+  const T scale = T(1) / std::sqrt(static_cast<T>(dim));
+  for (std::size_t j = 0; j < dim; ++j) {
+    for (std::size_t k = 0; k < dim; ++k) {
+      const double angle = 2.0 * M_PI * static_cast<double>(j * k % dim) /
+                           static_cast<double>(dim);
+      f(j, k) = std::polar(scale, static_cast<T>(angle));
+    }
+  }
+  return f;
+}
+
+}  // namespace qclab::algorithms

@@ -1,0 +1,69 @@
+#pragma once
+
+/// \file repetition_code.hpp
+/// \brief Distance-3 bit-flip repetition code (paper §5.4): encoding,
+/// syndrome extraction with two ancillas, and multi-controlled-X correction.
+
+#include "qclab/qcircuit.hpp"
+
+namespace qclab::algorithms {
+
+/// Encoder: |v>|00> -> alpha|000> + beta|111> on qubits 0-2 of a circuit
+/// with `nbQubits` >= 3 qubits.
+template <typename T>
+QCircuit<T> repetitionEncoder(int nbQubits = 3) {
+  util::require(nbQubits >= 3, "repetition code needs 3 data qubits");
+  QCircuit<T> circuit(nbQubits);
+  circuit.push_back(qgates::CX<T>(0, 1));
+  circuit.push_back(qgates::CX<T>(0, 2));
+  return circuit;
+}
+
+/// Syndrome extraction + measurement + correction on a 5-qubit register
+/// (data qubits 0-2, ancillas 3-4), exactly as in the paper:
+///  - ancilla 3 compares qubits 0 and 1, ancilla 4 compares qubits 0 and 2;
+///  - syndrome '11' means qubit 0 flipped, '10' qubit 1, '01' qubit 2.
+template <typename T>
+QCircuit<T> repetitionSyndromeAndCorrect() {
+  QCircuit<T> circuit(5);
+  circuit.push_back(qgates::CX<T>(0, 3));
+  circuit.push_back(qgates::CX<T>(1, 3));
+  circuit.push_back(qgates::CX<T>(0, 4));
+  circuit.push_back(qgates::CX<T>(2, 4));
+  circuit.push_back(Measurement<T>(3));
+  circuit.push_back(Measurement<T>(4));
+  circuit.push_back(qgates::MCX<T>({3, 4}, 2, {0, 1}));
+  circuit.push_back(qgates::MCX<T>({3, 4}, 1, {1, 0}));
+  circuit.push_back(qgates::MCX<T>({3, 4}, 0, {1, 1}));
+  return circuit;
+}
+
+/// The complete 5-qubit demonstration circuit of paper §5.4: encode,
+/// inject a bit-flip on `errorQubit` (0, 1, 2, or -1 for no error), extract
+/// the syndrome, and correct.
+template <typename T>
+QCircuit<T> repetitionCodeDemo(int errorQubit) {
+  util::require(errorQubit >= -1 && errorQubit <= 2,
+                "errorQubit must be -1 (none) or a data qubit 0-2");
+  QCircuit<T> circuit(5);
+  circuit.push_back(qgates::CX<T>(0, 1));
+  circuit.push_back(qgates::CX<T>(0, 2));
+  if (errorQubit >= 0) {
+    circuit.push_back(qgates::PauliX<T>(errorQubit));
+  }
+  circuit.push_back(repetitionSyndromeAndCorrect<T>());
+  return circuit;
+}
+
+/// The syndrome bitstring ('ancilla3 ancilla4') expected for an error on
+/// `errorQubit` (-1 for none).
+inline std::string expectedSyndrome(int errorQubit) {
+  switch (errorQubit) {
+    case 0: return "11";
+    case 1: return "10";
+    case 2: return "01";
+    default: return "00";
+  }
+}
+
+}  // namespace qclab::algorithms

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file states.hpp
+/// \brief Entangled-state preparation circuits: Bell pairs and GHZ states.
+
+#include "qclab/qcircuit.hpp"
+
+namespace qclab::algorithms {
+
+/// Circuit preparing the Bell state (|00> + |11>)/sqrt(2) from |00>.
+template <typename T>
+QCircuit<T> bellPair() {
+  QCircuit<T> circuit(2);
+  circuit.push_back(qgates::Hadamard<T>(0));
+  circuit.push_back(qgates::CX<T>(0, 1));
+  return circuit;
+}
+
+/// The Bell state vector (|00> + |11>)/sqrt(2).
+template <typename T>
+std::vector<std::complex<T>> bellState() {
+  const T h = T(1) / std::sqrt(T(2));
+  return {std::complex<T>(h), {}, {}, std::complex<T>(h)};
+}
+
+/// Circuit preparing the n-qubit GHZ state (|0...0> + |1...1>)/sqrt(2).
+template <typename T>
+QCircuit<T> ghz(int nbQubits) {
+  util::require(nbQubits >= 2, "GHZ needs at least two qubits");
+  QCircuit<T> circuit(nbQubits);
+  circuit.push_back(qgates::Hadamard<T>(0));
+  for (int q = 1; q < nbQubits; ++q) {
+    circuit.push_back(qgates::CX<T>(q - 1, q));
+  }
+  return circuit;
+}
+
+}  // namespace qclab::algorithms

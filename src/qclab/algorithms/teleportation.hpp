@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file teleportation.hpp
+/// \brief The quantum teleportation circuit of paper §5.1.
+///
+/// Qubit 0 carries the state to teleport, qubits 1-2 hold a Bell pair; the
+/// sender Bell-measures qubits 0-1 mid-circuit and the corrections on qubit
+/// 2 are applied as controlled gates from the (collapsed, basis-state)
+/// measured qubits — exactly the construction in the paper.
+
+#include "qclab/dense/ops.hpp"
+#include "qclab/qcircuit.hpp"
+
+namespace qclab::algorithms {
+
+/// The 3-qubit teleportation circuit (expects the initial state
+/// v (x) bell as in the paper).
+template <typename T>
+QCircuit<T> teleportationCircuit() {
+  QCircuit<T> circuit(3);
+  circuit.push_back(qgates::CX<T>(0, 1));
+  circuit.push_back(qgates::Hadamard<T>(0));
+  circuit.push_back(Measurement<T>(0));
+  circuit.push_back(Measurement<T>(1));
+  circuit.push_back(qgates::CX<T>(1, 2));
+  circuit.push_back(qgates::CZ<T>(0, 2));
+  return circuit;
+}
+
+/// The initial state kron(v, bell) of paper §5.1 for an arbitrary
+/// single-qubit state `v`.
+template <typename T>
+std::vector<std::complex<T>> teleportationInput(
+    const std::vector<std::complex<T>>& v) {
+  util::require(v.size() == 2, "teleported state must be a single qubit");
+  const T h = T(1) / std::sqrt(T(2));
+  const std::vector<std::complex<T>> bell = {
+      std::complex<T>(h), {}, {}, std::complex<T>(h)};
+  return dense::kron(v, bell);
+}
+
+}  // namespace qclab::algorithms

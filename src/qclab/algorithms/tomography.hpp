@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file tomography.hpp
+/// \brief Single-qubit quantum state tomography (paper §5.2): estimate the
+/// density matrix of an unknown state from repeated measurements in the X,
+/// Y, and Z bases.
+
+#include <array>
+#include <cstdint>
+
+#include "qclab/density.hpp"
+#include "qclab/qcircuit.hpp"
+
+namespace qclab::algorithms {
+
+/// Result of a tomography run.
+template <typename T>
+struct TomographyResult {
+  /// Counts [n0, n1] per basis, in X, Y, Z order.
+  std::array<std::array<std::uint64_t, 2>, 3> counts;
+  /// Pauli coefficients (S0, S1, S2, S3) estimated from the counts.
+  std::array<T, 4> coefficients;
+  /// The reconstructed density matrix (Eq. (2) of the paper).
+  dense::Matrix<T> estimate;
+};
+
+/// Runs the tomography workflow on the single-qubit state `v`: measures
+/// `shots` times in each of the X, Y, Z bases (one PRNG seeded with `seed`
+/// drives all three experiments, mirroring the paper's rng(1) setup) and
+/// reconstructs the density matrix.
+template <typename T>
+TomographyResult<T> tomography1Qubit(const std::vector<std::complex<T>>& v,
+                                     std::uint64_t shots,
+                                     std::uint64_t seed = 1) {
+  util::require(v.size() == 2, "tomography1Qubit expects a 1-qubit state");
+  util::require(shots > 0, "tomography needs at least one shot");
+
+  random::Rng rng(seed);
+  TomographyResult<T> result;
+  const char bases[3] = {'x', 'y', 'z'};
+  std::array<T, 3> differences{};  // (n0 - n1) / shots per basis
+  for (int b = 0; b < 3; ++b) {
+    QCircuit<T> circuit(1);
+    circuit.push_back(Measurement<T>(0, bases[b]));
+    const auto simulation = circuit.simulate(v);
+    const auto counts = simulation.counts(shots, rng);
+    result.counts[static_cast<std::size_t>(b)] = {counts[0], counts[1]};
+    differences[static_cast<std::size_t>(b)] =
+        (static_cast<T>(counts[0]) - static_cast<T>(counts[1])) /
+        static_cast<T>(shots);
+  }
+
+  // S0 = Pz(0) + Pz(1) = 1, S1 = Px(0) - Px(1), S2 = Py(0) - Py(1),
+  // S3 = Pz(0) - Pz(1).
+  result.coefficients = {T(1), differences[0], differences[1], differences[2]};
+  result.estimate = density::fromPauliCoefficients(result.coefficients);
+  return result;
+}
+
+}  // namespace qclab::algorithms

@@ -1,0 +1,85 @@
+#pragma once
+
+/// \file trotter.hpp
+/// \brief Trotterized time evolution of the transverse-field Ising model —
+/// the workload class of the F3C compiler built on QCLAB (paper §1).
+///
+/// H = -J sum Z_i Z_{i+1} - h sum X_i evolves as U(t) = exp(-i t H);
+/// a first-order Trotter step of size dt is
+///   prod_bonds RZZ(-2 J dt) . prod_sites RX(-2 h dt)
+/// (RZZ(theta) = exp(-i theta/2 ZZ), so theta = -2 J dt reproduces
+/// exp(+i J dt ZZ) per bond).  The second-order (Strang) splitting
+/// sandwiches half X-steps around the ZZ layer.
+
+#include "qclab/observable.hpp"
+#include "qclab/qcircuit.hpp"
+
+namespace qclab::algorithms {
+
+/// One first-order Trotter step for the TFIM.
+template <typename T>
+QCircuit<T> trotterStepIsing(int nbQubits, T coupling, T field, T dt,
+                             bool periodic = false) {
+  util::require(nbQubits >= 2, "Ising chain needs at least two sites");
+  QCircuit<T> step(nbQubits);
+  // exp(+i J dt Z Z) per bond: RZZ(theta) with theta = -2 J dt.
+  const T thetaZz = T(-2) * coupling * dt;
+  for (int q = 0; q + 1 < nbQubits; ++q) {
+    step.push_back(qgates::RotationZZ<T>(q, q + 1, thetaZz));
+  }
+  if (periodic && nbQubits > 2) {
+    step.push_back(qgates::RotationZZ<T>(0, nbQubits - 1, thetaZz));
+  }
+  // exp(+i h dt X) per site: RX(theta) with theta = -2 h dt.
+  const T thetaX = T(-2) * field * dt;
+  for (int q = 0; q < nbQubits; ++q) {
+    step.push_back(qgates::RotationX<T>(q, thetaX));
+  }
+  return step;
+}
+
+/// Trotter order selector.
+enum class TrotterOrder { kFirst, kSecond };
+
+/// Trotter circuit approximating exp(-i t H) with `steps` steps.
+template <typename T>
+QCircuit<T> trotterIsing(int nbQubits, T coupling, T field, T time, int steps,
+                         TrotterOrder order = TrotterOrder::kFirst,
+                         bool periodic = false) {
+  util::require(steps >= 1, "Trotterization needs at least one step");
+  const T dt = time / static_cast<T>(steps);
+  QCircuit<T> circuit(nbQubits);
+  if (order == TrotterOrder::kFirst) {
+    for (int s = 0; s < steps; ++s) {
+      circuit.push_back(
+          trotterStepIsing<T>(nbQubits, coupling, field, dt, periodic));
+    }
+    return circuit;
+  }
+  // Second order (Strang): half X layer, full ZZ layer, half X layer,
+  // with adjacent half layers merged across steps.
+  const T thetaZz = T(-2) * coupling * dt;
+  const T halfX = -field * dt;  // RX angle = -2 h (dt/2)
+  auto addXLayer = [&](T theta) {
+    for (int q = 0; q < nbQubits; ++q) {
+      circuit.push_back(qgates::RotationX<T>(q, theta));
+    }
+  };
+  auto addZzLayer = [&]() {
+    for (int q = 0; q + 1 < nbQubits; ++q) {
+      circuit.push_back(qgates::RotationZZ<T>(q, q + 1, thetaZz));
+    }
+    if (periodic && nbQubits > 2) {
+      circuit.push_back(qgates::RotationZZ<T>(0, nbQubits - 1, thetaZz));
+    }
+  };
+  addXLayer(halfX);
+  for (int s = 0; s < steps; ++s) {
+    addZzLayer();
+    // Merge the trailing half layer with the next step's leading one.
+    addXLayer(s + 1 < steps ? T(2) * halfX : halfX);
+  }
+  return circuit;
+}
+
+}  // namespace qclab::algorithms

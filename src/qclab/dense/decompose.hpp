@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file decompose.hpp
+/// \brief Matrix decompositions: ZYZ Euler angles of a 2x2 unitary.
+///
+/// Any U in U(2) factors as U = e^{iα} RZ(φ) RY(θ) RZ(λ), equivalently
+/// U = e^{iα'} u3(θ, φ, λ).  This is used to export custom single-qubit
+/// matrix gates to OpenQASM and by the transpiler's single-qubit merge pass.
+
+#include <cmath>
+#include <complex>
+
+#include "qclab/dense/matrix.hpp"
+
+namespace qclab::dense {
+
+/// Euler angles such that U = e^{i alpha} u3(theta, phi, lambda), where
+/// u3 is the OpenQASM generic gate (u3 = e^{i(phi+lambda)/2} RZ RY RZ).
+template <typename T>
+struct ZyzDecomposition {
+  T alpha;
+  T theta;
+  T phi;
+  T lambda;
+};
+
+/// Computes the ZYZ decomposition of a 2x2 unitary.  Throws on shape or
+/// unitarity violations.
+template <typename T>
+ZyzDecomposition<T> zyzDecompose(const Matrix<T>& u) {
+  using C = std::complex<T>;
+  util::require(u.rows() == 2 && u.cols() == 2, "zyz needs a 2x2 matrix");
+  util::require(u.isUnitary(T(1e-5)), "zyz needs a unitary matrix");
+
+  // Pull out the determinant phase so the remainder is special unitary.
+  const C det = u(0, 0) * u(1, 1) - u(0, 1) * u(1, 0);
+  const T delta = std::arg(det) / T(2);
+  const C scale = std::polar(T(1), -delta);
+  const C v00 = scale * u(0, 0);
+  const C v10 = scale * u(1, 0);
+
+  // V = [[c e^{-i(phi+lambda)/2}, .], [s e^{i(phi-lambda)/2}, .]],
+  // c = cos(theta/2) >= 0, s = sin(theta/2) >= 0.
+  const T c = std::abs(v00);
+  const T s = std::abs(v10);
+  const T theta = T(2) * std::atan2(s, c);
+
+  T phi, lambda;
+  constexpr T kTiny = T(1e-12);
+  if (c <= kTiny) {
+    // theta == pi: only phi - lambda is determined.
+    lambda = T(0);
+    phi = T(2) * std::arg(v10);
+  } else if (s <= kTiny) {
+    // theta == 0: only phi + lambda is determined.
+    lambda = T(0);
+    phi = T(-2) * std::arg(v00);
+  } else {
+    const T sum = T(-2) * std::arg(v00);   // phi + lambda
+    const T diff = T(2) * std::arg(v10);   // phi - lambda
+    phi = (sum + diff) / T(2);
+    lambda = (sum - diff) / T(2);
+  }
+
+  // U = e^{i delta} RZ RY RZ and u3 = e^{i(phi+lambda)/2} RZ RY RZ.
+  const T alpha = delta - (phi + lambda) / T(2);
+  return {alpha, theta, phi, lambda};
+}
+
+}  // namespace qclab::dense

@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file eig.hpp
+/// \brief Eigen-decomposition of complex Hermitian matrices via the cyclic
+/// Jacobi method.  Used for trace distance / fidelity of density matrices.
+///
+/// Jacobi is chosen over faster tridiagonalization-based solvers because the
+/// matrices involved (density matrices of few-qubit subsystems) are tiny,
+/// and Jacobi is simple, numerically robust, and dependency-free.
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "qclab/dense/matrix.hpp"
+
+namespace qclab::dense {
+
+/// Result of a Hermitian eigen-decomposition: A = V diag(values) V^H with
+/// eigenvalues sorted in ascending order.
+template <typename T>
+struct EigResult {
+  std::vector<T> values;
+  Matrix<T> vectors;  ///< eigenvectors in columns; empty if not requested
+};
+
+/// Computes the eigen-decomposition of the Hermitian matrix `a`.
+/// Throws InvalidArgumentError if `a` is not square or not Hermitian within
+/// a loose tolerance.  `computeVectors` controls whether eigenvectors are
+/// accumulated.
+template <typename T>
+EigResult<T> eigh(Matrix<T> a, bool computeVectors = false) {
+  using C = std::complex<T>;
+  util::require(a.isSquare(), "eigh requires a square matrix");
+  const std::size_t n = a.rows();
+  const T hermTol = T(1e3) * std::numeric_limits<T>::epsilon() *
+                    std::max<T>(T(1), a.normMax());
+  util::require(a.isHermitian(hermTol), "eigh requires a Hermitian matrix");
+
+  Matrix<T> v = computeVectors ? Matrix<T>::identity(n) : Matrix<T>();
+
+  auto offDiagonalNorm = [&]() {
+    T sum(0);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j) sum += std::norm(a(i, j));
+    return std::sqrt(T(2) * sum);
+  };
+
+  const T tol = T(10) * std::numeric_limits<T>::epsilon() *
+                std::max<T>(T(1), a.normF());
+  constexpr int kMaxSweeps = 100;
+
+  for (int sweep = 0; sweep < kMaxSweeps && offDiagonalNorm() > tol; ++sweep) {
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const C z = a(p, q);
+        const T r = std::abs(z);
+        if (r <= std::numeric_limits<T>::min()) continue;
+        const C phase = z / r;  // e^{i phi}
+
+        const T x = std::real(a(p, p));
+        const T y = std::real(a(q, q));
+        // Zero a(p,q) with the unitary J = [[c, s*phase], [-s*conj(phase), c]].
+        // Zero B(0,1) = c*s*(x - y) + r*(c^2 - s^2): with t = s/c this is
+        // r t^2 - (x - y) t - r = 0; take the smaller-magnitude root for
+        // stability.
+        const T tau = (x - y) / (T(2) * r);
+        T t;
+        if (tau >= 0) {
+          t = T(-1) / (tau + std::sqrt(T(1) + tau * tau));
+        } else {
+          t = T(1) / (-tau + std::sqrt(T(1) + tau * tau));
+        }
+        const T c = T(1) / std::sqrt(T(1) + t * t);
+        const T s = t * c;
+
+        // Diagonal block update (both entries stay real).
+        a(p, p) = C(x * c * c - T(2) * r * s * c + y * s * s);
+        a(q, q) = C(x * s * s + T(2) * r * s * c + y * c * c);
+        a(p, q) = C(0);
+        a(q, p) = C(0);
+
+        // Off-block rows/columns.
+        for (std::size_t k = 0; k < n; ++k) {
+          if (k == p || k == q) continue;
+          const C akp = a(k, p);
+          const C akq = a(k, q);
+          const C newKp = akp * c - akq * s * std::conj(phase);
+          const C newKq = akp * s * phase + akq * c;
+          a(k, p) = newKp;
+          a(p, k) = std::conj(newKp);
+          a(k, q) = newKq;
+          a(q, k) = std::conj(newKq);
+        }
+
+        if (computeVectors) {
+          for (std::size_t k = 0; k < n; ++k) {
+            const C vkp = v(k, p);
+            const C vkq = v(k, q);
+            v(k, p) = vkp * c - vkq * s * std::conj(phase);
+            v(k, q) = vkp * s * phase + vkq * c;
+          }
+        }
+      }
+    }
+  }
+
+  EigResult<T> result;
+  result.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) result.values[i] = std::real(a(i, i));
+
+  // Sort ascending, permuting eigenvectors along.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return result.values[i] < result.values[j];
+  });
+  std::vector<T> sorted(n);
+  for (std::size_t i = 0; i < n; ++i) sorted[i] = result.values[order[i]];
+  result.values = std::move(sorted);
+  if (computeVectors) {
+    result.vectors = Matrix<T>(n, n);
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t i = 0; i < n; ++i)
+        result.vectors(i, j) = v(i, order[j]);
+  }
+  return result;
+}
+
+}  // namespace qclab::dense

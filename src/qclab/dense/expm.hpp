@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file expm.hpp
+/// \brief Unitary exponential of a Hermitian matrix via the Jacobi
+/// eigensolver: expUnitary(H, t) = exp(-i t H) = V exp(-i t Lambda) V^H.
+/// Reference implementation for validating Trotterized time evolution.
+
+#include <complex>
+
+#include "qclab/dense/eig.hpp"
+
+namespace qclab::dense {
+
+/// Computes exp(-i t H) for Hermitian H.
+template <typename T>
+Matrix<T> expUnitary(const Matrix<T>& hermitian, T t) {
+  const auto eig = eigh(hermitian, /*computeVectors=*/true);
+  const std::size_t n = hermitian.rows();
+  Matrix<T> result(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::complex<T> phase = std::polar(T(1), -t * eig.values[k]);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        result(i, j) +=
+            phase * eig.vectors(i, k) * std::conj(eig.vectors(j, k));
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace qclab::dense

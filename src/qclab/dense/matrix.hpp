@@ -1,0 +1,217 @@
+#pragma once
+
+/// \file matrix.hpp
+/// \brief Dense complex matrix type used for gate matrices, circuit
+/// unitaries, and density matrices.
+///
+/// The library is templated over the real scalar type `T` (float or double),
+/// mirroring QCLAB++; elements are std::complex<T> stored row-major.
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "qclab/util/errors.hpp"
+
+namespace qclab::dense {
+
+template <typename T>
+class Matrix {
+ public:
+  using real_type = T;
+  using value_type = std::complex<T>;
+
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, value_type(0)) {}
+
+  /// Matrix from a row-major nested initializer list.
+  Matrix(std::initializer_list<std::initializer_list<value_type>> rows) {
+    rows_ = rows.size();
+    cols_ = rows_ ? rows.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : rows) {
+      util::require(row.size() == cols_, "ragged initializer list");
+      data_.insert(data_.end(), row.begin(), row.end());
+    }
+  }
+
+  /// n x n identity.
+  static Matrix identity(std::size_t n) {
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = value_type(1);
+    return m;
+  }
+
+  /// rows x cols zero matrix.
+  static Matrix zeros(std::size_t rows, std::size_t cols) {
+    return Matrix(rows, cols);
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool isSquare() const noexcept { return rows_ == cols_; }
+
+  value_type& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  const value_type& operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  value_type* data() noexcept { return data_.data(); }
+  const value_type* data() const noexcept { return data_.data(); }
+
+  Matrix& operator+=(const Matrix& other) {
+    checkSameShape(other);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+    return *this;
+  }
+
+  Matrix& operator-=(const Matrix& other) {
+    checkSameShape(other);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+    return *this;
+  }
+
+  Matrix& operator*=(value_type scalar) {
+    for (auto& x : data_) x *= scalar;
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, value_type s) { return a *= s; }
+  friend Matrix operator*(value_type s, Matrix a) { return a *= s; }
+
+  /// Matrix product.
+  friend Matrix operator*(const Matrix& a, const Matrix& b) {
+    util::require(a.cols_ == b.rows_, "matmul dimension mismatch");
+    Matrix c(a.rows_, b.cols_);
+    for (std::size_t i = 0; i < a.rows_; ++i) {
+      for (std::size_t k = 0; k < a.cols_; ++k) {
+        const value_type aik = a(i, k);
+        if (aik == value_type(0)) continue;
+        for (std::size_t j = 0; j < b.cols_; ++j) {
+          c(i, j) += aik * b(k, j);
+        }
+      }
+    }
+    return c;
+  }
+
+  /// Matrix-vector product.
+  std::vector<value_type> apply(const std::vector<value_type>& x) const {
+    util::require(cols_ == x.size(), "matvec dimension mismatch");
+    std::vector<value_type> y(rows_, value_type(0));
+    for (std::size_t i = 0; i < rows_; ++i) {
+      value_type sum(0);
+      for (std::size_t j = 0; j < cols_; ++j) sum += (*this)(i, j) * x[j];
+      y[i] = sum;
+    }
+    return y;
+  }
+
+  /// Transpose.
+  Matrix transpose() const {
+    Matrix t(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+    return t;
+  }
+
+  /// Elementwise complex conjugate.
+  Matrix conj() const {
+    Matrix c(rows_, cols_);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+      c.data_[i] = std::conj(data_[i]);
+    return c;
+  }
+
+  /// Conjugate transpose (Hermitian adjoint).
+  Matrix dagger() const {
+    Matrix d(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i)
+      for (std::size_t j = 0; j < cols_; ++j)
+        d(j, i) = std::conj((*this)(i, j));
+    return d;
+  }
+
+  /// Trace (square matrices only).
+  value_type trace() const {
+    util::require(isSquare(), "trace of non-square matrix");
+    value_type t(0);
+    for (std::size_t i = 0; i < rows_; ++i) t += (*this)(i, i);
+    return t;
+  }
+
+  /// Frobenius norm.
+  T normF() const {
+    T sum(0);
+    for (const auto& x : data_) sum += std::norm(x);
+    return std::sqrt(sum);
+  }
+
+  /// Largest absolute entry.
+  T normMax() const {
+    T best(0);
+    for (const auto& x : data_) best = std::max(best, std::abs(x));
+    return best;
+  }
+
+  /// Max-norm distance to another matrix of the same shape.
+  T distanceMax(const Matrix& other) const {
+    checkSameShape(other);
+    T best(0);
+    for (std::size_t i = 0; i < data_.size(); ++i)
+      best = std::max(best, std::abs(data_[i] - other.data_[i]));
+    return best;
+  }
+
+  /// True if U^H U == I within `tol` in the max norm.
+  bool isUnitary(T tol) const {
+    if (!isSquare()) return false;
+    const Matrix product = dagger() * (*this);
+    return product.distanceMax(identity(rows_)) <= tol;
+  }
+
+  /// True if A == A^H within `tol` in the max norm.
+  bool isHermitian(T tol) const {
+    if (!isSquare()) return false;
+    return distanceMax(dagger()) <= tol;
+  }
+
+  /// True if entries match within `tol` in the max norm.
+  bool approxEqual(const Matrix& other, T tol) const {
+    if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+    return distanceMax(other) <= tol;
+  }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  void checkSameShape(const Matrix& other) const {
+    util::require(rows_ == other.rows_ && cols_ == other.cols_,
+                  "matrix shape mismatch");
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<value_type> data_;
+};
+
+/// Square matrices share the representation; the alias documents intent at
+/// API boundaries (gate matrices, unitaries, density matrices).
+template <typename T>
+using SquareMatrix = Matrix<T>;
+
+}  // namespace qclab::dense

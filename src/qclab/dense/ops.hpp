@@ -1,0 +1,167 @@
+#pragma once
+
+/// \file ops.hpp
+/// \brief Free operations on dense matrices: Kronecker products, direct sums,
+/// Pauli basis, vector helpers.
+
+#include <complex>
+#include <vector>
+
+#include "qclab/dense/matrix.hpp"
+
+namespace qclab::dense {
+
+/// Kronecker (tensor) product a (x) b.
+template <typename T>
+Matrix<T> kron(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<T> k(a.rows() * b.rows(), a.cols() * b.cols());
+  for (std::size_t ia = 0; ia < a.rows(); ++ia) {
+    for (std::size_t ja = 0; ja < a.cols(); ++ja) {
+      const auto aij = a(ia, ja);
+      if (aij == std::complex<T>(0)) continue;
+      for (std::size_t ib = 0; ib < b.rows(); ++ib) {
+        for (std::size_t jb = 0; jb < b.cols(); ++jb) {
+          k(ia * b.rows() + ib, ja * b.cols() + jb) = aij * b(ib, jb);
+        }
+      }
+    }
+  }
+  return k;
+}
+
+/// Kronecker product of two vectors.
+template <typename T>
+std::vector<std::complex<T>> kron(const std::vector<std::complex<T>>& a,
+                                  const std::vector<std::complex<T>>& b) {
+  std::vector<std::complex<T>> k(a.size() * b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      k[i * b.size() + j] = a[i] * b[j];
+    }
+  }
+  return k;
+}
+
+/// Block-diagonal direct sum diag(a, b).
+template <typename T>
+Matrix<T> directSum(const Matrix<T>& a, const Matrix<T>& b) {
+  Matrix<T> s(a.rows() + b.rows(), a.cols() + b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i)
+    for (std::size_t j = 0; j < a.cols(); ++j) s(i, j) = a(i, j);
+  for (std::size_t i = 0; i < b.rows(); ++i)
+    for (std::size_t j = 0; j < b.cols(); ++j)
+      s(a.rows() + i, a.cols() + j) = b(i, j);
+  return s;
+}
+
+/// 2x2 identity.
+template <typename T>
+Matrix<T> pauliI() {
+  return Matrix<T>{{1, 0}, {0, 1}};
+}
+
+/// Pauli X.
+template <typename T>
+Matrix<T> pauliX() {
+  return Matrix<T>{{0, 1}, {1, 0}};
+}
+
+/// Pauli Y.
+template <typename T>
+Matrix<T> pauliY() {
+  using C = std::complex<T>;
+  return Matrix<T>{{C(0), C(0, -1)}, {C(0, 1), C(0)}};
+}
+
+/// Pauli Z.
+template <typename T>
+Matrix<T> pauliZ() {
+  return Matrix<T>{{1, 0}, {0, -1}};
+}
+
+/// Squared 2-norm of a complex vector.
+template <typename T>
+T normSquared(const std::vector<std::complex<T>>& v) {
+  T sum(0);
+  for (const auto& x : v) sum += std::norm(x);
+  return sum;
+}
+
+/// 2-norm of a complex vector.
+template <typename T>
+T norm2(const std::vector<std::complex<T>>& v) {
+  return std::sqrt(normSquared(v));
+}
+
+/// Inner product <a|b> (conjugate-linear in the first argument).
+template <typename T>
+std::complex<T> inner(const std::vector<std::complex<T>>& a,
+                      const std::vector<std::complex<T>>& b) {
+  util::require(a.size() == b.size(), "inner product dimension mismatch");
+  std::complex<T> sum(0);
+  for (std::size_t i = 0; i < a.size(); ++i) sum += std::conj(a[i]) * b[i];
+  return sum;
+}
+
+/// Outer product |a><b|.
+template <typename T>
+Matrix<T> outer(const std::vector<std::complex<T>>& a,
+                const std::vector<std::complex<T>>& b) {
+  Matrix<T> m(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = 0; j < b.size(); ++j)
+      m(i, j) = a[i] * std::conj(b[j]);
+  return m;
+}
+
+/// Max-norm distance between two vectors of equal length.
+template <typename T>
+T distanceMax(const std::vector<std::complex<T>>& a,
+              const std::vector<std::complex<T>>& b) {
+  util::require(a.size() == b.size(), "vector length mismatch");
+  T best(0);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    best = std::max(best, std::abs(a[i] - b[i]));
+  return best;
+}
+
+/// True if the matrices are equal up to a global phase (within tol in the
+/// max norm).  The phase is estimated from the largest entry of `a`.
+template <typename T>
+bool equalUpToGlobalPhase(const Matrix<T>& a, const Matrix<T>& b, T tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  // Locate the largest entry of a.
+  std::size_t bestRow = 0, bestCol = 0;
+  T best(0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      if (std::abs(a(i, j)) > best) {
+        best = std::abs(a(i, j));
+        bestRow = i;
+        bestCol = j;
+      }
+    }
+  }
+  if (best <= tol) return b.normMax() <= tol;
+  const std::complex<T> ratio = b(bestRow, bestCol) / a(bestRow, bestCol);
+  const T magnitude = std::abs(ratio);
+  if (std::abs(magnitude - T(1)) > tol) return false;
+  const std::complex<T> phase = ratio / magnitude;
+  return (a * phase).distanceMax(b) <= tol;
+}
+
+/// True if the vectors are equal up to a global phase (within tol).
+/// Zero vectors compare equal only to zero vectors.
+template <typename T>
+bool equalUpToPhase(const std::vector<std::complex<T>>& a,
+                    const std::vector<std::complex<T>>& b, T tol) {
+  if (a.size() != b.size()) return false;
+  const std::complex<T> overlap = inner(a, b);
+  const T na = norm2(a);
+  const T nb = norm2(b);
+  if (na <= tol || nb <= tol) return na <= tol && nb <= tol;
+  // |<a|b>| == |a||b| iff b = phase * a.
+  return std::abs(std::abs(overlap) - na * nb) <= tol * na * nb + tol;
+}
+
+}  // namespace qclab::dense

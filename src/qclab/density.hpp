@@ -1,0 +1,259 @@
+#pragma once
+
+/// \file density.hpp
+/// \brief Density-matrix utilities supporting the tomography example
+/// (paper §5.2): construction, trace distance, fidelity, purity, partial
+/// trace, and single-qubit Pauli coefficients.
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <vector>
+
+#include "qclab/dense/eig.hpp"
+#include "qclab/dense/matrix.hpp"
+#include "qclab/dense/ops.hpp"
+#include "qclab/util/bits.hpp"
+#include "qclab/util/errors.hpp"
+
+namespace qclab::density {
+
+/// Density matrix |v><v| of a pure state.
+template <typename T>
+dense::Matrix<T> densityMatrix(const std::vector<std::complex<T>>& state) {
+  return dense::outer(state, state);
+}
+
+/// Checks the basic density-matrix structure: square, Hermitian, unit trace.
+template <typename T>
+bool isDensityMatrix(const dense::Matrix<T>& rho, T tol) {
+  if (!rho.isSquare() || !rho.isHermitian(tol)) return false;
+  return std::abs(rho.trace() - std::complex<T>(1)) <= tol;
+}
+
+/// Trace distance D(rho, sigma) = 0.5 * ||rho - sigma||_1 (sum of absolute
+/// eigenvalues of the Hermitian difference).
+template <typename T>
+T traceDistance(const dense::Matrix<T>& rho, const dense::Matrix<T>& sigma) {
+  util::require(rho.rows() == sigma.rows() && rho.cols() == sigma.cols(),
+                "trace distance dimension mismatch");
+  const auto eig = dense::eigh(rho - sigma);
+  T sum(0);
+  for (T value : eig.values) sum += std::abs(value);
+  return sum / T(2);
+}
+
+/// Purity tr(rho^2).
+template <typename T>
+T purity(const dense::Matrix<T>& rho) {
+  util::require(rho.isSquare(), "purity of non-square matrix");
+  // tr(rho^2) = sum_ij rho_ij rho_ji = sum_ij |rho_ij|^2 for Hermitian rho.
+  T sum(0);
+  for (std::size_t i = 0; i < rho.rows(); ++i)
+    for (std::size_t j = 0; j < rho.cols(); ++j) sum += std::norm(rho(i, j));
+  return sum;
+}
+
+/// Hermitian PSD matrix square root via eigen-decomposition.
+template <typename T>
+dense::Matrix<T> sqrtPsd(const dense::Matrix<T>& a, T clipTol = T(1e-12)) {
+  const auto eig = dense::eigh(a, /*computeVectors=*/true);
+  const std::size_t n = a.rows();
+  dense::Matrix<T> result(n, n);
+  for (std::size_t k = 0; k < n; ++k) {
+    T value = eig.values[k];
+    util::require(value > -clipTol - T(1e3) * std::numeric_limits<T>::epsilon(),
+                  "matrix is not positive semidefinite");
+    value = value > T(0) ? std::sqrt(value) : T(0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        result(i, j) +=
+            value * eig.vectors(i, k) * std::conj(eig.vectors(j, k));
+      }
+    }
+  }
+  return result;
+}
+
+/// Uhlmann fidelity F(rho, sigma) = (tr sqrt(sqrt(rho) sigma sqrt(rho)))^2.
+template <typename T>
+T fidelity(const dense::Matrix<T>& rho, const dense::Matrix<T>& sigma) {
+  util::require(rho.rows() == sigma.rows() && rho.cols() == sigma.cols(),
+                "fidelity dimension mismatch");
+  const auto sqrtRho = sqrtPsd(rho);
+  const auto inner = sqrtRho * sigma * sqrtRho;
+  const auto eig = dense::eigh(inner);
+  T sum(0);
+  for (T value : eig.values) {
+    if (value > T(0)) sum += std::sqrt(value);
+  }
+  return sum * sum;
+}
+
+/// Fidelity of a pure state with a density matrix: <v| rho |v>.
+template <typename T>
+T fidelity(const std::vector<std::complex<T>>& state,
+           const dense::Matrix<T>& rho) {
+  util::require(rho.rows() == state.size() && rho.cols() == state.size(),
+                "fidelity dimension mismatch");
+  std::complex<T> sum(0);
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    for (std::size_t j = 0; j < state.size(); ++j) {
+      sum += std::conj(state[i]) * rho(i, j) * state[j];
+    }
+  }
+  return std::real(sum);
+}
+
+/// Partial trace over `traceOutQubits` of an n-qubit density matrix
+/// (qubit ordering as everywhere: qubit 0 = most significant).
+template <typename T>
+dense::Matrix<T> partialTrace(const dense::Matrix<T>& rho, int nbQubits,
+                              const std::vector<int>& traceOutQubits) {
+  util::require(rho.rows() == (std::size_t{1} << nbQubits) && rho.isSquare(),
+                "density matrix dimension mismatch");
+  const int k = static_cast<int>(traceOutQubits.size());
+  util::require(k <= nbQubits, "tracing out more qubits than available");
+
+  // Bit positions of the traced qubits, ascending (for insertion).
+  std::vector<int> tracedPositions(traceOutQubits.size());
+  for (std::size_t i = 0; i < traceOutQubits.size(); ++i) {
+    util::checkQubit(traceOutQubits[i], nbQubits);
+    tracedPositions[i] = util::bitPosition(traceOutQubits[i], nbQubits);
+  }
+  std::sort(tracedPositions.begin(), tracedPositions.end());
+  for (std::size_t i = 1; i < tracedPositions.size(); ++i) {
+    util::require(tracedPositions[i] != tracedPositions[i - 1],
+                  "duplicate traced qubit");
+  }
+
+  const std::size_t keptDim = std::size_t{1} << (nbQubits - k);
+  const std::size_t tracedDim = std::size_t{1} << k;
+  dense::Matrix<T> reduced(keptDim, keptDim);
+  for (util::index_t a = 0; a < keptDim; ++a) {
+    for (util::index_t b = 0; b < keptDim; ++b) {
+      std::complex<T> sum(0);
+      for (util::index_t e = 0; e < tracedDim; ++e) {
+        util::index_t rowIndex = a;
+        util::index_t colIndex = b;
+        for (std::size_t i = 0; i < tracedPositions.size(); ++i) {
+          const util::index_t bit = util::getBit(e, static_cast<int>(i));
+          rowIndex = util::insertBit(rowIndex, tracedPositions[i], bit);
+          colIndex = util::insertBit(colIndex, tracedPositions[i], bit);
+        }
+        sum += rho(rowIndex, colIndex);
+      }
+      reduced(a, b) = sum;
+    }
+  }
+  return reduced;
+}
+
+/// Schmidt decomposition of a pure state across the cut separating
+/// `subsystemQubits` (A) from the rest (B): the descending singular values
+/// lambda_i with |psi> = sum_i lambda_i |a_i>|b_i>.  Obtained as the
+/// square roots of the eigenvalues of the reduced density matrix of A.
+template <typename T>
+std::vector<T> schmidtCoefficients(const std::vector<std::complex<T>>& state,
+                                   const std::vector<int>& subsystemQubits) {
+  util::require(util::isPowerOfTwo(state.size()), "state size not 2^n");
+  const int nbQubits = util::log2PowerOfTwo(state.size());
+  util::require(!subsystemQubits.empty() &&
+                    static_cast<int>(subsystemQubits.size()) < nbQubits,
+                "Schmidt cut must be a proper nonempty subsystem");
+  std::vector<int> complement;
+  for (int q = 0; q < nbQubits; ++q) {
+    if (std::find(subsystemQubits.begin(), subsystemQubits.end(), q) ==
+        subsystemQubits.end()) {
+      complement.push_back(q);
+    }
+  }
+  const auto reduced =
+      partialTrace(densityMatrix(state), nbQubits, complement);
+  auto eig = dense::eigh(reduced);
+  std::vector<T> coefficients;
+  coefficients.reserve(eig.values.size());
+  // eigh sorts ascending; report descending, clipping rounding negatives.
+  for (auto it = eig.values.rbegin(); it != eig.values.rend(); ++it) {
+    coefficients.push_back(*it > T(0) ? std::sqrt(*it) : T(0));
+  }
+  return coefficients;
+}
+
+/// Schmidt rank (number of coefficients above `tol`): 1 for product
+/// states across the cut, > 1 for entangled ones.  The default tolerance
+/// reflects that coefficients are square roots of eigenvalues computed to
+/// ~1e-14: rounding-level eigenvalues surface as ~1e-7 coefficients.
+template <typename T>
+int schmidtRank(const std::vector<std::complex<T>>& state,
+                const std::vector<int>& subsystemQubits, T tol = T(1e-6)) {
+  const auto coefficients = schmidtCoefficients(state, subsystemQubits);
+  int rank = 0;
+  for (T value : coefficients) {
+    if (value > tol) ++rank;
+  }
+  return rank;
+}
+
+/// Von Neumann entropy S(rho) = -tr(rho log2 rho) in bits.
+template <typename T>
+T vonNeumannEntropy(const dense::Matrix<T>& rho) {
+  const auto eig = dense::eigh(rho);
+  T entropy(0);
+  for (T value : eig.values) {
+    if (value > T(0)) {
+      entropy -= value * std::log2(value);
+    }
+  }
+  return entropy;
+}
+
+/// Entanglement entropy of a pure state across the cut that separates
+/// `subsystemQubits` from the rest: the von Neumann entropy of the reduced
+/// density matrix of the subsystem.
+template <typename T>
+T entanglementEntropy(const std::vector<std::complex<T>>& state,
+                      const std::vector<int>& subsystemQubits) {
+  util::require(util::isPowerOfTwo(state.size()), "state size not 2^n");
+  const int nbQubits = util::log2PowerOfTwo(state.size());
+  // Trace out the complement of the subsystem.
+  std::vector<int> complement;
+  for (int q = 0; q < nbQubits; ++q) {
+    if (std::find(subsystemQubits.begin(), subsystemQubits.end(), q) ==
+        subsystemQubits.end()) {
+      complement.push_back(q);
+    }
+  }
+  const auto reduced =
+      partialTrace(densityMatrix(state), nbQubits, complement);
+  return vonNeumannEntropy(reduced);
+}
+
+/// Coefficients (S0, S1, S2, S3) of a single-qubit density matrix in the
+/// Pauli basis: rho = (S0 I + S1 X + S2 Y + S3 Z) / 2, with Si = tr(rho si).
+template <typename T>
+std::array<T, 4> pauliCoefficients(const dense::Matrix<T>& rho) {
+  util::require(rho.rows() == 2 && rho.cols() == 2,
+                "pauliCoefficients needs a 1-qubit density matrix");
+  const auto traceWith = [&](const dense::Matrix<T>& pauli) {
+    return std::real((rho * pauli).trace());
+  };
+  return {traceWith(dense::pauliI<T>()), traceWith(dense::pauliX<T>()),
+          traceWith(dense::pauliY<T>()), traceWith(dense::pauliZ<T>())};
+}
+
+/// Reconstructs a single-qubit density matrix from Pauli coefficients
+/// (paper §5.2, Eq. (2)).
+template <typename T>
+dense::Matrix<T> fromPauliCoefficients(const std::array<T, 4>& s) {
+  auto rho = dense::pauliI<T>() * std::complex<T>(s[0]);
+  rho += dense::pauliX<T>() * std::complex<T>(s[1]);
+  rho += dense::pauliY<T>() * std::complex<T>(s[2]);
+  rho += dense::pauliZ<T>() * std::complex<T>(s[3]);
+  rho *= std::complex<T>(T(0.5));
+  return rho;
+}
+
+}  // namespace qclab::density

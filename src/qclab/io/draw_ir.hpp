@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file draw_ir.hpp
+/// \brief Renderer-independent intermediate representation of circuit
+/// diagram elements.
+///
+/// Every circuit object (gate, measurement, reset, barrier, block
+/// sub-circuit) lowers itself to one DrawItem; the column-layout engine
+/// (layout.hpp) packs the items into diagram columns, and the ASCII and
+/// LaTeX renderers consume the packed layout.  Keeping the IR non-templated
+/// lets the layout/render code live in a plain .cpp.
+
+#include <string>
+#include <vector>
+
+namespace qclab::io {
+
+/// One diagram element.
+struct DrawItem {
+  enum class Kind {
+    kBox,      ///< labeled gate box over boxTop..boxBottom
+    kMeasure,  ///< measurement box (label holds basis, e.g. "M" / "Mx")
+    kReset,    ///< reset box
+    kBarrier,  ///< barrier line over the full span
+    kSwap,     ///< swap crosses on the two swapQubits
+    kBlock,    ///< boxed sub-circuit with label
+  };
+
+  Kind kind = Kind::kBox;
+
+  /// Label rendered inside the box (gate mnemonic, possibly with angles).
+  std::string label;
+
+  /// Inclusive qubit span of the box itself.
+  int boxTop = 0;
+  int boxBottom = 0;
+
+  /// Control qubits drawn as filled dots (control on |1>).
+  std::vector<int> controls1;
+  /// Control qubits drawn as open dots (control on |0>).
+  std::vector<int> controls0;
+
+  /// For Kind::kSwap: the two qubits carrying the crosses.
+  std::vector<int> swapQubits;
+
+  /// Inclusive qubit span of the whole item (box plus controls/crosses).
+  int top() const;
+  int bottom() const;
+};
+
+}  // namespace qclab::io

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file format.hpp
+/// \brief Small numeric formatting helpers shared by the QASM emitter and
+/// the circuit drawers.
+
+#include <cstdio>
+#include <string>
+
+namespace qclab::io {
+
+/// Formats an angle for OpenQASM output with full round-trip precision.
+inline std::string formatAngle(double angle) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", angle);
+  return buffer;
+}
+
+/// Formats an angle for diagram labels (compact, 2 decimals).
+inline std::string formatAngleShort(double angle) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", angle);
+  return buffer;
+}
+
+}  // namespace qclab::io

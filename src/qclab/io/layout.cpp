@@ -1,0 +1,392 @@
+#include "qclab/io/layout.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "qclab/util/errors.hpp"
+
+namespace qclab::io {
+
+int DrawItem::top() const {
+  int t = boxTop;
+  for (int c : controls1) t = std::min(t, c);
+  for (int c : controls0) t = std::min(t, c);
+  for (int q : swapQubits) t = std::min(t, q);
+  return t;
+}
+
+int DrawItem::bottom() const {
+  int b = boxBottom;
+  for (int c : controls1) b = std::max(b, c);
+  for (int c : controls0) b = std::max(b, c);
+  for (int q : swapQubits) b = std::max(b, q);
+  return b;
+}
+
+std::vector<int> assignColumns(const std::vector<DrawItem>& items,
+                               int nbQubits, int& nbColumns) {
+  std::vector<int> nextFree(static_cast<std::size_t>(nbQubits), 0);
+  std::vector<int> columns(items.size(), 0);
+  nbColumns = 0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const int top = items[i].top();
+    const int bottom = items[i].bottom();
+    util::require(top >= 0 && bottom < nbQubits,
+                  "draw item outside qubit range");
+    int column = 0;
+    for (int row = top; row <= bottom; ++row) {
+      column = std::max(column, nextFree[static_cast<std::size_t>(row)]);
+    }
+    // A barrier starts a fresh column over its span and blocks packing
+    // across it.
+    columns[i] = column;
+    for (int row = top; row <= bottom; ++row) {
+      nextFree[static_cast<std::size_t>(row)] = column + 1;
+    }
+    nbColumns = std::max(nbColumns, column + 1);
+  }
+  return columns;
+}
+
+namespace {
+
+/// A text grid of display cells (one UTF-8 glyph per cell).
+class Grid {
+ public:
+  Grid(std::size_t rows, std::size_t cols)
+      : cols_(cols), cells_(rows * cols, " ") {}
+
+  std::string& at(std::size_t row, std::size_t col) {
+    return cells_[row * cols_ + col];
+  }
+
+  std::string toString(std::size_t rows) const {
+    std::string out;
+    for (std::size_t r = 0; r < rows; ++r) {
+      std::string line;
+      for (std::size_t c = 0; c < cols_; ++c) {
+        line += cells_[r * cols_ + c];
+      }
+      // Trim trailing spaces.
+      while (!line.empty() && line.back() == ' ') line.pop_back();
+      out += line;
+      out += '\n';
+    }
+    return out;
+  }
+
+ private:
+  std::size_t cols_;
+  std::vector<std::string> cells_;
+};
+
+/// Number of display glyphs in a UTF-8 string (counts non-continuation
+/// bytes; good enough for the labels we generate).
+std::size_t displayLength(const std::string& s) {
+  std::size_t length = 0;
+  for (unsigned char c : s) {
+    if ((c & 0xC0) != 0x80) ++length;
+  }
+  return length;
+}
+
+/// Splits a UTF-8 string into display glyphs.
+std::vector<std::string> glyphs(const std::string& s) {
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i < s.size();) {
+    std::size_t len = 1;
+    const auto c = static_cast<unsigned char>(s[i]);
+    if ((c & 0xF8) == 0xF0) len = 4;
+    else if ((c & 0xF0) == 0xE0) len = 3;
+    else if ((c & 0xE0) == 0xC0) len = 2;
+    out.push_back(s.substr(i, len));
+    i += len;
+  }
+  return out;
+}
+
+bool hasBox(const DrawItem& item) {
+  switch (item.kind) {
+    case DrawItem::Kind::kBox:
+    case DrawItem::Kind::kMeasure:
+    case DrawItem::Kind::kReset:
+    case DrawItem::Kind::kBlock:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string renderAscii(const std::vector<DrawItem>& items, int nbQubits) {
+  int nbColumns = 0;
+  const auto columns = assignColumns(items, nbQubits, nbColumns);
+
+  // Column body widths: label + 2 box borders, at least 1.
+  std::vector<std::size_t> bodyWidth(static_cast<std::size_t>(nbColumns), 1);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (hasBox(items[i])) {
+      auto& w = bodyWidth[static_cast<std::size_t>(columns[i])];
+      w = std::max(w, displayLength(items[i].label) + 2);
+    }
+  }
+  // Total cell width: body + one wire glyph on each side.
+  std::vector<std::size_t> cellWidth(static_cast<std::size_t>(nbColumns));
+  std::vector<std::size_t> cellStart(static_cast<std::size_t>(nbColumns));
+  const std::string prefixTemplate =
+      "q" + std::to_string(nbQubits > 0 ? nbQubits - 1 : 0) + ": ";
+  const std::size_t margin = prefixTemplate.size();
+  std::size_t width = margin;
+  for (int c = 0; c < nbColumns; ++c) {
+    cellStart[static_cast<std::size_t>(c)] = width;
+    cellWidth[static_cast<std::size_t>(c)] =
+        bodyWidth[static_cast<std::size_t>(c)] + 2;
+    width += cellWidth[static_cast<std::size_t>(c)];
+  }
+  width += 1;  // trailing wire glyph
+
+  const std::size_t rows = static_cast<std::size_t>(nbQubits) * 3;
+  Grid grid(rows, width);
+
+  // Wires and qubit labels.
+  for (int q = 0; q < nbQubits; ++q) {
+    const std::size_t mid = static_cast<std::size_t>(q) * 3 + 1;
+    const std::string prefix = "q" + std::to_string(q) + ": ";
+    for (std::size_t j = 0; j < prefix.size(); ++j) {
+      grid.at(mid, j) = prefix[j];
+    }
+    for (std::size_t j = prefix.size(); j < width; ++j) {
+      if (j >= margin) grid.at(mid, j) = "─";
+    }
+  }
+
+  auto midRow = [](int q) { return static_cast<std::size_t>(q) * 3 + 1; };
+  auto topRow = [](int q) { return static_cast<std::size_t>(q) * 3; };
+  auto botRow = [](int q) { return static_cast<std::size_t>(q) * 3 + 2; };
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const DrawItem& item = items[i];
+    const std::size_t col = static_cast<std::size_t>(columns[i]);
+    const std::size_t start = cellStart[col];
+    const std::size_t bw = bodyWidth[col];
+    const std::size_t center = start + 1 + bw / 2;
+
+    if (item.kind == DrawItem::Kind::kBarrier) {
+      for (int q = item.boxTop; q <= item.boxBottom; ++q) {
+        grid.at(topRow(q), center) = "░";
+        grid.at(midRow(q), center) = "░";
+        grid.at(botRow(q), center) = "░";
+      }
+      continue;
+    }
+
+    if (item.kind == DrawItem::Kind::kSwap) {
+      for (int q : item.swapQubits) {
+        grid.at(midRow(q), center) = "╳";
+      }
+    }
+
+    if (hasBox(item)) {
+      const std::size_t boxLeft = start + 1;
+      const std::size_t boxRight = boxLeft + bw - 1;
+      const int labelQubit = (item.boxTop + item.boxBottom) / 2;
+      for (int q = item.boxTop; q <= item.boxBottom; ++q) {
+        // Vertical box sides on the wire row.
+        grid.at(midRow(q), boxLeft) = "┤";
+        grid.at(midRow(q), boxRight) = "├";
+        for (std::size_t j = boxLeft + 1; j < boxRight; ++j) {
+          grid.at(midRow(q), j) = " ";
+        }
+        // Rows between wires inside a multi-qubit box.
+        if (q > item.boxTop) {
+          grid.at(topRow(q), boxLeft) = "│";
+          grid.at(topRow(q), boxRight) = "│";
+          for (std::size_t j = boxLeft + 1; j < boxRight; ++j) {
+            grid.at(topRow(q), j) = " ";
+          }
+        }
+        if (q < item.boxBottom) {
+          grid.at(botRow(q), boxLeft) = "│";
+          grid.at(botRow(q), boxRight) = "│";
+          for (std::size_t j = boxLeft + 1; j < boxRight; ++j) {
+            grid.at(botRow(q), j) = " ";
+          }
+        }
+      }
+      // Borders.
+      grid.at(topRow(item.boxTop), boxLeft) = "┌";
+      grid.at(topRow(item.boxTop), boxRight) = "┐";
+      grid.at(botRow(item.boxBottom), boxLeft) = "└";
+      grid.at(botRow(item.boxBottom), boxRight) = "┘";
+      for (std::size_t j = boxLeft + 1; j < boxRight; ++j) {
+        grid.at(topRow(item.boxTop), j) = "─";
+        grid.at(botRow(item.boxBottom), j) = "─";
+      }
+      // Label, centered on the middle wire of the box.
+      const auto labelGlyphs = glyphs(item.label);
+      const std::size_t inner = bw - 2;
+      const std::size_t offset =
+          boxLeft + 1 + (inner - std::min(inner, labelGlyphs.size())) / 2;
+      for (std::size_t j = 0; j < labelGlyphs.size() && j < inner; ++j) {
+        grid.at(midRow(labelQubit), offset + j) = labelGlyphs[j];
+      }
+    }
+
+    // Controls and their vertical connectors.
+    auto drawControl = [&](int q, const char* dot) {
+      grid.at(midRow(q), center) = dot;
+    };
+    for (int q : item.controls1) drawControl(q, "●");
+    for (int q : item.controls0) drawControl(q, "○");
+
+    // Vertical connector over the full item span.
+    const int top = item.top();
+    const int bottom = item.bottom();
+    if (top < bottom) {
+      auto isEndpoint = [&](int q) {
+        if (hasBox(item) && q >= item.boxTop && q <= item.boxBottom)
+          return true;
+        if (std::find(item.controls1.begin(), item.controls1.end(), q) !=
+            item.controls1.end())
+          return true;
+        if (std::find(item.controls0.begin(), item.controls0.end(), q) !=
+            item.controls0.end())
+          return true;
+        if (std::find(item.swapQubits.begin(), item.swapQubits.end(), q) !=
+            item.swapQubits.end())
+          return true;
+        return false;
+      };
+      for (int q = top; q <= bottom; ++q) {
+        const bool endpoint = isEndpoint(q);
+        const bool boxRow =
+            hasBox(item) && q >= item.boxTop && q <= item.boxBottom;
+        // Segment above the wire of q.
+        if (q > top && !boxRow) {
+          grid.at(topRow(q), center) = "│";
+        }
+        // Segment below the wire of q.
+        if (q < bottom && !boxRow) {
+          grid.at(botRow(q), center) = "│";
+        }
+        // Crossing a wire that is not an endpoint.
+        if (!endpoint) {
+          grid.at(midRow(q), center) = "┼";
+        }
+        // Connector meeting a box border.
+        if (boxRow && q == item.boxTop && top < item.boxTop) {
+          grid.at(topRow(q), center) = "┴";
+        }
+        if (boxRow && q == item.boxBottom && bottom > item.boxBottom) {
+          grid.at(botRow(q), center) = "┬";
+        }
+      }
+    }
+  }
+
+  return grid.toString(rows);
+}
+
+std::string renderLatex(const std::vector<DrawItem>& items, int nbQubits) {
+  int nbColumns = 0;
+  const auto columns = assignColumns(items, nbQubits, nbColumns);
+
+  // cell[qubit][column]
+  std::vector<std::vector<std::string>> cell(
+      static_cast<std::size_t>(nbQubits),
+      std::vector<std::string>(static_cast<std::size_t>(nbColumns), ""));
+
+  auto escape = [](const std::string& label) {
+    std::string out;
+    for (char c : label) {
+      switch (c) {
+        case '\\': out += "\\textbackslash{}"; break;
+        case '{': out += "\\{"; break;
+        case '}': out += "\\}"; break;
+        case '&': out += "\\&"; break;
+        case '%': out += "\\%"; break;
+        case '#': out += "\\#"; break;
+        case '_': out += "\\_"; break;
+        case '^': out += "\\^{}"; break;
+        case '~': out += "\\~{}"; break;
+        case '$': out += "\\$"; break;
+        default: out += c;
+      }
+    }
+    return out;
+  };
+
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const DrawItem& item = items[i];
+    const std::size_t col = static_cast<std::size_t>(columns[i]);
+    switch (item.kind) {
+      case DrawItem::Kind::kBarrier: {
+        cell[static_cast<std::size_t>(item.boxTop)][col] =
+            "\\slice[style=black]{}";
+        break;
+      }
+      case DrawItem::Kind::kSwap: {
+        const int q0 = item.swapQubits[0];
+        const int q1 = item.swapQubits[1];
+        cell[static_cast<std::size_t>(q0)][col] =
+            "\\swap{" + std::to_string(q1 - q0) + "}";
+        cell[static_cast<std::size_t>(q1)][col] = "\\targX{}";
+        break;
+      }
+      case DrawItem::Kind::kMeasure: {
+        std::string meter = "\\meter{}";
+        if (item.label.size() > 1) {
+          meter = "\\meter{" + escape(item.label.substr(1)) + "}";
+        }
+        cell[static_cast<std::size_t>(item.boxTop)][col] = meter;
+        break;
+      }
+      case DrawItem::Kind::kReset: {
+        cell[static_cast<std::size_t>(item.boxTop)][col] =
+            "\\push{\\ket{0}}";
+        break;
+      }
+      case DrawItem::Kind::kBox:
+      case DrawItem::Kind::kBlock: {
+        const int wires = item.boxBottom - item.boxTop + 1;
+        std::string gate = "\\gate";
+        if (wires > 1) gate += "[wires=" + std::to_string(wires) + "]";
+        gate += "{" + escape(item.label) + "}";
+        cell[static_cast<std::size_t>(item.boxTop)][col] = gate;
+        break;
+      }
+    }
+    for (int q : item.controls1) {
+      cell[static_cast<std::size_t>(q)][col] =
+          "\\ctrl{" + std::to_string(item.boxTop - q) + "}";
+    }
+    for (int q : item.controls0) {
+      cell[static_cast<std::size_t>(q)][col] =
+          "\\octrl{" + std::to_string(item.boxTop - q) + "}";
+    }
+  }
+
+  std::ostringstream out;
+  out << "\\documentclass{standalone}\n"
+      << "\\usepackage{tikz}\n"
+      << "\\usetikzlibrary{quantikz}\n"
+      << "\\begin{document}\n"
+      << "\\begin{quantikz}\n";
+  for (int q = 0; q < nbQubits; ++q) {
+    out << "\\lstick{$q_{" << q << "}$}";
+    for (int c = 0; c < nbColumns; ++c) {
+      const std::string& s =
+          cell[static_cast<std::size_t>(q)][static_cast<std::size_t>(c)];
+      out << " & " << (s.empty() ? "\\qw" : s);
+    }
+    out << " & \\qw";
+    if (q + 1 < nbQubits) out << " \\\\";
+    out << "\n";
+  }
+  out << "\\end{quantikz}\n"
+      << "\\end{document}\n";
+  return out.str();
+}
+
+}  // namespace qclab::io

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file layout.hpp
+/// \brief Column layout and rendering of circuit diagrams.
+///
+/// The layout engine packs DrawItems greedily into diagram columns (an item
+/// goes into the earliest column whose rows are all free), then the two
+/// renderers produce either a UTF-8 musical-score diagram for the terminal
+/// (paper §4, command-window visualization) or quantikz LaTeX source
+/// (paper §4, toTex).
+
+#include <string>
+#include <vector>
+
+#include "qclab/io/draw_ir.hpp"
+
+namespace qclab::io {
+
+/// Assigns a diagram column to every item (greedy left packing; barriers
+/// claim a full column over their span).  Returns the column index per item
+/// and sets `nbColumns`.
+std::vector<int> assignColumns(const std::vector<DrawItem>& items,
+                               int nbQubits, int& nbColumns);
+
+/// Renders the items as a UTF-8 terminal diagram with one wire per qubit.
+std::string renderAscii(const std::vector<DrawItem>& items, int nbQubits);
+
+/// Renders the items as a standalone quantikz LaTeX document.
+std::string renderLatex(const std::vector<DrawItem>& items, int nbQubits);
+
+}  // namespace qclab::io

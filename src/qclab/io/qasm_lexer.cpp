@@ -1,0 +1,95 @@
+#include "qclab/io/qasm_lexer.hpp"
+
+#include <cctype>
+
+#include "qclab/util/errors.hpp"
+
+namespace qclab::io {
+
+std::vector<Token> tokenizeQasm(const std::string& source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_')) {
+        ++i;
+      }
+      tokens.push_back(
+          {Token::Type::kIdentifier, source.substr(start, i - start), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      std::size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '.')) {
+        ++i;
+      }
+      // Exponent part.
+      if (i < n && (source[i] == 'e' || source[i] == 'E')) {
+        std::size_t mark = i;
+        ++i;
+        if (i < n && (source[i] == '+' || source[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(source[i]))) {
+          while (i < n &&
+                 std::isdigit(static_cast<unsigned char>(source[i]))) {
+            ++i;
+          }
+        } else {
+          i = mark;  // not an exponent after all
+        }
+      }
+      tokens.push_back(
+          {Token::Type::kNumber, source.substr(start, i - start), line});
+      continue;
+    }
+    if (c == '"') {
+      std::size_t start = ++i;
+      while (i < n && source[i] != '"') ++i;
+      if (i >= n) throw QasmParseError("unterminated string", line);
+      tokens.push_back(
+          {Token::Type::kString, source.substr(start, i - start), line});
+      ++i;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && source[i + 1] == '>') {
+      tokens.push_back({Token::Type::kSymbol, "->", line});
+      i += 2;
+      continue;
+    }
+    switch (c) {
+      case '(': case ')': case '[': case ']': case ',': case ';':
+      case '+': case '-': case '*': case '/':
+        tokens.push_back({Token::Type::kSymbol, std::string(1, c), line});
+        ++i;
+        break;
+      default:
+        throw QasmParseError(
+            std::string("unexpected character '") + c + "'", line);
+    }
+  }
+  tokens.push_back({Token::Type::kEnd, "", line});
+  return tokens;
+}
+
+}  // namespace qclab::io

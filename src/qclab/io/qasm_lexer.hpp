@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file qasm_lexer.hpp
+/// \brief Tokenizer for the OpenQASM 2.0 importer.
+
+#include <string>
+#include <vector>
+
+namespace qclab::io {
+
+/// One OpenQASM token.
+struct Token {
+  enum class Type {
+    kIdentifier,  ///< names and keywords (h, qreg, measure, pi, ...)
+    kNumber,      ///< integer or real literal
+    kString,      ///< quoted string (include file name)
+    kSymbol,      ///< punctuation: ( ) [ ] , ; + - * / ->
+    kEnd,         ///< end of input
+  };
+
+  Type type = Type::kEnd;
+  std::string text;
+  int line = 0;  ///< 1-based source line
+};
+
+/// Tokenizes OpenQASM 2.0 source.  Comments (// ...) are skipped.  Throws
+/// QasmParseError on unexpected characters.  The token list always ends
+/// with one kEnd token.
+std::vector<Token> tokenizeQasm(const std::string& source);
+
+}  // namespace qclab::io

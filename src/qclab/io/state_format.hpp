@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file state_format.hpp
+/// \brief Pretty-printing of state vectors and outcome tables, matching
+/// the style of the outputs shown in the paper (e.g. "0.7071 + 0.0000i").
+
+#include <complex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qclab/util/bits.hpp"
+#include "qclab/util/bitstring.hpp"
+#include "qclab/util/errors.hpp"
+
+namespace qclab::io {
+
+/// Formatting options for formatStatevector.
+struct StateFormat {
+  int precision = 4;          ///< digits after the decimal point
+  bool skipZeros = false;     ///< omit amplitudes below `zeroTol`
+  double zeroTol = 5e-13;     ///< threshold for skipZeros
+  bool basisLabels = true;    ///< append |bitstring> labels
+};
+
+/// Formats one complex amplitude as "a + bi" with fixed precision.
+template <typename T>
+std::string formatAmplitude(std::complex<T> amplitude, int precision = 4) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(precision);
+  out << static_cast<double>(amplitude.real())
+      << (amplitude.imag() < 0 ? " - " : " + ")
+      << std::abs(static_cast<double>(amplitude.imag())) << "i";
+  return out.str();
+}
+
+/// Formats a state vector, one amplitude per line:
+///   0.7071 + 0.0000i |00>
+///   0.0000 + 0.7071i |11>
+template <typename T>
+std::string formatStatevector(const std::vector<std::complex<T>>& state,
+                              const StateFormat& format = {}) {
+  util::require(util::isPowerOfTwo(state.size()),
+                "state dimension must be a power of two");
+  const int nbQubits = util::log2PowerOfTwo(state.size());
+  std::string out;
+  for (std::size_t i = 0; i < state.size(); ++i) {
+    if (format.skipZeros &&
+        std::abs(state[i]) < static_cast<T>(format.zeroTol)) {
+      continue;
+    }
+    out += formatAmplitude(state[i], format.precision);
+    if (format.basisLabels) {
+      out += " |" + util::indexToBitstring(i, nbQubits) + ">";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace qclab::io

@@ -1,0 +1,130 @@
+#pragma once
+
+/// \file channels.hpp
+/// \brief Quantum noise channels in Kraus form.
+///
+/// Extension module motivated by the paper's error-correction example
+/// (§5.4): the repetition code is only interesting when errors are
+/// probabilistic.  A KrausChannel is a completely positive trace-preserving
+/// map rho -> sum_i K_i rho K_i^H; the standard single-qubit channels are
+/// provided as factories.
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "qclab/dense/matrix.hpp"
+#include "qclab/dense/ops.hpp"
+
+namespace qclab::noise {
+
+template <typename T>
+class KrausChannel {
+ public:
+  /// Builds a channel from its Kraus operators (all must be square with
+  /// the same power-of-two dimension, and satisfy sum K^H K = I within
+  /// `tol`).
+  explicit KrausChannel(std::vector<dense::Matrix<T>> operators,
+                        T tol = T(1e-10))
+      : operators_(std::move(operators)) {
+    util::require(!operators_.empty(), "channel needs >= 1 Kraus operator");
+    const std::size_t dim = operators_.front().rows();
+    util::require(dim >= 2 && (dim & (dim - 1)) == 0,
+                  "Kraus operator dimension must be a power of two");
+    dense::Matrix<T> completeness(dim, dim);
+    for (const auto& k : operators_) {
+      util::require(k.rows() == dim && k.cols() == dim,
+                    "Kraus operators must share one square dimension");
+      completeness += k.dagger() * k;
+    }
+    util::require(
+        completeness.distanceMax(dense::Matrix<T>::identity(dim)) <= tol,
+        "Kraus operators do not satisfy sum K^H K = I");
+  }
+
+  /// The Kraus operators.
+  const std::vector<dense::Matrix<T>>& operators() const noexcept {
+    return operators_;
+  }
+
+  /// Number of qubits the channel acts on.
+  int nbQubits() const noexcept {
+    std::size_t dim = operators_.front().rows();
+    int n = 0;
+    while (dim > 1) {
+      dim >>= 1;
+      ++n;
+    }
+    return n;
+  }
+
+  /// Identity (no-op) channel.
+  static KrausChannel identity() {
+    return KrausChannel({dense::Matrix<T>::identity(2)});
+  }
+
+  /// Bit-flip channel: X with probability p.
+  static KrausChannel bitFlip(T p) {
+    checkProbability(p);
+    return KrausChannel(
+        {dense::pauliI<T>() * std::complex<T>(std::sqrt(T(1) - p)),
+         dense::pauliX<T>() * std::complex<T>(std::sqrt(p))});
+  }
+
+  /// Phase-flip channel: Z with probability p.
+  static KrausChannel phaseFlip(T p) {
+    checkProbability(p);
+    return KrausChannel(
+        {dense::pauliI<T>() * std::complex<T>(std::sqrt(T(1) - p)),
+         dense::pauliZ<T>() * std::complex<T>(std::sqrt(p))});
+  }
+
+  /// Bit-phase-flip channel: Y with probability p.
+  static KrausChannel bitPhaseFlip(T p) {
+    checkProbability(p);
+    return KrausChannel(
+        {dense::pauliI<T>() * std::complex<T>(std::sqrt(T(1) - p)),
+         dense::pauliY<T>() * std::complex<T>(std::sqrt(p))});
+  }
+
+  /// Depolarizing channel: with probability p the qubit is replaced by the
+  /// maximally mixed state (X, Y, Z each with probability p/4... using the
+  /// standard parameterization K0 = sqrt(1 - 3p/4) I).
+  static KrausChannel depolarizing(T p) {
+    checkProbability(p);
+    const T rest = std::sqrt(p / T(4));
+    return KrausChannel(
+        {dense::pauliI<T>() * std::complex<T>(std::sqrt(T(1) - T(3) * p / T(4))),
+         dense::pauliX<T>() * std::complex<T>(rest),
+         dense::pauliY<T>() * std::complex<T>(rest),
+         dense::pauliZ<T>() * std::complex<T>(rest)});
+  }
+
+  /// Amplitude damping with decay probability gamma (|1> -> |0>).
+  static KrausChannel amplitudeDamping(T gamma) {
+    checkProbability(gamma);
+    using C = std::complex<T>;
+    dense::Matrix<T> k0{{C(1), C(0)}, {C(0), C(std::sqrt(T(1) - gamma))}};
+    dense::Matrix<T> k1{{C(0), C(std::sqrt(gamma))}, {C(0), C(0)}};
+    return KrausChannel({std::move(k0), std::move(k1)});
+  }
+
+  /// Phase damping with parameter lambda (pure dephasing).
+  static KrausChannel phaseDamping(T lambda) {
+    checkProbability(lambda);
+    using C = std::complex<T>;
+    dense::Matrix<T> k0{{C(1), C(0)}, {C(0), C(std::sqrt(T(1) - lambda))}};
+    dense::Matrix<T> k1{{C(0), C(0)}, {C(0), C(std::sqrt(lambda))}};
+    return KrausChannel({std::move(k0), std::move(k1)});
+  }
+
+ private:
+  static void checkProbability(T p) {
+    util::require(p >= T(0) && p <= T(1),
+                  "channel probability must be in [0, 1]");
+  }
+
+  std::vector<dense::Matrix<T>> operators_;
+};
+
+}  // namespace qclab::noise

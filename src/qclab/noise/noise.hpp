@@ -1,0 +1,8 @@
+#pragma once
+
+/// \file noise.hpp
+/// \brief Umbrella header for the noisy-simulation extension.
+
+#include "qclab/noise/channels.hpp"
+#include "qclab/noise/density_matrix.hpp"
+#include "qclab/noise/simulator.hpp"

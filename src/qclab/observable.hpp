@@ -1,0 +1,215 @@
+#pragma once
+
+/// \file observable.hpp
+/// \brief Pauli-string observables and expectation values.
+///
+/// QCLAB is positioned as a prototyping platform for quantum algorithm
+/// research (paper §1); measuring expectation values of Pauli observables
+/// is the core primitive of that workflow (VQE-style energy evaluation,
+/// tomography generalizations).  PauliString applies the operators with
+/// the in-place kernels — no operator matrix is ever materialized, so
+/// expectation values scale as O(terms * 2^n).
+
+#include <cctype>
+#include <complex>
+#include <string>
+#include <vector>
+
+#include "qclab/dense/ops.hpp"
+#include "qclab/sim/kernels.hpp"
+#include "qclab/util/errors.hpp"
+
+namespace qclab {
+
+/// A weighted Pauli string, e.g. 1.5 * "XIZY": character k acts on
+/// qubit k ('I', 'X', 'Y', 'Z'; case-insensitive).
+template <typename T>
+class PauliString {
+ public:
+  /// Builds `coefficient * paulis`.  Throws on characters outside IXYZ.
+  explicit PauliString(std::string paulis, T coefficient = T(1))
+      : paulis_(std::move(paulis)), coefficient_(coefficient) {
+    util::require(!paulis_.empty(), "empty Pauli string");
+    for (char& c : paulis_) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      util::require(c == 'I' || c == 'X' || c == 'Y' || c == 'Z',
+                    "Pauli string may contain only I, X, Y, Z");
+    }
+  }
+
+  /// Number of qubits the string is defined on.
+  int nbQubits() const noexcept { return static_cast<int>(paulis_.size()); }
+
+  /// The Pauli characters.
+  const std::string& paulis() const noexcept { return paulis_; }
+
+  /// The real coefficient.
+  T coefficient() const noexcept { return coefficient_; }
+  void setCoefficient(T coefficient) noexcept { coefficient_ = coefficient; }
+
+  /// Number of non-identity factors.
+  int weight() const noexcept {
+    int w = 0;
+    for (char c : paulis_) {
+      if (c != 'I') ++w;
+    }
+    return w;
+  }
+
+  /// Applies `coefficient * P` to a copy of `state` using the in-place
+  /// kernels.
+  std::vector<std::complex<T>> apply(
+      const std::vector<std::complex<T>>& state) const {
+    util::require(state.size() == (std::size_t{1} << paulis_.size()),
+                  "state dimension does not match Pauli string length");
+    std::vector<std::complex<T>> result = state;
+    const int n = nbQubits();
+    for (int q = 0; q < n; ++q) {
+      switch (paulis_[static_cast<std::size_t>(q)]) {
+        case 'X':
+          sim::apply1(result, n, q, dense::pauliX<T>());
+          break;
+        case 'Y':
+          sim::apply1(result, n, q, dense::pauliY<T>());
+          break;
+        case 'Z':
+          sim::applyDiagonal1(result, n, q, std::complex<T>(1),
+                              std::complex<T>(-1));
+          break;
+        default:
+          break;
+      }
+    }
+    if (coefficient_ != T(1)) {
+      for (auto& amplitude : result) amplitude *= coefficient_;
+    }
+    return result;
+  }
+
+  /// Expectation value <psi| coefficient * P |psi> (real for normalized
+  /// states and real coefficients).
+  T expectation(const std::vector<std::complex<T>>& state) const {
+    return std::real(dense::inner(state, apply(state)));
+  }
+
+  /// Dense matrix of `coefficient * P` (tests / small registers).
+  dense::Matrix<T> matrix() const {
+    dense::Matrix<T> m(1, 1);
+    m(0, 0) = std::complex<T>(coefficient_);
+    for (char c : paulis_) {
+      switch (c) {
+        case 'X': m = dense::kron(m, dense::pauliX<T>()); break;
+        case 'Y': m = dense::kron(m, dense::pauliY<T>()); break;
+        case 'Z': m = dense::kron(m, dense::pauliZ<T>()); break;
+        default: m = dense::kron(m, dense::pauliI<T>()); break;
+      }
+    }
+    return m;
+  }
+
+ private:
+  std::string paulis_;
+  T coefficient_;
+};
+
+/// A Hermitian observable: a real-weighted sum of Pauli strings on a fixed
+/// register size.
+template <typename T>
+class Observable {
+ public:
+  /// Empty observable on `nbQubits` qubits.
+  explicit Observable(int nbQubits) : nbQubits_(nbQubits) {
+    util::require(nbQubits >= 1, "observable needs at least one qubit");
+  }
+
+  int nbQubits() const noexcept { return nbQubits_; }
+
+  /// Adds a term; its string length must match the register size.  Terms
+  /// with identical Pauli strings are merged.
+  Observable& add(PauliString<T> term) {
+    util::require(term.nbQubits() == nbQubits_,
+                  "Pauli string length does not match the observable");
+    for (auto& existing : terms_) {
+      if (existing.paulis() == term.paulis()) {
+        existing.setCoefficient(existing.coefficient() + term.coefficient());
+        return *this;
+      }
+    }
+    terms_.push_back(std::move(term));
+    return *this;
+  }
+
+  /// Convenience: add(coefficient * paulis).
+  Observable& add(const std::string& paulis, T coefficient) {
+    return add(PauliString<T>(paulis, coefficient));
+  }
+
+  const std::vector<PauliString<T>>& terms() const noexcept { return terms_; }
+  std::size_t nbTerms() const noexcept { return terms_.size(); }
+
+  /// H |psi>.
+  std::vector<std::complex<T>> apply(
+      const std::vector<std::complex<T>>& state) const {
+    std::vector<std::complex<T>> result(state.size(), std::complex<T>(0));
+    for (const auto& term : terms_) {
+      const auto contribution = term.apply(state);
+      for (std::size_t i = 0; i < result.size(); ++i) {
+        result[i] += contribution[i];
+      }
+    }
+    return result;
+  }
+
+  /// <psi| H |psi>.
+  T expectation(const std::vector<std::complex<T>>& state) const {
+    return std::real(dense::inner(state, apply(state)));
+  }
+
+  /// Var(H) = <H^2> - <H>^2 for the given state.
+  T variance(const std::vector<std::complex<T>>& state) const {
+    const auto hPsi = apply(state);
+    const T squared = dense::normSquared(hPsi);               // <H^2>
+    const T mean = std::real(dense::inner(state, hPsi));      // <H>
+    return squared - mean * mean;
+  }
+
+  /// Dense matrix (tests / small registers).
+  dense::Matrix<T> matrix() const {
+    const std::size_t dim = std::size_t{1} << nbQubits_;
+    dense::Matrix<T> m(dim, dim);
+    for (const auto& term : terms_) {
+      m += term.matrix();
+    }
+    return m;
+  }
+
+ private:
+  int nbQubits_;
+  std::vector<PauliString<T>> terms_;
+};
+
+/// Transverse-field Ising Hamiltonian on a chain:
+///   H = -J * sum_i Z_i Z_{i+1} - h * sum_i X_i
+/// (periodic adds the wrap-around ZZ bond).  The canonical benchmark
+/// observable for time-evolution compilers like F3C built on QCLAB.
+template <typename T>
+Observable<T> isingHamiltonian(int nbQubits, T coupling, T field,
+                               bool periodic = false) {
+  Observable<T> hamiltonian(nbQubits);
+  const auto bond = [&](int i, int j) {
+    std::string paulis(static_cast<std::size_t>(nbQubits), 'I');
+    paulis[static_cast<std::size_t>(i)] = 'Z';
+    paulis[static_cast<std::size_t>(j)] = 'Z';
+    hamiltonian.add(paulis, -coupling);
+  };
+  for (int i = 0; i + 1 < nbQubits; ++i) bond(i, i + 1);
+  if (periodic && nbQubits > 2) bond(nbQubits - 1, 0);
+  for (int i = 0; i < nbQubits; ++i) {
+    std::string paulis(static_cast<std::size_t>(nbQubits), 'I');
+    paulis[static_cast<std::size_t>(i)] = 'X';
+    hamiltonian.add(paulis, -field);
+  }
+  return hamiltonian;
+}
+
+}  // namespace qclab

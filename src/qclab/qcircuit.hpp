@@ -1,0 +1,531 @@
+#pragma once
+
+/// \file qcircuit.hpp
+/// \brief The quantum circuit container: an ordered sequence of gates,
+/// measurements, resets, barriers, and nested sub-circuits, with
+/// simulation, unitary extraction, inversion, and QASM / LaTeX / terminal
+/// output (paper §2-§4).
+
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "qclab/barrier.hpp"
+#include "qclab/io/layout.hpp"
+#include "qclab/measurement.hpp"
+#include "qclab/qgates/qgates.hpp"
+#include "qclab/reset.hpp"
+#include "qclab/sim/backend.hpp"
+#include "qclab/simulation.hpp"
+
+namespace qclab {
+
+template <typename T>
+class QCircuit final : public QObject<T> {
+ public:
+  /// Circuit over `nbQubits` qubits.  `offset` shifts all qubit indices
+  /// when this circuit is nested inside a larger one (QCLAB's
+  /// QCircuit(nbQubits, offset)).
+  explicit QCircuit(int nbQubits, int offset = 0)
+      : nbQubits_(nbQubits), offset_(offset) {
+    util::require(nbQubits >= 1, "circuit needs at least one qubit");
+    util::require(offset >= 0, "offset must be nonnegative");
+  }
+
+  QCircuit(const QCircuit& other)
+      : nbQubits_(other.nbQubits_),
+        offset_(other.offset_),
+        isBlock_(other.isBlock_),
+        label_(other.label_) {
+    objects_.reserve(other.objects_.size());
+    for (const auto& object : other.objects_) {
+      objects_.push_back(object->clone());
+    }
+  }
+
+  QCircuit& operator=(const QCircuit& other) {
+    if (this != &other) {
+      QCircuit copy(other);
+      *this = std::move(copy);
+    }
+    return *this;
+  }
+
+  QCircuit(QCircuit&&) noexcept = default;
+  QCircuit& operator=(QCircuit&&) noexcept = default;
+
+  // ---- container interface -------------------------------------------
+
+  /// Appends an object (gate, measurement, reset, barrier, sub-circuit).
+  void push_back(std::unique_ptr<QObject<T>> object) {
+    checkFits(*object);
+    objects_.push_back(std::move(object));
+  }
+
+  /// Appends a copy-constructed object:
+  ///   circuit.push_back(qclab::qgates::Hadamard<double>(0));
+  template <typename ObjectT>
+    requires std::is_base_of_v<QObject<T>, std::decay_t<ObjectT>>
+  void push_back(ObjectT object) {
+    push_back(std::make_unique<std::decay_t<ObjectT>>(std::move(object)));
+  }
+
+  /// Inserts an object before position `pos`.
+  void insert(std::size_t pos, std::unique_ptr<QObject<T>> object) {
+    util::require(pos <= objects_.size(), "insert position out of range");
+    checkFits(*object);
+    objects_.insert(objects_.begin() + static_cast<std::ptrdiff_t>(pos),
+                    std::move(object));
+  }
+
+  /// Removes the object at position `pos`.
+  void erase(std::size_t pos) {
+    util::require(pos < objects_.size(), "erase position out of range");
+    objects_.erase(objects_.begin() + static_cast<std::ptrdiff_t>(pos));
+  }
+
+  /// Removes all objects.
+  void clear() noexcept { objects_.clear(); }
+
+  /// Number of objects in the circuit (non-recursive).
+  std::size_t nbObjects() const noexcept { return objects_.size(); }
+
+  /// Total number of elementary objects, descending into sub-circuits.
+  std::size_t nbObjectsRecursive() const {
+    std::size_t count = 0;
+    for (const auto& object : objects_) {
+      if (object->objectType() == ObjectType::kCircuit) {
+        count += static_cast<const QCircuit<T>&>(*object).nbObjectsRecursive();
+      } else {
+        ++count;
+      }
+    }
+    return count;
+  }
+
+  /// Histogram of elementary objects by kind, descending into
+  /// sub-circuits: gates keyed by their diagram label / class behaviour
+  /// ("measure", "reset", "barrier" for non-gates).
+  std::map<std::string, std::size_t> gateCounts() const {
+    std::map<std::string, std::size_t> counts;
+    collectGateCounts(counts);
+    return counts;
+  }
+
+  /// Circuit depth: the number of layers when objects are packed greedily
+  /// to the left (the same packing the diagram renderer uses).  Barriers
+  /// occupy a layer of their own over their span; nested circuits
+  /// contribute their elements individually.
+  int depth() const {
+    std::vector<int> nextFree(static_cast<std::size_t>(nbQubits_ + offset_),
+                              0);
+    int layers = 0;
+    collectDepth(nextFree, layers, 0);
+    return layers;
+  }
+
+  /// Object access.
+  const QObject<T>& objectAt(std::size_t pos) const {
+    util::require(pos < objects_.size(), "object position out of range");
+    return *objects_[pos];
+  }
+
+  auto begin() const noexcept { return objects_.begin(); }
+  auto end() const noexcept { return objects_.end(); }
+
+  // ---- properties ------------------------------------------------------
+
+  int nbQubits() const noexcept override { return nbQubits_; }
+
+  /// Qubit offset of this circuit inside its parent.
+  int offset() const noexcept { return offset_; }
+  /// Changes the qubit offset.
+  void setOffset(int offset) {
+    util::require(offset >= 0, "offset must be nonnegative");
+    offset_ = offset;
+  }
+
+  std::vector<int> qubits() const override {
+    std::vector<int> qs(static_cast<std::size_t>(nbQubits_));
+    for (int q = 0; q < nbQubits_; ++q) qs[static_cast<std::size_t>(q)] = q + offset_;
+    return qs;
+  }
+
+  ObjectType objectType() const noexcept override {
+    return ObjectType::kCircuit;
+  }
+
+  std::unique_ptr<QObject<T>> clone() const override {
+    return std::make_unique<QCircuit<T>>(*this);
+  }
+
+  void shiftQubits(int delta) override { setOffset(offset_ + delta); }
+
+  // ---- block drawing (paper §5.3: asBlock / unBlock) --------------------
+
+  /// Draw this circuit as a single labeled box when nested.
+  void asBlock(std::string label = "U") {
+    isBlock_ = true;
+    label_ = std::move(label);
+  }
+  /// Draw this circuit's contents individually again.
+  void unBlock() noexcept { isBlock_ = false; }
+  bool isBlock() const noexcept { return isBlock_; }
+  const std::string& label() const noexcept { return label_; }
+
+  // ---- linear algebra ----------------------------------------------------
+
+  /// The 2^n x 2^n unitary of the circuit (throws if the circuit contains
+  /// measurements or resets).  Computed column-by-column with the kernel
+  /// backend.
+  dense::Matrix<T> matrix() const {
+    const std::size_t dim = std::size_t{1} << nbQubits_;
+    dense::Matrix<T> u(dim, dim);
+    const sim::KernelBackend<T> backend;
+    for (std::size_t j = 0; j < dim; ++j) {
+      std::vector<std::complex<T>> state(dim);
+      state[j] = std::complex<T>(1);
+      applyUnitaryOnly(state, 0, backend);
+      for (std::size_t i = 0; i < dim; ++i) u(i, j) = state[i];
+    }
+    return u;
+  }
+
+  /// The inverse circuit (objects reversed, each gate inverted); QCLAB's
+  /// ctranspose.  Throws if the circuit contains measurements or resets.
+  QCircuit<T> inverted() const {
+    QCircuit<T> inverse(nbQubits_, offset_);
+    if (isBlock_) inverse.asBlock(label_ + "†");
+    for (auto it = objects_.rbegin(); it != objects_.rend(); ++it) {
+      const QObject<T>& object = **it;
+      switch (object.objectType()) {
+        case ObjectType::kGate:
+          inverse.objects_.push_back(
+              static_cast<const qgates::QGate<T>&>(object).inverse());
+          break;
+        case ObjectType::kCircuit:
+          inverse.objects_.push_back(std::make_unique<QCircuit<T>>(
+              static_cast<const QCircuit<T>&>(object).inverted()));
+          break;
+        case ObjectType::kBarrier:
+          inverse.objects_.push_back(object.clone());
+          break;
+        default:
+          throw InvalidArgumentError(
+              "cannot invert a circuit containing measurements or resets");
+      }
+    }
+    return inverse;
+  }
+
+  // ---- simulation (paper §3) --------------------------------------------
+
+  /// Simulates from the basis state given by `bits` (e.g. "00").
+  Simulation<T> simulate(
+      const std::string& bits,
+      const sim::Backend<T>& backend = sim::defaultBackend<T>()) const {
+    util::require(static_cast<int>(bits.size()) == nbQubits_,
+                  "initial bitstring length must equal nbQubits");
+    return simulate(basisState<T>(bits), backend);
+  }
+
+  /// Simulates from an arbitrary initial state vector (normalized within
+  /// 1e-6 relative; renormalized exactly before the run).
+  Simulation<T> simulate(
+      std::vector<std::complex<T>> state,
+      const sim::Backend<T>& backend = sim::defaultBackend<T>()) const {
+    util::require(state.size() == (std::size_t{1} << nbQubits_),
+                  "initial state dimension must be 2^nbQubits");
+    const T norm = dense::norm2(state);
+    util::require(std::abs(norm - T(1)) < T(1e-4),
+                  "initial state must be normalized");
+    if (norm != T(1)) {
+      const T scale = T(1) / norm;
+      for (auto& amplitude : state) amplitude *= scale;
+    }
+    Simulation<T> simulation(nbQubits_, std::move(state));
+    applyTo(simulation, 0, backend);
+    return simulation;
+  }
+
+  /// Applies this circuit to an existing simulation (used recursively for
+  /// sub-circuits; `offset` accumulates parent offsets, this circuit's own
+  /// offset is added on top).
+  void applyTo(Simulation<T>& simulation, int offset,
+               const sim::Backend<T>& backend) const {
+    const int total = offset + offset_;
+    for (const auto& object : objects_) {
+      applyObject(simulation, *object, total, backend);
+    }
+  }
+
+  // ---- I/O (paper §4) -----------------------------------------------------
+
+  /// Full OpenQASM 2.0 program.
+  std::string toQASM() const {
+    std::ostringstream stream;
+    stream << "OPENQASM 2.0;\n"
+           << "include \"qelib1.inc\";\n"
+           << "qreg q[" << nbQubits_ << "];\n"
+           << "creg c[" << nbQubits_ << "];\n";
+    toQASM(stream, 0);
+    return stream.str();
+  }
+
+  /// Emits only the body statements (used when nested).
+  void toQASM(std::ostream& stream, int offset = 0) const override {
+    for (const auto& object : objects_) {
+      object->toQASM(stream, offset + offset_);
+    }
+  }
+
+  /// UTF-8 terminal diagram of the circuit.
+  std::string draw() const {
+    std::vector<io::DrawItem> items;
+    for (const auto& object : objects_) {
+      object->appendDrawItems(items, offset_);
+    }
+    return io::renderAscii(items, nbQubits_ + offset_);
+  }
+
+  /// Standalone quantikz LaTeX document of the circuit diagram.
+  std::string toTex() const {
+    std::vector<io::DrawItem> items;
+    for (const auto& object : objects_) {
+      object->appendDrawItems(items, offset_);
+    }
+    return io::renderLatex(items, nbQubits_ + offset_);
+  }
+
+  void appendDrawItems(std::vector<io::DrawItem>& items,
+                       int offset = 0) const override {
+    if (isBlock_) {
+      io::DrawItem item;
+      item.kind = io::DrawItem::Kind::kBlock;
+      item.label = label_;
+      item.boxTop = offset + offset_;
+      item.boxBottom = offset + offset_ + nbQubits_ - 1;
+      items.push_back(std::move(item));
+      return;
+    }
+    for (const auto& object : objects_) {
+      object->appendDrawItems(items, offset + offset_);
+    }
+  }
+
+ private:
+  /// Probability below which a measurement outcome is treated as impossible
+  /// (suppresses branches created purely by rounding, e.g. Grover's "wrong"
+  /// outcomes at probability ~1e-32).
+  static constexpr T kDropTol = T(100) * std::numeric_limits<T>::epsilon();
+
+  void collectGateCounts(std::map<std::string, std::size_t>& counts) const {
+    for (const auto& object : objects_) {
+      switch (object->objectType()) {
+        case ObjectType::kCircuit:
+          static_cast<const QCircuit<T>&>(*object).collectGateCounts(counts);
+          break;
+        case ObjectType::kMeasurement:
+          ++counts["measure"];
+          break;
+        case ObjectType::kReset:
+          ++counts["reset"];
+          break;
+        case ObjectType::kBarrier:
+          ++counts["barrier"];
+          break;
+        case ObjectType::kGate: {
+          // Key by the first draw label (gate mnemonic incl. controls).
+          std::vector<io::DrawItem> items;
+          object->appendDrawItems(items, 0);
+          std::string key = items.empty() ? "gate" : items[0].label;
+          if (!items.empty() &&
+              (!items[0].controls1.empty() || !items[0].controls0.empty())) {
+            key = "c" + key;
+          }
+          ++counts[key];
+          break;
+        }
+      }
+    }
+  }
+
+  void collectDepth(std::vector<int>& nextFree, int& layers,
+                    int offset) const {
+    const int total = offset + offset_;
+    for (const auto& object : objects_) {
+      if (object->objectType() == ObjectType::kCircuit) {
+        static_cast<const QCircuit<T>&>(*object).collectDepth(nextFree,
+                                                              layers, total);
+        continue;
+      }
+      const int top = object->minQubit() + total;
+      const int bottom = object->maxQubit() + total;
+      int layer = 0;
+      for (int row = top; row <= bottom; ++row) {
+        layer = std::max(layer, nextFree[static_cast<std::size_t>(row)]);
+      }
+      for (int row = top; row <= bottom; ++row) {
+        nextFree[static_cast<std::size_t>(row)] = layer + 1;
+      }
+      layers = std::max(layers, layer + 1);
+    }
+  }
+
+  void checkFits(const QObject<T>& object) const {
+    const auto qs = object.qubits();
+    util::require(!qs.empty(), "object acts on no qubits");
+    util::require(qs.back() < nbQubits_,
+                  "object qubit " + std::to_string(qs.back()) +
+                      " does not fit in a " + std::to_string(nbQubits_) +
+                      "-qubit circuit");
+  }
+
+  /// Applies the gates of this circuit to a bare state; throws on
+  /// non-unitary objects.  Used by matrix().
+  void applyUnitaryOnly(std::vector<std::complex<T>>& state, int offset,
+                        const sim::Backend<T>& backend) const {
+    const int total = offset + offset_;
+    const int nbStateQubits = util::log2PowerOfTwo(state.size());
+    for (const auto& object : objects_) {
+      switch (object->objectType()) {
+        case ObjectType::kGate:
+          backend.applyGate(state, nbStateQubits,
+                            static_cast<const qgates::QGate<T>&>(*object),
+                            total);
+          break;
+        case ObjectType::kCircuit:
+          static_cast<const QCircuit<T>&>(*object).applyUnitaryOnly(
+              state, total, backend);
+          break;
+        case ObjectType::kBarrier:
+          break;
+        default:
+          throw InvalidArgumentError(
+              "circuit with measurements or resets has no unitary matrix");
+      }
+    }
+  }
+
+  static void applyObject(Simulation<T>& simulation, const QObject<T>& object,
+                          int offset, const sim::Backend<T>& backend) {
+    switch (object.objectType()) {
+      case ObjectType::kGate: {
+        const auto& gate = static_cast<const qgates::QGate<T>&>(object);
+        for (auto& branch : simulation.branches()) {
+          backend.applyGate(branch.state, simulation.nbQubits(), gate, offset);
+        }
+        break;
+      }
+      case ObjectType::kMeasurement:
+        applyMeasurement(simulation,
+                         static_cast<const Measurement<T>&>(object), offset);
+        break;
+      case ObjectType::kReset:
+        applyReset(simulation, static_cast<const Reset<T>&>(object), offset);
+        break;
+      case ObjectType::kBarrier:
+        break;
+      case ObjectType::kCircuit:
+        static_cast<const QCircuit<T>&>(object).applyTo(simulation, offset,
+                                                        backend);
+        break;
+    }
+  }
+
+  static void applyMeasurement(Simulation<T>& simulation,
+                               const Measurement<T>& measurement, int offset) {
+    const int nbQubits = simulation.nbQubits();
+    const int qubit = measurement.qubit() + offset;
+    util::checkQubit(qubit, nbQubits);
+    const bool computational = measurement.basis() == Basis::kZ;
+    const dense::Matrix<T> v = measurement.basisVectors();
+    const dense::Matrix<T> vDagger = v.dagger();
+
+    std::vector<Branch<T>> next;
+    next.reserve(simulation.branches().size());
+    for (auto& branch : simulation.branches()) {
+      if (!computational) {
+        sim::apply1(branch.state, nbQubits, qubit, vDagger);
+      }
+      T p0 = sim::measureProbability0(branch.state, nbQubits, qubit);
+      p0 = std::min(std::max(p0, T(0)), T(1));
+      const T p1 = T(1) - p0;
+      const T probabilities[2] = {p0, p1};
+      const bool both = p0 > kDropTol && p1 > kDropTol;
+      for (int outcome = 0; outcome < 2; ++outcome) {
+        const T p = probabilities[outcome];
+        if (p <= kDropTol) continue;
+        Branch<T> child;
+        // The state of the last surviving outcome can be moved.
+        if (both && outcome == 0) {
+          child.state = branch.state;
+        } else {
+          child.state = std::move(branch.state);
+        }
+        sim::collapse(child.state, nbQubits, qubit, outcome, p);
+        if (!computational) {
+          sim::apply1(child.state, nbQubits, qubit, v);
+        }
+        child.probability = branch.probability * static_cast<double>(p);
+        child.result = branch.result + static_cast<char>('0' + outcome);
+        child.measurements = branch.measurements;
+        child.measurements.emplace_back(qubit, outcome);
+        next.push_back(std::move(child));
+      }
+    }
+    simulation.branches() = std::move(next);
+  }
+
+  static void applyReset(Simulation<T>& simulation, const Reset<T>& reset,
+                         int offset) {
+    const int nbQubits = simulation.nbQubits();
+    const int qubit = reset.qubit() + offset;
+    util::checkQubit(qubit, nbQubits);
+    const auto x = dense::pauliX<T>();
+
+    std::vector<Branch<T>> next;
+    next.reserve(simulation.branches().size());
+    for (auto& branch : simulation.branches()) {
+      T p0 = sim::measureProbability0(branch.state, nbQubits, qubit);
+      p0 = std::min(std::max(p0, T(0)), T(1));
+      const T p1 = T(1) - p0;
+      const T probabilities[2] = {p0, p1};
+      const bool both = p0 > kDropTol && p1 > kDropTol;
+      for (int outcome = 0; outcome < 2; ++outcome) {
+        const T p = probabilities[outcome];
+        if (p <= kDropTol) continue;
+        Branch<T> child;
+        if (both && outcome == 0) {
+          child.state = branch.state;
+        } else {
+          child.state = std::move(branch.state);
+        }
+        sim::collapse(child.state, nbQubits, qubit, outcome, p);
+        if (outcome == 1) {
+          sim::apply1(child.state, nbQubits, qubit, x);
+        }
+        child.probability = branch.probability * static_cast<double>(p);
+        child.result = branch.result;  // resets record no classical outcome
+        child.measurements = branch.measurements;
+        next.push_back(std::move(child));
+      }
+    }
+    simulation.branches() = std::move(next);
+  }
+
+  int nbQubits_;
+  int offset_;
+  bool isBlock_ = false;
+  std::string label_ = "U";
+  std::vector<std::unique_ptr<QObject<T>>> objects_;
+};
+
+}  // namespace qclab

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file qclab.hpp
+/// \brief Umbrella header: the complete public API.
+///
+/// Typical usage mirrors QCLAB++ (paper §4):
+///
+///   #include <qclab/qclab.hpp>
+///   qclab::QCircuit<double> circuit(2);
+///   circuit.push_back(std::make_unique<qclab::qgates::Hadamard<double>>(0));
+///   circuit.push_back(std::make_unique<qclab::qgates::CNOT<double>>(0, 1));
+///   circuit.push_back(std::make_unique<qclab::Measurement<double>>(0));
+///   auto simulation = circuit.simulate("00");
+
+#include "qclab/algorithms/algorithms.hpp"
+#include "qclab/barrier.hpp"
+#include "qclab/density.hpp"
+#include "qclab/io/qasm.hpp"
+#include "qclab/io/state_format.hpp"
+#include "qclab/measurement.hpp"
+#include "qclab/noise/noise.hpp"
+#include "qclab/observable.hpp"
+#include "qclab/qcircuit.hpp"
+#include "qclab/qgates/qgates.hpp"
+#include "qclab/reset.hpp"
+#include "qclab/simulation.hpp"
+#include "qclab/stabilizer/simulator.hpp"
+#include "qclab/stabilizer/tableau.hpp"
+#include "qclab/transpile/passes.hpp"
+#include "qclab/version.hpp"

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file paulis.hpp
+/// \brief Fixed single-qubit gates: Identity, Pauli X/Y/Z, Hadamard.
+
+#include "qclab/dense/ops.hpp"
+#include "qclab/qgates/qgate1.hpp"
+
+namespace qclab::qgates {
+
+/// Identity gate (useful as an explicit placeholder).
+template <typename T>
+class Identity final : public QGate1<T> {
+ public:
+  using QGate1<T>::QGate1;
+  dense::Matrix<T> matrix() const override { return dense::pauliI<T>(); }
+  bool isDiagonal() const noexcept override { return true; }
+  std::string qasmName() const override { return "id"; }
+  std::string drawLabel() const override { return "I"; }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<Identity<T>>(this->qubit());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<Identity<T>>(*this);
+  }
+};
+
+/// Pauli-X (NOT) gate.
+template <typename T>
+class PauliX final : public QGate1<T> {
+ public:
+  using QGate1<T>::QGate1;
+  dense::Matrix<T> matrix() const override { return dense::pauliX<T>(); }
+  std::string qasmName() const override { return "x"; }
+  std::string drawLabel() const override { return "X"; }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<PauliX<T>>(this->qubit());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<PauliX<T>>(*this);
+  }
+};
+
+/// Pauli-Y gate.
+template <typename T>
+class PauliY final : public QGate1<T> {
+ public:
+  using QGate1<T>::QGate1;
+  dense::Matrix<T> matrix() const override { return dense::pauliY<T>(); }
+  std::string qasmName() const override { return "y"; }
+  std::string drawLabel() const override { return "Y"; }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<PauliY<T>>(this->qubit());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<PauliY<T>>(*this);
+  }
+};
+
+/// Pauli-Z gate.
+template <typename T>
+class PauliZ final : public QGate1<T> {
+ public:
+  using QGate1<T>::QGate1;
+  dense::Matrix<T> matrix() const override { return dense::pauliZ<T>(); }
+  bool isDiagonal() const noexcept override { return true; }
+  std::string qasmName() const override { return "z"; }
+  std::string drawLabel() const override { return "Z"; }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<PauliZ<T>>(this->qubit());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<PauliZ<T>>(*this);
+  }
+};
+
+/// Hadamard gate.
+template <typename T>
+class Hadamard final : public QGate1<T> {
+ public:
+  using QGate1<T>::QGate1;
+  dense::Matrix<T> matrix() const override {
+    const T h = T(1) / std::sqrt(T(2));
+    return dense::Matrix<T>{{h, h}, {h, -h}};
+  }
+  std::string qasmName() const override { return "h"; }
+  std::string drawLabel() const override { return "H"; }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<Hadamard<T>>(this->qubit());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<Hadamard<T>>(*this);
+  }
+};
+
+}  // namespace qclab::qgates

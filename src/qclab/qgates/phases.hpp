@@ -1,0 +1,192 @@
+#pragma once
+
+/// \file phases.hpp
+/// \brief Phase-type single-qubit gates: S, S†, T, T†, √X, √X†, and the
+/// parameterized Phase gate diag(1, e^{iθ}).
+///
+/// Following QCLAB's numerical-stability convention, the Phase gate stores
+/// (cos θ, sin θ) instead of θ itself (see qrotation.hpp for the rationale).
+
+#include "qclab/qgates/qgate1.hpp"
+#include "qclab/qgates/qrotation.hpp"
+
+namespace qclab::qgates {
+
+/// S gate: diag(1, i) (phase of 90 degrees).
+template <typename T>
+class SGate final : public QGate1<T> {
+ public:
+  using QGate1<T>::QGate1;
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    return dense::Matrix<T>{{C(1), C(0)}, {C(0), C(0, 1)}};
+  }
+  bool isDiagonal() const noexcept override { return true; }
+  std::string qasmName() const override { return "s"; }
+  std::string drawLabel() const override { return "S"; }
+  std::unique_ptr<QGate<T>> inverse() const override;
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<SGate<T>>(*this);
+  }
+};
+
+/// S† gate: diag(1, -i).
+template <typename T>
+class SdgGate final : public QGate1<T> {
+ public:
+  using QGate1<T>::QGate1;
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    return dense::Matrix<T>{{C(1), C(0)}, {C(0), C(0, -1)}};
+  }
+  bool isDiagonal() const noexcept override { return true; }
+  std::string qasmName() const override { return "sdg"; }
+  std::string drawLabel() const override { return "S†"; }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<SGate<T>>(this->qubit());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<SdgGate<T>>(*this);
+  }
+};
+
+template <typename T>
+std::unique_ptr<QGate<T>> SGate<T>::inverse() const {
+  return std::make_unique<SdgGate<T>>(this->qubit());
+}
+
+/// T gate: diag(1, e^{iπ/4}) (phase of 45 degrees).
+template <typename T>
+class TGate final : public QGate1<T> {
+ public:
+  using QGate1<T>::QGate1;
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    const T invSqrt2 = T(1) / std::sqrt(T(2));
+    return dense::Matrix<T>{{C(1), C(0)}, {C(0), C(invSqrt2, invSqrt2)}};
+  }
+  bool isDiagonal() const noexcept override { return true; }
+  std::string qasmName() const override { return "t"; }
+  std::string drawLabel() const override { return "T"; }
+  std::unique_ptr<QGate<T>> inverse() const override;
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<TGate<T>>(*this);
+  }
+};
+
+/// T† gate: diag(1, e^{-iπ/4}).
+template <typename T>
+class TdgGate final : public QGate1<T> {
+ public:
+  using QGate1<T>::QGate1;
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    const T invSqrt2 = T(1) / std::sqrt(T(2));
+    return dense::Matrix<T>{{C(1), C(0)}, {C(0), C(invSqrt2, -invSqrt2)}};
+  }
+  bool isDiagonal() const noexcept override { return true; }
+  std::string qasmName() const override { return "tdg"; }
+  std::string drawLabel() const override { return "T†"; }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<TGate<T>>(this->qubit());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<TdgGate<T>>(*this);
+  }
+};
+
+template <typename T>
+std::unique_ptr<QGate<T>> TGate<T>::inverse() const {
+  return std::make_unique<TdgGate<T>>(this->qubit());
+}
+
+/// √X gate.
+template <typename T>
+class SX final : public QGate1<T> {
+ public:
+  using QGate1<T>::QGate1;
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    const C a(T(0.5), T(0.5));
+    const C b(T(0.5), T(-0.5));
+    return dense::Matrix<T>{{a, b}, {b, a}};
+  }
+  std::string qasmName() const override { return "sx"; }
+  std::string drawLabel() const override { return "√X"; }
+  std::unique_ptr<QGate<T>> inverse() const override;
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<SX<T>>(*this);
+  }
+};
+
+/// √X† gate.
+template <typename T>
+class SXdg final : public QGate1<T> {
+ public:
+  using QGate1<T>::QGate1;
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    const C a(T(0.5), T(-0.5));
+    const C b(T(0.5), T(0.5));
+    return dense::Matrix<T>{{a, b}, {b, a}};
+  }
+  std::string qasmName() const override { return "sxdg"; }
+  std::string drawLabel() const override { return "√X†"; }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<SX<T>>(this->qubit());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<SXdg<T>>(*this);
+  }
+};
+
+template <typename T>
+std::unique_ptr<QGate<T>> SX<T>::inverse() const {
+  return std::make_unique<SXdg<T>>(this->qubit());
+}
+
+/// Parameterized phase gate diag(1, e^{iθ}).
+template <typename T>
+class Phase final : public QGate1<T> {
+ public:
+  /// Phase gate with angle θ on `qubit`.
+  Phase(int qubit, T theta) : QGate1<T>(qubit), angle_(theta) {}
+
+  /// Phase gate from (cos θ, sin θ) directly (numerically exact path).
+  Phase(int qubit, T cosTheta, T sinTheta)
+      : QGate1<T>(qubit), angle_(cosTheta, sinTheta) {}
+
+  /// The rotation parameterization (cos θ, sin θ).
+  const QAngle<T>& angle() const noexcept { return angle_; }
+
+  /// Angle θ recovered from the stored (cos, sin).
+  T theta() const noexcept { return angle_.theta(); }
+
+  /// Updates the angle.
+  void setTheta(T theta) noexcept { angle_ = QAngle<T>(theta); }
+
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    return dense::Matrix<T>{{C(1), C(0)},
+                            {C(0), C(angle_.cos(), angle_.sin())}};
+  }
+  bool isDiagonal() const noexcept override { return true; }
+  std::string qasmName() const override {
+    return "p(" + io::formatAngle(static_cast<double>(theta())) + ")";
+  }
+  std::string drawLabel() const override {
+    return "P(" + io::formatAngleShort(static_cast<double>(theta())) + ")";
+  }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<Phase<T>>(this->qubit(), angle_.cos(),
+                                      -angle_.sin());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<Phase<T>>(*this);
+  }
+
+ private:
+  QAngle<T> angle_;
+};
+
+}  // namespace qclab::qgates

@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file qgate.hpp
+/// \brief Abstract base class for unitary gates plus the generic
+/// controlled-matrix construction shared by all controlled gates.
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "qclab/dense/matrix.hpp"
+#include "qclab/qobject.hpp"
+#include "qclab/util/bits.hpp"
+
+namespace qclab::qgates {
+
+/// Builds the matrix of a controlled operation over the ascending qubit list
+/// `sortedQubits` (qubit sortedQubits[0] = most significant).  `controls`
+/// lists the control qubits, `controlStates` the value (0/1) each control
+/// must have, `targets` the target qubits in the ordering assumed by
+/// `targetMatrix` (MSB-first).  Non-control non-target qubits inside the
+/// list are not allowed.
+template <typename T>
+dense::Matrix<T> controlledMatrix(const std::vector<int>& sortedQubits,
+                                  const std::vector<int>& controls,
+                                  const std::vector<int>& controlStates,
+                                  const std::vector<int>& targets,
+                                  const dense::Matrix<T>& targetMatrix) {
+  const int k = static_cast<int>(sortedQubits.size());
+  util::require(controls.size() == controlStates.size(),
+                "controls/controlStates length mismatch");
+  util::require(controls.size() + targets.size() == sortedQubits.size(),
+                "controls + targets must cover the qubit list");
+
+  auto position = [&](int qubit) {
+    const auto it =
+        std::find(sortedQubits.begin(), sortedQubits.end(), qubit);
+    util::require(it != sortedQubits.end(), "qubit not in gate qubit list");
+    const int idx = static_cast<int>(it - sortedQubits.begin());
+    return util::bitPosition(idx, k);  // bit position within the gate index
+  };
+
+  std::vector<int> controlPos(controls.size());
+  for (std::size_t i = 0; i < controls.size(); ++i)
+    controlPos[i] = position(controls[i]);
+  std::vector<int> targetPos(targets.size());
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    targetPos[i] = position(targets[i]);
+
+  const std::size_t dim = std::size_t{1} << k;
+  const int t = static_cast<int>(targets.size());
+  util::require(targetMatrix.rows() == (std::size_t{1} << t) &&
+                    targetMatrix.isSquare(),
+                "target matrix dimension mismatch");
+
+  dense::Matrix<T> m(dim, dim);
+  for (util::index_t r = 0; r < dim; ++r) {
+    bool active = true;
+    for (std::size_t i = 0; i < controls.size(); ++i) {
+      if (util::getBit(r, controlPos[i]) !=
+          static_cast<util::index_t>(controlStates[i])) {
+        active = false;
+        break;
+      }
+    }
+    if (!active) {
+      m(r, r) = std::complex<T>(1);
+      continue;
+    }
+    // Row index within the target subspace (MSB-first over targets).
+    util::index_t rt = 0;
+    for (int i = 0; i < t; ++i)
+      rt = (rt << 1) | util::getBit(r, targetPos[i]);
+    for (util::index_t ct = 0; ct < (util::index_t{1} << t); ++ct) {
+      const auto value = targetMatrix(rt, ct);
+      if (value == std::complex<T>(0)) continue;
+      util::index_t c = r;
+      for (int i = 0; i < t; ++i) {
+        const util::index_t bit = util::getBit(ct, util::bitPosition(i, t));
+        c = bit ? util::setBit(c, targetPos[i])
+                : util::clearBit(c, targetPos[i]);
+      }
+      m(r, c) = value;
+    }
+  }
+  return m;
+}
+
+/// Abstract unitary gate.
+template <typename T>
+class QGate : public QObject<T> {
+ public:
+  ObjectType objectType() const noexcept final { return ObjectType::kGate; }
+
+  /// Unitary matrix of this gate over `qubits()` (ascending order, first
+  /// qubit = most significant bit).
+  virtual dense::Matrix<T> matrix() const = 0;
+
+  /// Control qubits (empty for uncontrolled gates).
+  virtual std::vector<int> controls() const { return {}; }
+
+  /// Control state (0 or 1) per control qubit.
+  virtual std::vector<int> controlStates() const { return {}; }
+
+  /// Target qubits, in the qubit ordering of `targetMatrix()`.
+  virtual std::vector<int> targets() const { return this->qubits(); }
+
+  /// Matrix acting on the targets when all controls are satisfied.
+  virtual dense::Matrix<T> targetMatrix() const { return matrix(); }
+
+  /// True if `matrix()` is diagonal — enables fast simulation paths.
+  virtual bool isDiagonal() const noexcept { return false; }
+
+  /// The inverse gate (conjugate transpose).
+  virtual std::unique_ptr<QGate<T>> inverse() const = 0;
+
+  /// Clone with gate type preserved.
+  virtual std::unique_ptr<QGate<T>> cloneGate() const = 0;
+
+  std::unique_ptr<QObject<T>> clone() const final { return cloneGate(); }
+};
+
+}  // namespace qclab::qgates

@@ -1,0 +1,17 @@
+#pragma once
+
+/// \file qgates.hpp
+/// \brief Umbrella header for the full gate set.
+
+#include "qclab/qgates/controlled.hpp"
+#include "qclab/qgates/controlled_extra.hpp"
+#include "qclab/qgates/matrix_gates.hpp"
+#include "qclab/qgates/multi_controlled.hpp"
+#include "qclab/qgates/paulis.hpp"
+#include "qclab/qgates/phases.hpp"
+#include "qclab/qgates/qgate.hpp"
+#include "qclab/qgates/qgate1.hpp"
+#include "qclab/qgates/qgate2.hpp"
+#include "qclab/qgates/qrotation.hpp"
+#include "qclab/qgates/rotations.hpp"
+#include "qclab/qgates/two_qubit.hpp"

@@ -1,0 +1,146 @@
+#pragma once
+
+/// \file qrotation.hpp
+/// \brief Numerically stable angle and rotation representations.
+///
+/// QCLAB's stated emphasis is numerical stability: rotation gates store the
+/// pair (cos, sin) rather than the angle itself.  Composing rotations then
+/// uses the angle-sum identities
+///     cos(a+b) = cos a cos b - sin a sin b
+///     sin(a+b) = sin a cos b + cos a sin b
+/// which avoids the cancellation incurred by converting to angles and back,
+/// and keeps gate matrices exactly unitary up to rounding in two products.
+/// QAngle stores a full angle θ; QRotation stores the half angle θ/2 used by
+/// the rotation gates RX/RY/RZ (matrices depend only on θ/2).
+
+#include <cmath>
+#include <limits>
+
+#include "qclab/util/errors.hpp"
+
+namespace qclab::qgates {
+
+/// An angle θ represented by the pair (cos θ, sin θ).
+template <typename T>
+class QAngle {
+ public:
+  /// Zero angle.
+  QAngle() noexcept : cos_(1), sin_(0) {}
+
+  /// Angle θ.
+  explicit QAngle(T theta) noexcept : cos_(std::cos(theta)), sin_(std::sin(theta)) {}
+
+  /// Angle from (cos, sin) directly; the pair must be normalized.
+  QAngle(T cosTheta, T sinTheta) : cos_(cosTheta), sin_(sinTheta) {
+    const T norm = cosTheta * cosTheta + sinTheta * sinTheta;
+    util::require(std::abs(norm - T(1)) < T(100) * kEps,
+                  "(cos, sin) pair is not normalized");
+  }
+
+  T cos() const noexcept { return cos_; }
+  T sin() const noexcept { return sin_; }
+
+  /// Recovers θ in (-π, π].
+  T theta() const noexcept { return std::atan2(sin_, cos_); }
+
+  /// Sum of two angles via the angle-sum identities (no atan2 round trip).
+  QAngle operator+(const QAngle& other) const noexcept {
+    QAngle result;
+    result.cos_ = cos_ * other.cos_ - sin_ * other.sin_;
+    result.sin_ = sin_ * other.cos_ + cos_ * other.sin_;
+    return result;
+  }
+
+  /// Difference of two angles.
+  QAngle operator-(const QAngle& other) const noexcept {
+    QAngle result;
+    result.cos_ = cos_ * other.cos_ + sin_ * other.sin_;
+    result.sin_ = sin_ * other.cos_ - cos_ * other.sin_;
+    return result;
+  }
+
+  /// Negated angle.
+  QAngle operator-() const noexcept {
+    QAngle result;
+    result.cos_ = cos_;
+    result.sin_ = -sin_;
+    return result;
+  }
+
+  QAngle& operator+=(const QAngle& other) noexcept { return *this = *this + other; }
+  QAngle& operator-=(const QAngle& other) noexcept { return *this = *this - other; }
+
+  /// Renormalizes the (cos, sin) pair after long fusion chains.
+  void normalize() noexcept {
+    const T norm = std::sqrt(cos_ * cos_ + sin_ * sin_);
+    if (norm > T(0)) {
+      cos_ /= norm;
+      sin_ /= norm;
+    }
+  }
+
+  bool approxEqual(const QAngle& other, T tol) const noexcept {
+    return std::abs(cos_ - other.cos_) <= tol &&
+           std::abs(sin_ - other.sin_) <= tol;
+  }
+
+ private:
+  static constexpr T kEps = std::numeric_limits<T>::epsilon();
+  T cos_;
+  T sin_;
+};
+
+/// A rotation by θ represented through its half angle: stores
+/// (cos θ/2, sin θ/2), which is what the RX/RY/RZ matrices consume.
+template <typename T>
+class QRotation {
+ public:
+  /// Zero rotation.
+  QRotation() noexcept = default;
+
+  /// Rotation by θ.
+  explicit QRotation(T theta) noexcept : half_(theta / T(2)) {}
+
+  /// Rotation from (cos θ/2, sin θ/2) directly.
+  QRotation(T cosHalf, T sinHalf) : half_(cosHalf, sinHalf) {}
+
+  /// cos(θ/2).
+  T cos() const noexcept { return half_.cos(); }
+  /// sin(θ/2).
+  T sin() const noexcept { return half_.sin(); }
+  /// θ in (-2π, 2π].
+  T theta() const noexcept { return T(2) * half_.theta(); }
+
+  /// The underlying half angle.
+  const QAngle<T>& halfAngle() const noexcept { return half_; }
+
+  /// Composition: rotation by θ1 + θ2 (stable fusion, no angle round trip).
+  QRotation operator*(const QRotation& other) const noexcept {
+    QRotation result;
+    result.half_ = half_ + other.half_;
+    return result;
+  }
+
+  /// Rotation by θ1 - θ2.
+  QRotation operator/(const QRotation& other) const noexcept {
+    QRotation result;
+    result.half_ = half_ - other.half_;
+    return result;
+  }
+
+  /// Inverse rotation (by -θ).
+  QRotation inverse() const noexcept {
+    QRotation result;
+    result.half_ = -half_;
+    return result;
+  }
+
+  bool approxEqual(const QRotation& other, T tol) const noexcept {
+    return half_.approxEqual(other.half_, tol);
+  }
+
+ private:
+  QAngle<T> half_;
+};
+
+}  // namespace qclab::qgates

@@ -1,0 +1,207 @@
+#pragma once
+
+/// \file rotations.hpp
+/// \brief Parameterized single-qubit rotation gates RX, RY, RZ and the
+/// generic U2/U3 gates.  All rotations store (cos θ/2, sin θ/2) via
+/// QRotation for numerical stability.
+
+#include "qclab/qgates/qgate1.hpp"
+#include "qclab/qgates/qrotation.hpp"
+
+namespace qclab::qgates {
+
+/// Common behaviour of the axis rotation gates.
+template <typename T>
+class RotationGate1 : public QGate1<T> {
+ public:
+  RotationGate1(int qubit, T theta) : QGate1<T>(qubit), rotation_(theta) {}
+  RotationGate1(int qubit, const QRotation<T>& rotation)
+      : QGate1<T>(qubit), rotation_(rotation) {}
+
+  /// The stored rotation (half-angle representation).
+  const QRotation<T>& rotation() const noexcept { return rotation_; }
+
+  /// Rotation angle θ.
+  T theta() const noexcept { return rotation_.theta(); }
+
+  /// Replaces the rotation angle.
+  void setTheta(T theta) noexcept { rotation_ = QRotation<T>(theta); }
+
+  /// Fuses another rotation of the same axis into this gate: θ += other.
+  void fuse(const QRotation<T>& other) noexcept {
+    rotation_ = rotation_ * other;
+  }
+
+ protected:
+  QRotation<T> rotation_;
+};
+
+/// Rotation about the X axis.
+template <typename T>
+class RotationX final : public RotationGate1<T> {
+ public:
+  using RotationGate1<T>::RotationGate1;
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    const T c = this->rotation_.cos();
+    const T s = this->rotation_.sin();
+    return dense::Matrix<T>{{C(c), C(0, -s)}, {C(0, -s), C(c)}};
+  }
+  std::string qasmName() const override {
+    return "rx(" + io::formatAngle(static_cast<double>(this->theta())) + ")";
+  }
+  std::string drawLabel() const override {
+    return "RX(" + io::formatAngleShort(static_cast<double>(this->theta())) +
+           ")";
+  }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<RotationX<T>>(this->qubit(),
+                                          this->rotation_.inverse());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<RotationX<T>>(*this);
+  }
+};
+
+/// Rotation about the Y axis.
+template <typename T>
+class RotationY final : public RotationGate1<T> {
+ public:
+  using RotationGate1<T>::RotationGate1;
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    const T c = this->rotation_.cos();
+    const T s = this->rotation_.sin();
+    return dense::Matrix<T>{{C(c), C(-s)}, {C(s), C(c)}};
+  }
+  std::string qasmName() const override {
+    return "ry(" + io::formatAngle(static_cast<double>(this->theta())) + ")";
+  }
+  std::string drawLabel() const override {
+    return "RY(" + io::formatAngleShort(static_cast<double>(this->theta())) +
+           ")";
+  }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<RotationY<T>>(this->qubit(),
+                                          this->rotation_.inverse());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<RotationY<T>>(*this);
+  }
+};
+
+/// Rotation about the Z axis (diagonal).
+template <typename T>
+class RotationZ final : public RotationGate1<T> {
+ public:
+  using RotationGate1<T>::RotationGate1;
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    const T c = this->rotation_.cos();
+    const T s = this->rotation_.sin();
+    return dense::Matrix<T>{{C(c, -s), C(0)}, {C(0), C(c, s)}};
+  }
+  bool isDiagonal() const noexcept override { return true; }
+  std::string qasmName() const override {
+    return "rz(" + io::formatAngle(static_cast<double>(this->theta())) + ")";
+  }
+  std::string drawLabel() const override {
+    return "RZ(" + io::formatAngleShort(static_cast<double>(this->theta())) +
+           ")";
+  }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<RotationZ<T>>(this->qubit(),
+                                          this->rotation_.inverse());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<RotationZ<T>>(*this);
+  }
+};
+
+/// U2(φ, λ) gate (OpenQASM u2).
+template <typename T>
+class U2 final : public QGate1<T> {
+ public:
+  U2(int qubit, T phi, T lambda)
+      : QGate1<T>(qubit), phi_(phi), lambda_(lambda) {}
+
+  T phi() const noexcept { return phi_.theta(); }
+  T lambda() const noexcept { return lambda_.theta(); }
+
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    const T invSqrt2 = T(1) / std::sqrt(T(2));
+    const C ePhi(phi_.cos(), phi_.sin());
+    const C eLambda(lambda_.cos(), lambda_.sin());
+    return dense::Matrix<T>{{C(invSqrt2), -eLambda * invSqrt2},
+                            {ePhi * invSqrt2, ePhi * eLambda * invSqrt2}};
+  }
+  std::string qasmName() const override {
+    return "u2(" + io::formatAngle(static_cast<double>(phi())) + ", " +
+           io::formatAngle(static_cast<double>(lambda())) + ")";
+  }
+  std::string drawLabel() const override { return "U2"; }
+  std::unique_ptr<QGate<T>> inverse() const override;
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<U2<T>>(*this);
+  }
+
+ private:
+  QAngle<T> phi_;
+  QAngle<T> lambda_;
+};
+
+/// U3(θ, φ, λ) gate (OpenQASM u3), the generic single-qubit unitary up to
+/// global phase.
+template <typename T>
+class U3 final : public QGate1<T> {
+ public:
+  U3(int qubit, T theta, T phi, T lambda)
+      : QGate1<T>(qubit), rotation_(theta), phi_(phi), lambda_(lambda) {}
+
+  U3(int qubit, const QRotation<T>& rotation, const QAngle<T>& phi,
+     const QAngle<T>& lambda)
+      : QGate1<T>(qubit), rotation_(rotation), phi_(phi), lambda_(lambda) {}
+
+  T theta() const noexcept { return rotation_.theta(); }
+  T phi() const noexcept { return phi_.theta(); }
+  T lambda() const noexcept { return lambda_.theta(); }
+
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    const T c = rotation_.cos();
+    const T s = rotation_.sin();
+    const C ePhi(phi_.cos(), phi_.sin());
+    const C eLambda(lambda_.cos(), lambda_.sin());
+    return dense::Matrix<T>{{C(c), -eLambda * s},
+                            {ePhi * s, ePhi * eLambda * c}};
+  }
+  std::string qasmName() const override {
+    return "u3(" + io::formatAngle(static_cast<double>(theta())) + ", " +
+           io::formatAngle(static_cast<double>(phi())) + ", " +
+           io::formatAngle(static_cast<double>(lambda())) + ")";
+  }
+  std::string drawLabel() const override { return "U3"; }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    // (U3(θ, φ, λ))† = U3(-θ, -λ, -φ).
+    return std::make_unique<U3<T>>(this->qubit(), rotation_.inverse(),
+                                   -lambda_, -phi_);
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<U3<T>>(*this);
+  }
+
+ private:
+  QRotation<T> rotation_;
+  QAngle<T> phi_;
+  QAngle<T> lambda_;
+};
+
+template <typename T>
+std::unique_ptr<QGate<T>> U2<T>::inverse() const {
+  // U2(φ, λ) = U3(π/2, φ, λ); its inverse is U3(-π/2, -λ, -φ).
+  return std::make_unique<U3<T>>(this->qubit(), -static_cast<T>(M_PI_2),
+                                 -lambda(), -phi());
+}
+
+}  // namespace qclab::qgates

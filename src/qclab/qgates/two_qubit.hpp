@@ -1,0 +1,203 @@
+#pragma once
+
+/// \file two_qubit.hpp
+/// \brief Non-controlled two-qubit gates: SWAP, iSWAP, and the two-qubit
+/// rotations RXX, RYY, RZZ (used e.g. by time-evolution circuits such as the
+/// F3C compiler built on QCLAB).
+
+#include "qclab/qgates/qgate2.hpp"
+#include "qclab/qgates/qrotation.hpp"
+
+namespace qclab::qgates {
+
+/// SWAP gate.
+template <typename T>
+class SWAP final : public QGate2<T> {
+ public:
+  using QGate2<T>::QGate2;
+  dense::Matrix<T> matrix() const override {
+    return dense::Matrix<T>{{1, 0, 0, 0},
+                            {0, 0, 1, 0},
+                            {0, 1, 0, 0},
+                            {0, 0, 0, 1}};
+  }
+  std::string qasmName() const override { return "swap"; }
+  std::string drawLabel() const override { return "SWAP"; }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<SWAP<T>>(this->qubit0(), this->qubit1());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<SWAP<T>>(*this);
+  }
+  void appendDrawItems(std::vector<io::DrawItem>& items,
+                       int offset = 0) const override {
+    io::DrawItem item;
+    item.kind = io::DrawItem::Kind::kSwap;
+    item.boxTop = this->qubit0() + offset;
+    item.boxBottom = this->qubit1() + offset;
+    item.swapQubits = {this->qubit0() + offset, this->qubit1() + offset};
+    items.push_back(std::move(item));
+  }
+};
+
+/// iSWAP gate.
+template <typename T>
+class iSWAP final : public QGate2<T> {
+ public:
+  using QGate2<T>::QGate2;
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    return dense::Matrix<T>{{C(1), C(0), C(0), C(0)},
+                            {C(0), C(0), C(0, 1), C(0)},
+                            {C(0), C(0, 1), C(0), C(0)},
+                            {C(0), C(0), C(0), C(1)}};
+  }
+  std::string qasmName() const override { return "iswap"; }
+  std::string drawLabel() const override { return "iSWAP"; }
+  std::unique_ptr<QGate<T>> inverse() const override;
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<iSWAP<T>>(*this);
+  }
+};
+
+/// iSWAP† gate (inverse of iSWAP).
+template <typename T>
+class iSWAPdg final : public QGate2<T> {
+ public:
+  using QGate2<T>::QGate2;
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    return dense::Matrix<T>{{C(1), C(0), C(0), C(0)},
+                            {C(0), C(0), C(0, -1), C(0)},
+                            {C(0), C(0, -1), C(0), C(0)},
+                            {C(0), C(0), C(0), C(1)}};
+  }
+  std::string qasmName() const override { return "iswapdg"; }
+  std::string drawLabel() const override { return "iSWAP†"; }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<iSWAP<T>>(this->qubit0(), this->qubit1());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<iSWAPdg<T>>(*this);
+  }
+};
+
+template <typename T>
+std::unique_ptr<QGate<T>> iSWAP<T>::inverse() const {
+  return std::make_unique<iSWAPdg<T>>(this->qubit0(), this->qubit1());
+}
+
+/// Base for the two-qubit axis rotations.
+template <typename T>
+class RotationGate2 : public QGate2<T> {
+ public:
+  RotationGate2(int qubit0, int qubit1, T theta)
+      : QGate2<T>(qubit0, qubit1), rotation_(theta) {}
+  RotationGate2(int qubit0, int qubit1, const QRotation<T>& rotation)
+      : QGate2<T>(qubit0, qubit1), rotation_(rotation) {}
+
+  const QRotation<T>& rotation() const noexcept { return rotation_; }
+  T theta() const noexcept { return rotation_.theta(); }
+  void setTheta(T theta) noexcept { rotation_ = QRotation<T>(theta); }
+  void fuse(const QRotation<T>& other) noexcept {
+    rotation_ = rotation_ * other;
+  }
+
+ protected:
+  QRotation<T> rotation_;
+};
+
+/// Two-qubit rotation exp(-i θ/2 X⊗X).
+template <typename T>
+class RotationXX final : public RotationGate2<T> {
+ public:
+  using RotationGate2<T>::RotationGate2;
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    const C c(this->rotation_.cos());
+    const C ms(0, -this->rotation_.sin());
+    return dense::Matrix<T>{{c, C(0), C(0), ms},
+                            {C(0), c, ms, C(0)},
+                            {C(0), ms, c, C(0)},
+                            {ms, C(0), C(0), c}};
+  }
+  std::string qasmName() const override {
+    return "rxx(" + io::formatAngle(static_cast<double>(this->theta())) + ")";
+  }
+  std::string drawLabel() const override {
+    return "RXX(" + io::formatAngleShort(static_cast<double>(this->theta())) +
+           ")";
+  }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<RotationXX<T>>(this->qubit0(), this->qubit1(),
+                                           this->rotation_.inverse());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<RotationXX<T>>(*this);
+  }
+};
+
+/// Two-qubit rotation exp(-i θ/2 Y⊗Y).
+template <typename T>
+class RotationYY final : public RotationGate2<T> {
+ public:
+  using RotationGate2<T>::RotationGate2;
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    const C c(this->rotation_.cos());
+    const C is(0, this->rotation_.sin());
+    return dense::Matrix<T>{{c, C(0), C(0), is},
+                            {C(0), c, -is, C(0)},
+                            {C(0), -is, c, C(0)},
+                            {is, C(0), C(0), c}};
+  }
+  std::string qasmName() const override {
+    return "ryy(" + io::formatAngle(static_cast<double>(this->theta())) + ")";
+  }
+  std::string drawLabel() const override {
+    return "RYY(" + io::formatAngleShort(static_cast<double>(this->theta())) +
+           ")";
+  }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<RotationYY<T>>(this->qubit0(), this->qubit1(),
+                                           this->rotation_.inverse());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<RotationYY<T>>(*this);
+  }
+};
+
+/// Two-qubit rotation exp(-i θ/2 Z⊗Z) (diagonal).
+template <typename T>
+class RotationZZ final : public RotationGate2<T> {
+ public:
+  using RotationGate2<T>::RotationGate2;
+  dense::Matrix<T> matrix() const override {
+    using C = std::complex<T>;
+    const C eMinus(this->rotation_.cos(), -this->rotation_.sin());
+    const C ePlus(this->rotation_.cos(), this->rotation_.sin());
+    dense::Matrix<T> m(4, 4);
+    m(0, 0) = eMinus;
+    m(1, 1) = ePlus;
+    m(2, 2) = ePlus;
+    m(3, 3) = eMinus;
+    return m;
+  }
+  bool isDiagonal() const noexcept override { return true; }
+  std::string qasmName() const override {
+    return "rzz(" + io::formatAngle(static_cast<double>(this->theta())) + ")";
+  }
+  std::string drawLabel() const override {
+    return "RZZ(" + io::formatAngleShort(static_cast<double>(this->theta())) +
+           ")";
+  }
+  std::unique_ptr<QGate<T>> inverse() const override {
+    return std::make_unique<RotationZZ<T>>(this->qubit0(), this->qubit1(),
+                                           this->rotation_.inverse());
+  }
+  std::unique_ptr<QGate<T>> cloneGate() const override {
+    return std::make_unique<RotationZZ<T>>(*this);
+  }
+};
+
+}  // namespace qclab::qgates

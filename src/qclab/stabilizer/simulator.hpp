@@ -1,0 +1,217 @@
+#pragma once
+
+/// \file simulator.hpp
+/// \brief Runs QCircuits on the stabilizer tableau.
+///
+/// Supports the Clifford subset of the gate catalog (Paulis, H, S/S†,
+/// sqrt(X)/sqrt(X)†, CX/CY/CZ, SWAP/iSWAP, singly-controlled X/Z through
+/// MCX/MCZ) plus Z/X/Y-basis measurements and resets.  Non-Clifford gates
+/// throw InvalidArgumentError.  One run produces one shot; measurement
+/// randomness draws from the provided generator.
+
+#include <map>
+
+#include "qclab/qcircuit.hpp"
+#include "qclab/stabilizer/tableau.hpp"
+
+namespace qclab::stabilizer {
+
+namespace detail {
+
+template <typename T>
+void applyGate(Tableau& tableau, const qgates::QGate<T>& gate, int offset) {
+  using namespace qclab::qgates;
+  if (dynamic_cast<const Identity<T>*>(&gate)) return;
+  if (const auto* g = dynamic_cast<const PauliX<T>*>(&gate)) {
+    tableau.x(g->qubit() + offset);
+    return;
+  }
+  if (const auto* g = dynamic_cast<const PauliY<T>*>(&gate)) {
+    tableau.y(g->qubit() + offset);
+    return;
+  }
+  if (const auto* g = dynamic_cast<const PauliZ<T>*>(&gate)) {
+    tableau.z(g->qubit() + offset);
+    return;
+  }
+  if (const auto* g = dynamic_cast<const Hadamard<T>*>(&gate)) {
+    tableau.h(g->qubit() + offset);
+    return;
+  }
+  if (const auto* g = dynamic_cast<const SGate<T>*>(&gate)) {
+    tableau.s(g->qubit() + offset);
+    return;
+  }
+  if (const auto* g = dynamic_cast<const SdgGate<T>*>(&gate)) {
+    tableau.sdg(g->qubit() + offset);
+    return;
+  }
+  if (const auto* g = dynamic_cast<const SX<T>*>(&gate)) {
+    tableau.sx(g->qubit() + offset);
+    return;
+  }
+  if (const auto* g = dynamic_cast<const SXdg<T>*>(&gate)) {
+    tableau.sxdg(g->qubit() + offset);
+    return;
+  }
+  if (const auto* g = dynamic_cast<const CX<T>*>(&gate)) {
+    const int c = g->control() + offset;
+    const int t = g->target() + offset;
+    if (g->controlState() == 0) tableau.x(c);
+    tableau.cx(c, t);
+    if (g->controlState() == 0) tableau.x(c);
+    return;
+  }
+  if (const auto* g = dynamic_cast<const CY<T>*>(&gate)) {
+    const int c = g->control() + offset;
+    const int t = g->target() + offset;
+    if (g->controlState() == 0) tableau.x(c);
+    tableau.sdg(t);
+    tableau.cx(c, t);
+    tableau.s(t);
+    if (g->controlState() == 0) tableau.x(c);
+    return;
+  }
+  if (const auto* g = dynamic_cast<const CZ<T>*>(&gate)) {
+    const int c = g->control() + offset;
+    const int t = g->target() + offset;
+    if (g->controlState() == 0) tableau.x(c);
+    tableau.cz(c, t);
+    if (g->controlState() == 0) tableau.x(c);
+    return;
+  }
+  if (const auto* g = dynamic_cast<const SWAP<T>*>(&gate)) {
+    tableau.swap(g->qubit0() + offset, g->qubit1() + offset);
+    return;
+  }
+  if (const auto* g = dynamic_cast<const iSWAP<T>*>(&gate)) {
+    tableau.iswap(g->qubit0() + offset, g->qubit1() + offset);
+    return;
+  }
+  if (const auto* g = dynamic_cast<const iSWAPdg<T>*>(&gate)) {
+    // Inverse of iSWAP = SWAP . CZ . (S (x) S).
+    const int a = g->qubit0() + offset;
+    const int b = g->qubit1() + offset;
+    tableau.swap(a, b);
+    tableau.cz(a, b);
+    tableau.sdg(a);
+    tableau.sdg(b);
+    return;
+  }
+  if (const auto* g = dynamic_cast<const MCGate<T>*>(&gate)) {
+    if (g->controlQubits().size() == 1) {
+      const int c = g->controlQubits()[0] + offset;
+      const int t = g->target() + offset;
+      const bool invert = g->states()[0] == 0;
+      if (invert) tableau.x(c);
+      if (dynamic_cast<const MCX<T>*>(&gate)) {
+        tableau.cx(c, t);
+      } else if (dynamic_cast<const MCZ<T>*>(&gate)) {
+        tableau.cz(c, t);
+      } else if (dynamic_cast<const MCY<T>*>(&gate)) {
+        tableau.sdg(t);
+        tableau.cx(c, t);
+        tableau.s(t);
+      } else {
+        throw InvalidArgumentError("unsupported multi-controlled gate in "
+                                   "stabilizer simulation");
+      }
+      if (invert) tableau.x(c);
+      return;
+    }
+  }
+  throw InvalidArgumentError(
+      "gate is not in the Clifford subset supported by the stabilizer "
+      "simulator");
+}
+
+template <typename T>
+void applyMeasurementBasisChange(Tableau& tableau,
+                                 const Measurement<T>& measurement, int qubit,
+                                 bool revert) {
+  switch (measurement.basis()) {
+    case Basis::kZ:
+      break;
+    case Basis::kX:
+      tableau.h(qubit);
+      break;
+    case Basis::kY:
+      // V^H = H S^H before, V = S H after.
+      if (!revert) {
+        tableau.sdg(qubit);
+        tableau.h(qubit);
+      } else {
+        tableau.h(qubit);
+        tableau.s(qubit);
+      }
+      break;
+    case Basis::kCustom:
+      throw InvalidArgumentError(
+          "custom-basis measurement is not supported by the stabilizer "
+          "simulator");
+  }
+}
+
+template <typename T>
+void run(const QCircuit<T>& circuit, Tableau& tableau, random::Rng& rng,
+         std::string& outcomes, int offset) {
+  const int total = offset + circuit.offset();
+  for (const auto& object : circuit) {
+    switch (object->objectType()) {
+      case ObjectType::kGate:
+        applyGate(tableau, static_cast<const qgates::QGate<T>&>(*object),
+                  total);
+        break;
+      case ObjectType::kMeasurement: {
+        const auto& measurement = static_cast<const Measurement<T>&>(*object);
+        const int qubit = measurement.qubit() + total;
+        applyMeasurementBasisChange(tableau, measurement, qubit, false);
+        const int outcome = tableau.measure(qubit, rng);
+        applyMeasurementBasisChange(tableau, measurement, qubit, true);
+        outcomes += static_cast<char>('0' + outcome);
+        break;
+      }
+      case ObjectType::kReset:
+        tableau.reset(static_cast<const Reset<T>&>(*object).qubit() + total,
+                      rng);
+        break;
+      case ObjectType::kBarrier:
+        break;
+      case ObjectType::kCircuit:
+        run(static_cast<const QCircuit<T>&>(*object), tableau, rng, outcomes,
+            total);
+        break;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// One stabilizer-simulation shot of `circuit` from |0...0>: returns the
+/// concatenated measurement outcomes and leaves the collapsed tableau in
+/// `tableau` (pass a fresh Tableau of circuit.nbQubits()).
+template <typename T>
+std::string simulateShot(const QCircuit<T>& circuit, Tableau& tableau,
+                         random::Rng& rng) {
+  util::require(tableau.nbQubits() >= circuit.nbQubits() + circuit.offset(),
+                "tableau too small for the circuit");
+  std::string outcomes;
+  detail::run(circuit, tableau, rng, outcomes, 0);
+  return outcomes;
+}
+
+/// Runs `shots` stabilizer shots from |0...0> and returns the outcome
+/// histogram (the stabilizer analogue of Simulation::countsMap).
+template <typename T>
+std::map<std::string, std::uint64_t> sampleCounts(const QCircuit<T>& circuit,
+                                                  std::uint64_t shots,
+                                                  random::Rng& rng) {
+  std::map<std::string, std::uint64_t> histogram;
+  for (std::uint64_t shot = 0; shot < shots; ++shot) {
+    Tableau tableau(circuit.nbQubits() + circuit.offset());
+    ++histogram[simulateShot(circuit, tableau, rng)];
+  }
+  return histogram;
+}
+
+}  // namespace qclab::stabilizer

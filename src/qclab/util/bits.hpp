@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file bits.hpp
+/// \brief Bit-manipulation primitives for state-vector indexing.
+///
+/// Convention (matching QCLAB / the paper): qubit 0 is the *most significant*
+/// bit of a basis-state index, i.e. for an n-qubit register the amplitude of
+/// |b0 b1 ... b_{n-1}> lives at index  b0*2^{n-1} + b1*2^{n-2} + ... + b_{n-1}.
+/// This is the ordering produced by kron(q0_state, kron(q1_state, ...)).
+
+#include <cstdint>
+#include <vector>
+
+namespace qclab::util {
+
+/// Index type for state-vector positions (supports up to 63 qubits).
+using index_t = std::uint64_t;
+
+/// Bit position (counted from the least significant bit) of `qubit` in an
+/// `nbQubits`-qubit register index.
+constexpr int bitPosition(int qubit, int nbQubits) noexcept {
+  return nbQubits - 1 - qubit;
+}
+
+/// Value (0 or 1) of the bit at position `pos` (from LSB) of `i`.
+constexpr index_t getBit(index_t i, int pos) noexcept {
+  return (i >> pos) & index_t{1};
+}
+
+/// `i` with the bit at position `pos` set to 1.
+constexpr index_t setBit(index_t i, int pos) noexcept {
+  return i | (index_t{1} << pos);
+}
+
+/// `i` with the bit at position `pos` cleared to 0.
+constexpr index_t clearBit(index_t i, int pos) noexcept {
+  return i & ~(index_t{1} << pos);
+}
+
+/// `i` with the bit at position `pos` flipped.
+constexpr index_t flipBit(index_t i, int pos) noexcept {
+  return i ^ (index_t{1} << pos);
+}
+
+/// Inserts a 0 bit at position `pos`: bits of `i` at positions >= pos are
+/// shifted one place up, lower bits are kept.  The result has one more
+/// significant bit than `i`.
+constexpr index_t insertZeroBit(index_t i, int pos) noexcept {
+  const index_t low = i & ((index_t{1} << pos) - 1);
+  const index_t high = (i >> pos) << (pos + 1);
+  return high | low;
+}
+
+/// Inserts the bit `value` at position `pos` (see insertZeroBit).
+constexpr index_t insertBit(index_t i, int pos, index_t value) noexcept {
+  return insertZeroBit(i, pos) | (value << pos);
+}
+
+/// Inserts 0 bits at every position in `positions`.  Positions refer to the
+/// *final* index and must be sorted in ascending order.
+inline index_t insertZeroBits(index_t i, const std::vector<int>& positions) noexcept {
+  for (int pos : positions) i = insertZeroBit(i, pos);
+  return i;
+}
+
+/// Removes the bit at position `pos`, shifting higher bits down.
+constexpr index_t removeBit(index_t i, int pos) noexcept {
+  const index_t low = i & ((index_t{1} << pos) - 1);
+  const index_t high = (i >> (pos + 1)) << pos;
+  return high | low;
+}
+
+/// True if `value` is a power of two (and nonzero).
+constexpr bool isPowerOfTwo(index_t value) noexcept {
+  return value != 0 && (value & (value - 1)) == 0;
+}
+
+/// Base-2 logarithm of a power of two.
+constexpr int log2PowerOfTwo(index_t value) noexcept {
+  int log = 0;
+  while (value > 1) {
+    value >>= 1;
+    ++log;
+  }
+  return log;
+}
+
+}  // namespace qclab::util

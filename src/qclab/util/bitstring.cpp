@@ -1,0 +1,42 @@
+#include "qclab/util/bitstring.hpp"
+
+#include "qclab/util/errors.hpp"
+
+namespace qclab::util {
+
+index_t bitstringToIndex(const std::string& bits, int nbQubits) {
+  if (nbQubits >= 0 && static_cast<int>(bits.size()) != nbQubits) {
+    throw InvalidArgumentError("bitstring '" + bits + "' has length " +
+                               std::to_string(bits.size()) + ", expected " +
+                               std::to_string(nbQubits));
+  }
+  require(bits.size() <= 63, "bitstring longer than 63 qubits");
+  index_t index = 0;
+  for (char c : bits) {
+    if (c != '0' && c != '1') {
+      throw InvalidArgumentError("bitstring '" + bits +
+                                 "' contains a character other than 0/1");
+    }
+    index = (index << 1) | static_cast<index_t>(c - '0');
+  }
+  return index;
+}
+
+std::string indexToBitstring(index_t index, int nbQubits) {
+  require(nbQubits >= 0 && nbQubits <= 63, "nbQubits out of range [0, 63]");
+  std::string bits(static_cast<std::size_t>(nbQubits), '0');
+  for (int q = 0; q < nbQubits; ++q) {
+    bits[static_cast<std::size_t>(q)] =
+        getBit(index, bitPosition(q, nbQubits)) ? '1' : '0';
+  }
+  return bits;
+}
+
+bool isBitstring(const std::string& bits) noexcept {
+  for (char c : bits) {
+    if (c != '0' && c != '1') return false;
+  }
+  return true;
+}
+
+}  // namespace qclab::util

@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file bitstring.hpp
+/// \brief Conversions between classical bitstrings ("0110") and basis-state
+/// indices, following the MSB-first qubit ordering of bits.hpp.
+
+#include <string>
+
+#include "qclab/util/bits.hpp"
+
+namespace qclab::util {
+
+/// Converts a bitstring such as "01" to the index of the corresponding basis
+/// state.  Character k of the string is the value of qubit k (qubit 0 is the
+/// most significant bit).  Throws InvalidArgumentError on characters other
+/// than '0'/'1' or on length mismatch with `nbQubits` (pass -1 to skip the
+/// length check).
+index_t bitstringToIndex(const std::string& bits, int nbQubits = -1);
+
+/// Converts a basis-state index to its bitstring for an `nbQubits` register.
+std::string indexToBitstring(index_t index, int nbQubits);
+
+/// Validates that `bits` consists only of '0'/'1' characters.
+bool isBitstring(const std::string& bits) noexcept;
+
+}  // namespace qclab::util

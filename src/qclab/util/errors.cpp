@@ -1,0 +1,24 @@
+#include "qclab/util/errors.hpp"
+
+namespace qclab {
+
+QasmParseError::QasmParseError(const std::string& message, int line)
+    : Error("QASM parse error (line " + std::to_string(line) + "): " + message),
+      line_(line) {}
+
+namespace util {
+
+void checkQubit(int qubit, int nbQubits) {
+  if (qubit < 0 || qubit >= nbQubits) {
+    throw QubitRangeError("qubit index " + std::to_string(qubit) +
+                          " out of range [0, " + std::to_string(nbQubits) +
+                          ")");
+  }
+}
+
+void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgumentError(message);
+}
+
+}  // namespace util
+}  // namespace qclab

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file errors.hpp
+/// \brief Exception types and checking helpers used across the library.
+
+#include <stdexcept>
+#include <string>
+
+namespace qclab {
+
+/// Base class for all qclab errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a qubit index is out of range for the circuit/register.
+class QubitRangeError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown when an argument is structurally invalid (dimension mismatch,
+/// duplicate qubits, non-unitary matrix, malformed bitstring, ...).
+class InvalidArgumentError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Thrown by the OpenQASM parser on malformed input.
+class QasmParseError : public Error {
+ public:
+  QasmParseError(const std::string& message, int line);
+  /// 1-based source line the error was detected on.
+  int line() const noexcept { return line_; }
+
+ private:
+  int line_;
+};
+
+namespace util {
+
+/// Throws QubitRangeError unless `0 <= qubit < nbQubits`.
+void checkQubit(int qubit, int nbQubits);
+
+/// Throws InvalidArgumentError with `message` unless `condition` holds.
+void require(bool condition, const std::string& message);
+
+}  // namespace util
+}  // namespace qclab

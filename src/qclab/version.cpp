@@ -1,0 +1,9 @@
+#include "qclab/version.hpp"
+
+namespace qclab {
+
+Version version() noexcept { return Version{1, 0, 0}; }
+
+const char* versionString() noexcept { return "1.0.0"; }
+
+}  // namespace qclab

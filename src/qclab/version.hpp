@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file version.hpp
+/// \brief Library version information.
+
+namespace qclab {
+
+/// Semantic version of the qclab-cpp library.
+struct Version {
+  int major;
+  int minor;
+  int patch;
+};
+
+/// Returns the compiled library version.
+Version version() noexcept;
+
+/// Returns the version as a "major.minor.patch" string.
+const char* versionString() noexcept;
+
+}  // namespace qclab

@@ -1,0 +1,244 @@
+/// \file test_algorithms.cpp
+/// \brief Unit tests for the circuit-builder library: states, QFT, phase
+/// estimation, Grover, repetition code, tomography.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace qclab::algorithms {
+namespace {
+
+using C = std::complex<double>;
+using M = dense::Matrix<double>;
+
+TEST(States, BellPair) {
+  const auto circuit = bellPair<double>();
+  const auto state = circuit.simulate("00").state(0);
+  qclab::test::expectStateNear(state, bellState<double>());
+}
+
+TEST(States, GhzAmplitudes) {
+  for (int n = 2; n <= 6; ++n) {
+    const auto circuit = ghz<double>(n);
+    const auto state =
+        circuit.simulate(std::string(static_cast<std::size_t>(n), '0'))
+            .state(0);
+    const double h = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::abs(state.front() - C(h)), 0.0, 1e-13);
+    EXPECT_NEAR(std::abs(state.back() - C(h)), 0.0, 1e-13);
+    for (std::size_t i = 1; i + 1 < state.size(); ++i) {
+      EXPECT_NEAR(std::abs(state[i]), 0.0, 1e-13);
+    }
+  }
+  EXPECT_THROW(ghz<double>(1), InvalidArgumentError);
+}
+
+class QftSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QftSweep, MatrixEqualsDft) {
+  const int n = GetParam();
+  qclab::test::expectMatrixNear(qft<double>(n).matrix(), dftMatrix<double>(n),
+                                1e-11);
+}
+
+TEST_P(QftSweep, InverseUndoesQft) {
+  const int n = GetParam();
+  QCircuit<double> both(n);
+  both.push_back(qft<double>(n));
+  both.push_back(inverseQft<double>(n));
+  qclab::test::expectMatrixNear(both.matrix(),
+                                M::identity(std::size_t{1} << n), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, QftSweep, ::testing::Range(1, 7));
+
+TEST(Qft, WithoutSwapsIsBitReversedDft) {
+  const int n = 3;
+  const auto noSwaps = qft<double>(n, false).matrix();
+  const auto dft = dftMatrix<double>(n);
+  // Row j of the no-swap QFT equals row bitreverse(j) of the DFT.
+  auto reverseBits = [&](std::size_t x) {
+    std::size_t reversed = 0;
+    for (int b = 0; b < n; ++b) {
+      reversed = (reversed << 1) | ((x >> b) & 1);
+    }
+    return reversed;
+  };
+  for (std::size_t j = 0; j < (std::size_t{1} << n); ++j) {
+    for (std::size_t k = 0; k < (std::size_t{1} << n); ++k) {
+      EXPECT_NEAR(std::abs(noSwaps(reverseBits(j), k) - dft(j, k)), 0.0,
+                  1e-11);
+    }
+  }
+}
+
+TEST(PhaseEstimation, ExactPhasesResolve) {
+  // T gate on |1>: phi = 1/8 -> '001' with 3 counting qubits.
+  const auto tGate = qgates::TGate<double>(0).matrix();
+  auto circuit = phaseEstimation<double>(3, tGate);
+  auto initial = dense::kron(basisState<double>("000"),
+                             basisState<double>("1"));
+  const auto simulation = circuit.simulate(initial);
+  ASSERT_EQ(simulation.nbBranches(), 1u);
+  EXPECT_EQ(simulation.result(0), "001");
+  EXPECT_NEAR(phaseFromBits(simulation.result(0)), 0.125, 1e-15);
+}
+
+TEST(PhaseEstimation, SGatePhase) {
+  // S on |1>: phi = 1/4 -> '01' with 2 counting qubits.
+  const auto sGate = qgates::SGate<double>(0).matrix();
+  auto circuit = phaseEstimation<double>(2, sGate);
+  auto initial = dense::kron(basisState<double>("00"),
+                             basisState<double>("1"));
+  const auto simulation = circuit.simulate(initial);
+  ASSERT_EQ(simulation.nbBranches(), 1u);
+  EXPECT_EQ(simulation.result(0), "01");
+}
+
+TEST(PhaseEstimation, InexactPhaseConcentrates) {
+  // Phase gate with phi = 0.3 (not a 3-bit fraction): the most likely
+  // outcome is the closest 3-bit fraction; its probability dominates.
+  const auto u = qgates::Phase<double>(0, 2.0 * M_PI * 0.3).matrix();
+  auto circuit = phaseEstimation<double>(3, u);
+  auto initial = dense::kron(basisState<double>("000"),
+                             basisState<double>("1"));
+  const auto simulation = circuit.simulate(initial);
+  double best = 0.0;
+  std::string bestResult;
+  for (std::size_t i = 0; i < simulation.nbBranches(); ++i) {
+    if (simulation.probability(i) > best) {
+      best = simulation.probability(i);
+      bestResult = simulation.result(i);
+    }
+  }
+  EXPECT_NEAR(phaseFromBits(bestResult), 0.3, 1.0 / 16.0);
+  EXPECT_GT(best, 0.4);
+}
+
+TEST(PhaseEstimation, PhaseFromBits) {
+  EXPECT_EQ(phaseFromBits("000"), 0.0);
+  EXPECT_EQ(phaseFromBits("100"), 0.5);
+  EXPECT_EQ(phaseFromBits("001"), 0.125);
+  EXPECT_EQ(phaseFromBits("111"), 0.875);
+}
+
+TEST(PhaseEstimation, Validation) {
+  EXPECT_THROW(phaseEstimation<double>(0, M::identity(2)),
+               InvalidArgumentError);
+  EXPECT_THROW(phaseEstimation<double>(2, M::identity(4)),
+               InvalidArgumentError);
+  EXPECT_THROW(phaseEstimation<double>(2, M{{1, 1}, {0, 1}}),
+               InvalidArgumentError);
+}
+
+TEST(Grover, IterationCounts) {
+  EXPECT_EQ(groverIterations(2), 1);
+  EXPECT_EQ(groverIterations(3), 2);
+  EXPECT_EQ(groverIterations(4), 3);
+  EXPECT_EQ(groverIterations(5), 4);
+  EXPECT_EQ(groverIterations(10), 25);
+}
+
+TEST(Grover, OracleFlipsOnlyMarkedPhase) {
+  const auto oracle = groverOracle<double>("10");
+  const auto m = oracle.matrix();
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      const C expected = i != j ? C(0) : (i == 2 ? C(-1) : C(1));
+      EXPECT_NEAR(std::abs(m(i, j) - expected), 0.0, 1e-13)
+          << i << "," << j;
+    }
+  }
+}
+
+TEST(Grover, PaperDiffuserEquivalentUpToPhase) {
+  // The paper's 2-qubit diffuser (H,H,Z,Z,CZ,H,H) equals ours up to a
+  // global phase of -1.
+  QCircuit<double> paper(2);
+  paper.push_back(qgates::Hadamard<double>(0));
+  paper.push_back(qgates::Hadamard<double>(1));
+  paper.push_back(qgates::PauliZ<double>(0));
+  paper.push_back(qgates::PauliZ<double>(1));
+  paper.push_back(qgates::CZ<double>(0, 1));
+  paper.push_back(qgates::Hadamard<double>(0));
+  paper.push_back(qgates::Hadamard<double>(1));
+  const auto ours = groverDiffuser<double>(2).matrix();
+  const auto theirs = paper.matrix();
+  // Compare |entries|: global phase only.
+  double maxDiff = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      maxDiff = std::max(maxDiff,
+                         std::abs(std::abs(ours(i, j)) - std::abs(theirs(i, j))));
+    }
+  }
+  EXPECT_LT(maxDiff, 1e-13);
+}
+
+TEST(Grover, Validation) {
+  EXPECT_THROW(groverOracle<double>("1"), InvalidArgumentError);
+  EXPECT_THROW(groverOracle<double>("1x"), InvalidArgumentError);
+  EXPECT_THROW(groverDiffuser<double>(1), InvalidArgumentError);
+}
+
+TEST(RepetitionCode, EncoderProducesLogicalState) {
+  random::Rng rng(5);
+  const auto v = qclab::test::randomState<double>(1, rng);
+  const auto encoder = repetitionEncoder<double>(3);
+  auto initial = dense::kron(v, basisState<double>("00"));
+  const auto state = encoder.simulate(initial).state(0);
+  EXPECT_NEAR(std::abs(state[0] - v[0]), 0.0, 1e-13);
+  EXPECT_NEAR(std::abs(state[7] - v[1]), 0.0, 1e-13);
+}
+
+TEST(RepetitionCode, ExpectedSyndromes) {
+  EXPECT_EQ(expectedSyndrome(-1), "00");
+  EXPECT_EQ(expectedSyndrome(0), "11");
+  EXPECT_EQ(expectedSyndrome(1), "10");
+  EXPECT_EQ(expectedSyndrome(2), "01");
+}
+
+TEST(RepetitionCode, Validation) {
+  EXPECT_THROW(repetitionCodeDemo<double>(3), InvalidArgumentError);
+  EXPECT_THROW(repetitionCodeDemo<double>(-2), InvalidArgumentError);
+  EXPECT_THROW(repetitionEncoder<double>(2), InvalidArgumentError);
+}
+
+TEST(Tomography, ExactForLargeShotCounts) {
+  random::Rng rng(6);
+  for (int trial = 0; trial < 3; ++trial) {
+    const auto v = qclab::test::randomState<double>(1, rng);
+    const auto result = tomography1Qubit(v, 200000, 7 + trial);
+    const auto trueRho = density::densityMatrix(v);
+    EXPECT_LT(density::traceDistance(trueRho, result.estimate), 0.01);
+  }
+}
+
+TEST(Tomography, Validation) {
+  EXPECT_THROW(tomography1Qubit<double>({C(1), C(0), C(0), C(0)}, 100),
+               InvalidArgumentError);
+  EXPECT_THROW(tomography1Qubit<double>({C(1), C(0)}, 0),
+               InvalidArgumentError);
+}
+
+class GroverSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroverSizeSweep, OptimalIterationsSucceedWithHighProbability) {
+  const int n = GetParam();
+  const std::string marked = util::indexToBitstring(
+      static_cast<util::index_t>(n * 3 % (1 << n)), n);
+  const auto circuit = grover<double>(marked);
+  const auto simulation =
+      circuit.simulate(std::string(static_cast<std::size_t>(n), '0'));
+  double success = 0.0;
+  for (std::size_t i = 0; i < simulation.nbBranches(); ++i) {
+    if (simulation.result(i) == marked) success = simulation.probability(i);
+  }
+  EXPECT_GT(success, 0.8) << "n=" << n << " marked=" << marked;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GroverSizeSweep, ::testing::Range(2, 8));
+
+}  // namespace
+}  // namespace qclab::algorithms

@@ -1,0 +1,222 @@
+/// \file test_algorithms2.cpp
+/// \brief Unit tests for the oracle-based and communication algorithms
+/// (Bernstein-Vazirani, Deutsch-Jozsa, superdense coding, W states) and the
+/// entropy utilities.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace qclab::algorithms {
+namespace {
+
+using C = std::complex<double>;
+
+TEST(BernsteinVazirani, RecoversSecretInOneQuery) {
+  for (const std::string secret : {"1", "101", "0000", "11011", "100110"}) {
+    const auto circuit = bernsteinVazirani<double>(secret);
+    const auto simulation = circuit.simulate(
+        std::string(secret.size() + 1, '0'));
+    ASSERT_EQ(simulation.nbBranches(), 1u) << secret;
+    EXPECT_EQ(simulation.result(0), secret);
+    EXPECT_NEAR(simulation.probability(0), 1.0, 1e-12);
+  }
+}
+
+TEST(BernsteinVazirani, Validation) {
+  EXPECT_THROW(bernsteinVazirani<double>(""), InvalidArgumentError);
+  EXPECT_THROW(innerProductOracle<double>("1a0"), InvalidArgumentError);
+}
+
+TEST(DeutschJozsa, ConstantGivesAllZeros) {
+  for (const auto kind : {DeutschJozsaOracle::kConstantZero,
+                          DeutschJozsaOracle::kConstantOne}) {
+    const auto circuit = deutschJozsa<double>(4, kind);
+    const auto simulation = circuit.simulate(std::string(5, '0'));
+    ASSERT_EQ(simulation.nbBranches(), 1u);
+    EXPECT_EQ(simulation.result(0), "0000");
+  }
+}
+
+TEST(DeutschJozsa, BalancedNeverGivesAllZeros) {
+  for (const std::string mask : {"1000", "0110", "1111"}) {
+    const auto circuit =
+        deutschJozsa<double>(4, DeutschJozsaOracle::kBalanced, mask);
+    const auto simulation = circuit.simulate(std::string(5, '0'));
+    for (std::size_t i = 0; i < simulation.nbBranches(); ++i) {
+      EXPECT_NE(simulation.result(i), "0000") << mask;
+    }
+    // Inner-product oracles concentrate all probability on the mask.
+    ASSERT_EQ(simulation.nbBranches(), 1u);
+    EXPECT_EQ(simulation.result(0), mask);
+  }
+}
+
+TEST(DeutschJozsa, Validation) {
+  EXPECT_THROW(
+      deutschJozsa<double>(3, DeutschJozsaOracle::kBalanced, "0000"),
+      InvalidArgumentError);
+  EXPECT_THROW(
+      deutschJozsa<double>(3, DeutschJozsaOracle::kBalanced, "000"),
+      InvalidArgumentError);
+  EXPECT_THROW(deutschJozsa<double>(0, DeutschJozsaOracle::kConstantZero),
+               InvalidArgumentError);
+}
+
+class SuperdenseSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SuperdenseSweep, TransmitsTwoBitsPerfectly) {
+  const std::string bits = GetParam();
+  const auto circuit = superdenseCoding<double>(bits);
+  const auto simulation = circuit.simulate("00");
+  ASSERT_EQ(simulation.nbBranches(), 1u);
+  EXPECT_EQ(simulation.result(0), bits);
+  EXPECT_NEAR(simulation.probability(0), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMessages, SuperdenseSweep,
+                         ::testing::Values("00", "01", "10", "11"));
+
+TEST(SuperdenseCoding, Validation) {
+  EXPECT_THROW(superdenseCoding<double>("0"), InvalidArgumentError);
+  EXPECT_THROW(superdenseCoding<double>("012"), InvalidArgumentError);
+}
+
+class WStateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WStateSweep, UniformSingleExcitationAmplitudes) {
+  const int n = GetParam();
+  const auto circuit = wState<double>(n);
+  const auto state =
+      circuit.simulate(std::string(static_cast<std::size_t>(n), '0')).state(0);
+  const double expected = 1.0 / std::sqrt(static_cast<double>(n));
+  for (std::size_t index = 0; index < state.size(); ++index) {
+    // Single-excitation basis states have exactly one bit set.
+    const bool singleExcitation =
+        index != 0 && (index & (index - 1)) == 0;
+    if (singleExcitation) {
+      EXPECT_NEAR(std::abs(state[index]), expected, 1e-12) << index;
+    } else {
+      EXPECT_NEAR(std::abs(state[index]), 0.0, 1e-12) << index;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WStateSweep, ::testing::Range(2, 9));
+
+TEST(WState, Validation) {
+  EXPECT_THROW(wState<double>(1), InvalidArgumentError);
+}
+
+TEST(Entropy, PureAndMixedStates) {
+  // Pure state: zero entropy.
+  const auto pure = density::densityMatrix(basisState<double>("0"));
+  EXPECT_NEAR(density::vonNeumannEntropy(pure), 0.0, 1e-10);
+  // Maximally mixed qubit: 1 bit.
+  auto mixed = dense::Matrix<double>::identity(2);
+  mixed *= C(0.5);
+  EXPECT_NEAR(density::vonNeumannEntropy(mixed), 1.0, 1e-12);
+}
+
+TEST(Entropy, BellStateHasOneBitAcrossTheCut) {
+  const double h = 1.0 / std::sqrt(2.0);
+  const std::vector<C> bell = {C(h), C(0), C(0), C(h)};
+  EXPECT_NEAR(density::entanglementEntropy(bell, {0}), 1.0, 1e-11);
+  EXPECT_NEAR(density::entanglementEntropy(bell, {1}), 1.0, 1e-11);
+}
+
+TEST(Entropy, ProductStateHasZeroEntanglement) {
+  random::Rng rng(1);
+  const auto a = qclab::test::randomState<double>(1, rng);
+  const auto b = qclab::test::randomState<double>(1, rng);
+  const auto product = dense::kron(a, b);
+  EXPECT_NEAR(density::entanglementEntropy(product, {0}), 0.0, 1e-9);
+}
+
+TEST(Entropy, GhzCutsGiveOneBit) {
+  const auto circuit = ghz<double>(4);
+  const auto state = circuit.simulate("0000").state(0);
+  // Any bipartition of a GHZ state carries exactly 1 bit.
+  EXPECT_NEAR(density::entanglementEntropy(state, {0}), 1.0, 1e-10);
+  EXPECT_NEAR(density::entanglementEntropy(state, {0, 1}), 1.0, 1e-10);
+  EXPECT_NEAR(density::entanglementEntropy(state, {1, 3}), 1.0, 1e-10);
+}
+
+TEST(Entropy, WStateEntropyValue) {
+  // W_n, single-qubit cut: eigenvalues {1/n, (n-1)/n}.
+  const int n = 4;
+  const auto circuit = wState<double>(n);
+  const auto state = circuit.simulate("0000").state(0);
+  const double p = 1.0 / n;
+  const double expected =
+      -p * std::log2(p) - (1 - p) * std::log2(1 - p);
+  EXPECT_NEAR(density::entanglementEntropy(state, {0}), expected, 1e-10);
+}
+
+TEST(Schmidt, BellStateCoefficients) {
+  const double h = 1.0 / std::sqrt(2.0);
+  const std::vector<C> bell = {C(h), C(0), C(0), C(h)};
+  const auto coefficients = density::schmidtCoefficients(bell, {0});
+  ASSERT_EQ(coefficients.size(), 2u);
+  EXPECT_NEAR(coefficients[0], h, 1e-11);
+  EXPECT_NEAR(coefficients[1], h, 1e-11);
+  EXPECT_EQ(density::schmidtRank(bell, {0}), 2);
+}
+
+TEST(Schmidt, ProductStateHasRankOne) {
+  random::Rng rng(11);
+  const auto a = qclab::test::randomState<double>(1, rng);
+  const auto b = qclab::test::randomState<double>(2, rng);
+  const auto product = dense::kron(a, b);
+  EXPECT_EQ(density::schmidtRank(product, {0}), 1);
+  const auto coefficients = density::schmidtCoefficients(product, {0});
+  EXPECT_NEAR(coefficients[0], 1.0, 1e-10);
+}
+
+TEST(Schmidt, CoefficientsSquareToOneAndSortDescending) {
+  random::Rng rng(12);
+  const auto state = qclab::test::randomState<double>(4, rng);
+  const auto coefficients = density::schmidtCoefficients(state, {0, 2});
+  double sum = 0.0;
+  for (std::size_t i = 0; i < coefficients.size(); ++i) {
+    sum += coefficients[i] * coefficients[i];
+    if (i > 0) EXPECT_LE(coefficients[i], coefficients[i - 1] + 1e-12);
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-10);
+}
+
+TEST(Schmidt, EntropyConsistency) {
+  // -sum lambda^2 log2 lambda^2 equals the entanglement entropy.
+  const auto state = wState<double>(4).simulate("0000").state(0);
+  const auto coefficients = density::schmidtCoefficients(state, {0, 1});
+  double entropy = 0.0;
+  for (double value : coefficients) {
+    const double p = value * value;
+    if (p > 0) entropy -= p * std::log2(p);
+  }
+  EXPECT_NEAR(entropy, density::entanglementEntropy(state, {0, 1}), 1e-9);
+}
+
+TEST(Schmidt, Validation) {
+  const auto state = basisState<double>("00");
+  EXPECT_THROW(density::schmidtCoefficients(state, {}),
+               InvalidArgumentError);
+  EXPECT_THROW(density::schmidtCoefficients(state, {0, 1}),
+               InvalidArgumentError);
+}
+
+TEST(EqualUpToGlobalPhase, Matrices) {
+  random::Rng rng(2);
+  const auto u = qclab::test::randomUnitary1<double>(rng);
+  const auto phased = u * std::polar(1.0, 0.77);
+  EXPECT_TRUE(dense::equalUpToGlobalPhase(u, phased, 1e-12));
+  EXPECT_TRUE(dense::equalUpToGlobalPhase(u, u, 1e-12));
+  auto different = u;
+  different(0, 0) += C(0.2);
+  EXPECT_FALSE(dense::equalUpToGlobalPhase(u, different, 1e-6));
+  EXPECT_FALSE(dense::equalUpToGlobalPhase(
+      u, dense::Matrix<double>::identity(4), 1e-6));
+}
+
+}  // namespace
+}  // namespace qclab::algorithms

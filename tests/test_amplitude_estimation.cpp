@@ -1,0 +1,97 @@
+/// \file test_amplitude_estimation.cpp
+/// \brief Unit tests for QPE-based amplitude estimation.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace qclab::algorithms {
+namespace {
+
+using namespace qclab::qgates;
+
+TEST(AmplitudeEstimation, ExactHalfAmplitude) {
+  // A = RY(pi/2): a = sin^2(pi/4) = 0.5 -> theta = pi/4 -> phi = 0.25,
+  // exact with >= 2 counting bits.
+  QCircuit<double> prep(1);
+  prep.push_back(RotationY<double>(0, M_PI_2));
+  const auto result = amplitudeEstimation<double>(3, prep, {"1"});
+  EXPECT_NEAR(result.estimatedAmplitude, 0.5, 1e-9);
+  EXPECT_NEAR(result.probability, 0.5, 1e-9);  // two symmetric peaks
+}
+
+TEST(AmplitudeEstimation, ZeroAmplitudeIsExact) {
+  // A = I: the good state |1> has amplitude 0 -> phi = 0 deterministic.
+  QCircuit<double> prep(1);
+  prep.push_back(Identity<double>(0));
+  const auto result = amplitudeEstimation<double>(3, prep, {"1"});
+  EXPECT_EQ(result.bits, "000");
+  EXPECT_NEAR(result.estimatedAmplitude, 0.0, 1e-12);
+  EXPECT_NEAR(result.probability, 1.0, 1e-10);
+}
+
+TEST(AmplitudeEstimation, FullAmplitudeIsExact) {
+  // A = X: the good state |1> has amplitude 1 -> theta = pi/2.
+  QCircuit<double> prep(1);
+  prep.push_back(PauliX<double>(0));
+  const auto result = amplitudeEstimation<double>(2, prep, {"1"});
+  EXPECT_NEAR(result.estimatedAmplitude, 1.0, 1e-10);
+}
+
+TEST(AmplitudeEstimation, MatchesQuantumCountingSetting) {
+  // A = H^2, good = {01, 10}: a = 2/4 = 0.5 exactly.
+  QCircuit<double> prep(2);
+  prep.push_back(Hadamard<double>(0));
+  prep.push_back(Hadamard<double>(1));
+  const auto result = amplitudeEstimation<double>(3, prep, {"01", "10"});
+  EXPECT_NEAR(result.estimatedAmplitude, 0.5, 1e-9);
+}
+
+TEST(AmplitudeEstimation, InexactAmplitudeApproximates) {
+  // a = sin^2(0.6): not a power-of-two phase; 5 counting bits give a
+  // coarse estimate near the truth.
+  const double theta = 0.6;
+  QCircuit<double> prep(1);
+  prep.push_back(RotationY<double>(0, 2.0 * theta));
+  const double truth = std::sin(theta) * std::sin(theta);
+  const auto result = amplitudeEstimation<double>(5, prep, {"1"});
+  EXPECT_NEAR(result.estimatedAmplitude, truth, 0.05);
+}
+
+TEST(AmplitudeEstimation, EntangledPreparation) {
+  // A = Bell prep, good = {11}: a = 0.5.
+  QCircuit<double> prep(2);
+  prep.push_back(Hadamard<double>(0));
+  prep.push_back(CX<double>(0, 1));
+  const auto result = amplitudeEstimation<double>(3, prep, {"11"});
+  EXPECT_NEAR(result.estimatedAmplitude, 0.5, 1e-9);
+}
+
+TEST(AmplitudeEstimation, Validation) {
+  QCircuit<double> prep(1);
+  EXPECT_THROW(amplitudeEstimation<double>(0, prep, {"1"}),
+               InvalidArgumentError);
+  EXPECT_THROW(amplitudeEstimation<double>(2, prep, {}),
+               InvalidArgumentError);
+  EXPECT_THROW(amplitudeEstimation<double>(2, prep, {"11"}),
+               InvalidArgumentError);  // wrong bitstring length
+}
+
+class QaeAngleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(QaeAngleSweep, RecoversPreparedAmplitudeWithinResolution) {
+  const double theta = GetParam();
+  QCircuit<double> prep(1);
+  prep.push_back(RotationY<double>(0, 2.0 * theta));
+  const double truth = std::sin(theta) * std::sin(theta);
+  const auto result = amplitudeEstimation<double>(6, prep, {"1"});
+  // 6-bit phase resolution: |a_est - a| <= ~2 pi / 2^6 in the worst case.
+  EXPECT_NEAR(result.estimatedAmplitude, truth, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, QaeAngleSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9, 1.1,
+                                           1.3, 1.5));
+
+}  // namespace
+}  // namespace qclab::algorithms

@@ -1,0 +1,116 @@
+/// \file test_backends.cpp
+/// \brief Backend equivalence: the QCLAB sparse-kron path (paper §3.2), the
+/// QCLAB++ kernel path, and the dense circuit unitary must agree on
+/// randomized circuits — the core correctness net of the library.
+
+#include <gtest/gtest.h>
+
+#include "qclab/sim/backend.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab::sim {
+namespace {
+
+using C = std::complex<double>;
+using M = dense::Matrix<double>;
+
+TEST(ExtendedUnitary, HadamardMatchesKron) {
+  // H on qubit 1 of 3: I (x) H (x) I.
+  const qgates::Hadamard<double> h(1);
+  const auto sparse = extendedUnitary(3, h);
+  const auto expected = dense::kron(
+      dense::kron(M::identity(2), h.matrix()), M::identity(2));
+  qclab::test::expectMatrixNear(sparse.toDense(), expected);
+}
+
+TEST(ExtendedUnitary, EdgeQubits) {
+  const qgates::PauliX<double> x0(0);
+  qclab::test::expectMatrixNear(
+      extendedUnitary(3, x0).toDense(),
+      dense::kron(dense::pauliX<double>(), M::identity(4)));
+  const qgates::PauliX<double> x2(2);
+  qclab::test::expectMatrixNear(
+      extendedUnitary(3, x2).toDense(),
+      dense::kron(M::identity(4), dense::pauliX<double>()));
+}
+
+TEST(ExtendedUnitary, NonAdjacentControlledGate) {
+  // CZ(0, 2) on 3 qubits: diag with -1 at |1x1>.
+  const qgates::CZ<double> cz(0, 2);
+  const auto dense = extendedUnitary(3, cz).toDense();
+  for (std::size_t i = 0; i < 8; ++i) {
+    const bool flip = (i & 0b101) == 0b101;
+    EXPECT_NEAR(std::abs(dense(i, i) - (flip ? C(-1) : C(1))), 0.0, 1e-14);
+  }
+}
+
+TEST(ExtendedUnitary, OffsetShiftsQubits) {
+  const qgates::Hadamard<double> h(0);
+  qclab::test::expectMatrixNear(
+      extendedUnitary(3, h, /*offset=*/2).toDense(),
+      extendedUnitary(3, qgates::Hadamard<double>(2)).toDense());
+}
+
+TEST(ExtendedUnitary, SparsityOfSingleQubitGate) {
+  // I (x) U (x) I for a dense 2x2 U on n qubits has exactly 2^n * 2 / 2 = 2^n
+  // entries per ... : 2 nonzeros per row -> 2^{n+1} total.
+  const qgates::Hadamard<double> h(3);
+  const auto sparse = extendedUnitary(8, h);
+  EXPECT_EQ(sparse.nnz(), (std::size_t{1} << 8) * 2);
+}
+
+TEST(Backends, NamesAndDefault) {
+  EXPECT_STREQ(KernelBackend<double>().name(), "kernel");
+  EXPECT_STREQ(SparseKronBackend<double>().name(), "sparse-kron");
+  EXPECT_STREQ(defaultBackend<double>().name(), "kernel");
+}
+
+/// Property test: for random circuits, all three execution paths agree.
+class BackendEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BackendEquivalence, KernelSparseAndDenseAgree) {
+  const auto [nbQubits, seed] = GetParam();
+  const auto circuit =
+      qclab::test::randomCircuit<double>(nbQubits, 25, seed);
+  random::Rng rng(seed + 1000);
+  const auto initial = qclab::test::randomState<double>(nbQubits, rng);
+
+  const KernelBackend<double> kernel;
+  const SparseKronBackend<double> sparse;
+
+  const auto kernelState = circuit.simulate(initial, kernel).state(0);
+  const auto sparseState = circuit.simulate(initial, sparse).state(0);
+  const auto denseState = circuit.matrix().apply(initial);
+
+  qclab::test::expectStateNear(kernelState, sparseState, 1e-11);
+  qclab::test::expectStateNear(kernelState, denseState, 1e-11);
+  EXPECT_NEAR(dense::norm2(kernelState), 1.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomCircuits, BackendEquivalence,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(1, 2, 3, 4)));
+
+/// Measurements must also agree across backends (branch probabilities).
+TEST(Backends, MeasurementBranchesAgree) {
+  for (int seed = 1; seed <= 5; ++seed) {
+    auto circuit = qclab::test::randomCircuit<double>(3, 12, seed);
+    circuit.push_back(Measurement<double>(0));
+    circuit.push_back(Measurement<double>(2));
+    const KernelBackend<double> kernel;
+    const SparseKronBackend<double> sparse;
+    const auto a = circuit.simulate("000", kernel);
+    const auto b = circuit.simulate("000", sparse);
+    ASSERT_EQ(a.nbBranches(), b.nbBranches());
+    for (std::size_t i = 0; i < a.nbBranches(); ++i) {
+      EXPECT_EQ(a.result(i), b.result(i));
+      EXPECT_NEAR(a.probability(i), b.probability(i), 1e-12);
+      qclab::test::expectStateNear(a.state(i), b.state(i), 1e-11);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qclab::sim

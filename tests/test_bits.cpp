@@ -1,0 +1,144 @@
+/// \file test_bits.cpp
+/// \brief Unit tests for the bit-manipulation and bitstring substrates.
+
+#include <gtest/gtest.h>
+
+#include "qclab/util/bits.hpp"
+#include "qclab/util/bitstring.hpp"
+#include "qclab/util/errors.hpp"
+
+namespace qclab::util {
+namespace {
+
+TEST(Bits, GetSetClearFlip) {
+  EXPECT_EQ(getBit(0b1010, 1), 1u);
+  EXPECT_EQ(getBit(0b1010, 0), 0u);
+  EXPECT_EQ(getBit(0b1010, 3), 1u);
+  EXPECT_EQ(setBit(0b1010, 0), 0b1011u);
+  EXPECT_EQ(setBit(0b1010, 1), 0b1010u);
+  EXPECT_EQ(clearBit(0b1010, 1), 0b1000u);
+  EXPECT_EQ(clearBit(0b1010, 0), 0b1010u);
+  EXPECT_EQ(flipBit(0b1010, 2), 0b1110u);
+  EXPECT_EQ(flipBit(0b1010, 1), 0b1000u);
+}
+
+TEST(Bits, BitPositionMsbFirst) {
+  // Qubit 0 is the most significant bit.
+  EXPECT_EQ(bitPosition(0, 3), 2);
+  EXPECT_EQ(bitPosition(1, 3), 1);
+  EXPECT_EQ(bitPosition(2, 3), 0);
+  EXPECT_EQ(bitPosition(0, 1), 0);
+}
+
+TEST(Bits, InsertZeroBit) {
+  // Insert at position 0: value shifts left, bit 0 becomes 0.
+  EXPECT_EQ(insertZeroBit(0b101, 0), 0b1010u);
+  // Insert in the middle.
+  EXPECT_EQ(insertZeroBit(0b11, 1), 0b101u);
+  // Insert above all bits: no change of value.
+  EXPECT_EQ(insertZeroBit(0b11, 5), 0b11u);
+}
+
+TEST(Bits, InsertBitValue) {
+  EXPECT_EQ(insertBit(0b11, 1, 1), 0b111u);
+  EXPECT_EQ(insertBit(0b11, 1, 0), 0b101u);
+  EXPECT_EQ(insertBit(0, 0, 1), 1u);
+}
+
+TEST(Bits, InsertRemoveRoundTrip) {
+  for (index_t i = 0; i < 64; ++i) {
+    for (int pos = 0; pos < 8; ++pos) {
+      EXPECT_EQ(removeBit(insertZeroBit(i, pos), pos), i);
+      EXPECT_EQ(removeBit(insertBit(i, pos, 1), pos), i);
+    }
+  }
+}
+
+TEST(Bits, InsertZeroBitsMultiple) {
+  // Positions ascending, in final-index coordinates.
+  const std::vector<int> positions = {1, 3};
+  // 0b11 -> insert 0 at 1 -> 0b101 -> insert 0 at 3 -> 0b0101.
+  EXPECT_EQ(insertZeroBits(0b11, positions), 0b0101u);
+}
+
+TEST(Bits, InsertZeroBitEnumeratesComplement) {
+  // Inserting a zero bit at `pos` enumerates exactly the indices with that
+  // bit cleared, in increasing order and without repetition.
+  const int pos = 2;
+  std::vector<index_t> seen;
+  for (index_t base = 0; base < 8; ++base) {
+    seen.push_back(insertZeroBit(base, pos));
+  }
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(getBit(seen[i], pos), 0u);
+    if (i > 0) EXPECT_LT(seen[i - 1], seen[i]);
+  }
+}
+
+TEST(Bits, PowerOfTwo) {
+  EXPECT_TRUE(isPowerOfTwo(1));
+  EXPECT_TRUE(isPowerOfTwo(2));
+  EXPECT_TRUE(isPowerOfTwo(1024));
+  EXPECT_FALSE(isPowerOfTwo(0));
+  EXPECT_FALSE(isPowerOfTwo(3));
+  EXPECT_FALSE(isPowerOfTwo(1023));
+  EXPECT_EQ(log2PowerOfTwo(1), 0);
+  EXPECT_EQ(log2PowerOfTwo(2), 1);
+  EXPECT_EQ(log2PowerOfTwo(1024), 10);
+}
+
+TEST(Bitstring, ToIndexMsbFirst) {
+  EXPECT_EQ(bitstringToIndex("0"), 0u);
+  EXPECT_EQ(bitstringToIndex("1"), 1u);
+  EXPECT_EQ(bitstringToIndex("10"), 2u);
+  EXPECT_EQ(bitstringToIndex("01"), 1u);
+  EXPECT_EQ(bitstringToIndex("110"), 6u);
+  EXPECT_EQ(bitstringToIndex("00000"), 0u);
+}
+
+TEST(Bitstring, ToIndexValidation) {
+  EXPECT_THROW(bitstringToIndex("012"), InvalidArgumentError);
+  EXPECT_THROW(bitstringToIndex("ab"), InvalidArgumentError);
+  EXPECT_THROW(bitstringToIndex("01", 3), InvalidArgumentError);
+  EXPECT_NO_THROW(bitstringToIndex("01", 2));
+}
+
+TEST(Bitstring, IndexToBitstring) {
+  EXPECT_EQ(indexToBitstring(0, 3), "000");
+  EXPECT_EQ(indexToBitstring(6, 3), "110");
+  EXPECT_EQ(indexToBitstring(1, 1), "1");
+  EXPECT_EQ(indexToBitstring(5, 4), "0101");
+}
+
+TEST(Bitstring, RoundTrip) {
+  for (index_t i = 0; i < 256; ++i) {
+    EXPECT_EQ(bitstringToIndex(indexToBitstring(i, 8)), i);
+  }
+}
+
+TEST(Bitstring, IsBitstring) {
+  EXPECT_TRUE(isBitstring("0101"));
+  EXPECT_TRUE(isBitstring(""));
+  EXPECT_FALSE(isBitstring("01a"));
+  EXPECT_FALSE(isBitstring(" 01"));
+}
+
+class InsertBitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(InsertBitSweep, AllPositionsPreserveOtherBits) {
+  const int pos = GetParam();
+  for (index_t i = 0; i < 128; ++i) {
+    const index_t inserted = insertZeroBit(i, pos);
+    // Bits below pos unchanged; bits at/above pos shifted by one.
+    const index_t low = i & ((index_t{1} << pos) - 1);
+    EXPECT_EQ(inserted & ((index_t{1} << pos) - 1), low);
+    EXPECT_EQ(inserted >> (pos + 1), i >> pos);
+    EXPECT_EQ(getBit(inserted, pos), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, InsertBitSweep,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace qclab::util

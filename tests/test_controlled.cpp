@@ -1,0 +1,199 @@
+/// \file test_controlled.cpp
+/// \brief Unit tests for the singly-controlled gates (CX, CY, CZ, CH,
+/// CPhase, CRX/CRY/CRZ) including control-above-target, control-below-
+/// target, and 0-controlled variants.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qclab/qgates/qgates.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab::qgates {
+namespace {
+
+using C = std::complex<double>;
+using M = dense::Matrix<double>;
+
+/// Reference controlled matrix via projectors:
+/// control < target: |s><s| (x) U + |!s><!s| (x) I.
+M referenceControlled(const M& u, bool controlFirst, int controlState) {
+  M p0(2, 2), p1(2, 2);
+  p0(0, 0) = C(1);
+  p1(1, 1) = C(1);
+  const M& active = controlState == 1 ? p1 : p0;
+  const M& inactive = controlState == 1 ? p0 : p1;
+  if (controlFirst) {
+    return dense::kron(active, u) + dense::kron(inactive, M::identity(2));
+  }
+  return dense::kron(u, active) + dense::kron(M::identity(2), inactive);
+}
+
+TEST(Cnot, TruthTable) {
+  const auto cx = CX<double>(0, 1).matrix();
+  // |00> -> |00>, |01> -> |01>, |10> -> |11>, |11> -> |10>.
+  EXPECT_EQ(cx(0, 0), C(1));
+  EXPECT_EQ(cx(1, 1), C(1));
+  EXPECT_EQ(cx(3, 2), C(1));
+  EXPECT_EQ(cx(2, 3), C(1));
+  EXPECT_EQ(cx(2, 2), C(0));
+}
+
+TEST(Cnot, ControlBelowTarget) {
+  const auto cx = CX<double>(1, 0).matrix();  // control q1, target q0
+  // |01> -> |11>, |11> -> |01>.
+  EXPECT_EQ(cx(1, 3), C(1));
+  EXPECT_EQ(cx(3, 1), C(1));
+  EXPECT_EQ(cx(0, 0), C(1));
+  EXPECT_EQ(cx(2, 2), C(1));
+  qclab::test::expectMatrixNear(
+      cx, referenceControlled(dense::pauliX<double>(), false, 1));
+}
+
+TEST(Cnot, ZeroControlState) {
+  const auto cx = CX<double>(0, 1, 0).matrix();
+  qclab::test::expectMatrixNear(
+      cx, referenceControlled(dense::pauliX<double>(), true, 0));
+}
+
+TEST(Cnot, AliasAndAccessors) {
+  const CNOT<double> cnot(2, 0);
+  EXPECT_EQ(cnot.control(), 2);
+  EXPECT_EQ(cnot.target(), 0);
+  EXPECT_EQ(cnot.controlState(), 1);
+  EXPECT_EQ(cnot.qubits(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(cnot.nbQubits(), 2);
+  EXPECT_EQ(cnot.controls(), std::vector<int>{2});
+  EXPECT_EQ(cnot.targets(), std::vector<int>{0});
+}
+
+TEST(Cnot, Validation) {
+  EXPECT_THROW(CX<double>(1, 1), InvalidArgumentError);
+  EXPECT_THROW(CX<double>(-1, 0), InvalidArgumentError);
+  EXPECT_THROW(CX<double>(0, 1, 2), InvalidArgumentError);
+}
+
+TEST(Cz, SymmetricAndDiagonal) {
+  const auto cz01 = CZ<double>(0, 1).matrix();
+  const auto cz10 = CZ<double>(1, 0).matrix();
+  qclab::test::expectMatrixNear(cz01, cz10);  // CZ is symmetric
+  EXPECT_TRUE(CZ<double>(0, 1).isDiagonal());
+  EXPECT_EQ(cz01(3, 3), C(-1));
+  EXPECT_EQ(cz01(0, 0), C(1));
+}
+
+TEST(ControlledGates, MatchProjectorReference) {
+  struct Case {
+    std::unique_ptr<QControlledGate2<double>> gate;
+    M target;
+  };
+  std::vector<Case> cases;
+  cases.push_back({std::make_unique<CY<double>>(0, 1), dense::pauliY<double>()});
+  cases.push_back({std::make_unique<CH<double>>(0, 1),
+                   Hadamard<double>(0).matrix()});
+  cases.push_back({std::make_unique<CPhase<double>>(0, 1, 0.7),
+                   Phase<double>(0, 0.7).matrix()});
+  cases.push_back({std::make_unique<CRotationX<double>>(0, 1, 0.9),
+                   RotationX<double>(0, 0.9).matrix()});
+  cases.push_back({std::make_unique<CRotationY<double>>(0, 1, -0.4),
+                   RotationY<double>(0, -0.4).matrix()});
+  cases.push_back({std::make_unique<CRotationZ<double>>(0, 1, 1.3),
+                   RotationZ<double>(0, 1.3).matrix()});
+  for (const auto& testCase : cases) {
+    qclab::test::expectMatrixNear(
+        testCase.gate->matrix(),
+        referenceControlled(testCase.target, true, 1));
+  }
+}
+
+TEST(ControlledGates, InverseIsMatrixInverse) {
+  std::vector<std::unique_ptr<QControlledGate2<double>>> gates;
+  gates.push_back(std::make_unique<CX<double>>(0, 1));
+  gates.push_back(std::make_unique<CY<double>>(1, 0));
+  gates.push_back(std::make_unique<CZ<double>>(0, 1, 0));
+  gates.push_back(std::make_unique<CH<double>>(1, 0));
+  gates.push_back(std::make_unique<CPhase<double>>(0, 1, 0.6));
+  gates.push_back(std::make_unique<CRotationX<double>>(0, 1, -1.1));
+  gates.push_back(std::make_unique<CRotationY<double>>(1, 0, 0.2));
+  gates.push_back(std::make_unique<CRotationZ<double>>(0, 1, 2.1));
+  for (const auto& gate : gates) {
+    const auto inverse = gate->inverse();
+    qclab::test::expectMatrixNear(inverse->matrix() * gate->matrix(),
+                                  M::identity(4));
+  }
+}
+
+TEST(ControlledGates, DiagonalFlags) {
+  EXPECT_TRUE(CPhase<double>(0, 1, 0.3).isDiagonal());
+  EXPECT_TRUE(CRotationZ<double>(0, 1, 0.3).isDiagonal());
+  EXPECT_FALSE(CX<double>(0, 1).isDiagonal());
+  EXPECT_FALSE(CH<double>(0, 1).isDiagonal());
+  EXPECT_FALSE(CRotationX<double>(0, 1, 0.3).isDiagonal());
+}
+
+TEST(ControlledGates, QasmEmitsControlStateWrapper) {
+  std::ostringstream plain;
+  CX<double>(0, 1).toQASM(plain);
+  EXPECT_EQ(plain.str(), "cx q[0], q[1];\n");
+
+  std::ostringstream wrapped;
+  CX<double>(0, 1, 0).toQASM(wrapped);
+  EXPECT_EQ(wrapped.str(), "x q[0];\ncx q[0], q[1];\nx q[0];\n");
+
+  std::ostringstream cp;
+  CPhase<double>(2, 0, 0.5).toQASM(cp);
+  EXPECT_EQ(cp.str().substr(0, 3), "cp(");
+  EXPECT_NE(cp.str().find("q[2], q[0]"), std::string::npos);
+}
+
+TEST(ControlledGates, DrawItems) {
+  std::vector<io::DrawItem> items;
+  CX<double>(2, 0).appendDrawItems(items);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].boxTop, 0);           // box on target
+  EXPECT_EQ(items[0].controls1, std::vector<int>{2});
+  EXPECT_EQ(items[0].top(), 0);
+  EXPECT_EQ(items[0].bottom(), 2);
+
+  items.clear();
+  CZ<double>(0, 1, 0).appendDrawItems(items);
+  EXPECT_EQ(items[0].controls0, std::vector<int>{0});
+  EXPECT_TRUE(items[0].controls1.empty());
+}
+
+TEST(ControlledGates, ShiftQubits) {
+  CX<double> gate(0, 2);
+  gate.shiftQubits(3);
+  EXPECT_EQ(gate.control(), 3);
+  EXPECT_EQ(gate.target(), 5);
+  EXPECT_THROW(gate.shiftQubits(-4), InvalidArgumentError);
+}
+
+TEST(ControlledGates, CPhaseThetaManagement) {
+  CPhase<double> gate(0, 1, 0.5);
+  EXPECT_NEAR(gate.theta(), 0.5, 1e-14);
+  gate.setTheta(1.25);
+  EXPECT_NEAR(gate.theta(), 1.25, 1e-14);
+}
+
+// Distant-pair sweep: the controlled matrix on its two qubits must be
+// independent of how far apart they sit (qubits() only records the pair).
+class ControlDistanceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ControlDistanceSweep, MatrixIndependentOfLabels) {
+  const auto [control, target] = GetParam();
+  if (control == target) GTEST_SKIP();
+  const auto m = CX<double>(control, target).matrix();
+  const auto reference =
+      CX<double>(control < target ? 0 : 1, control < target ? 1 : 0).matrix();
+  qclab::test::expectMatrixNear(m, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, ControlDistanceSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 3, 7),
+                                            ::testing::Values(0, 2, 5)));
+
+}  // namespace
+}  // namespace qclab::qgates

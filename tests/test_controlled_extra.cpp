@@ -1,0 +1,152 @@
+/// \file test_controlled_extra.cpp
+/// \brief Unit tests for the Fredkin (CSWAP) and generic CU gates.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qclab/io/qasm.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab::qgates {
+namespace {
+
+using C = std::complex<double>;
+using M = dense::Matrix<double>;
+
+TEST(Fredkin, TruthTable) {
+  const auto m = Fredkin<double>(0, 1, 2).matrix();
+  EXPECT_EQ(m.rows(), 8u);
+  // Only |101> <-> |110> are exchanged.
+  EXPECT_EQ(m(5, 6), C(1));
+  EXPECT_EQ(m(6, 5), C(1));
+  for (std::size_t i : {0u, 1u, 2u, 3u, 4u, 7u}) EXPECT_EQ(m(i, i), C(1));
+  EXPECT_TRUE(m.isUnitary(1e-14));
+}
+
+TEST(Fredkin, SelfInverse) {
+  const Fredkin<double> gate(1, 0, 2);
+  qclab::test::expectMatrixNear(gate.inverse()->matrix() * gate.matrix(),
+                                M::identity(8));
+}
+
+TEST(Fredkin, ControlStateZero) {
+  const auto m = Fredkin<double>(0, 1, 2, 0).matrix();
+  // Swap happens when control is |0>: |001> <-> |010>.
+  EXPECT_EQ(m(1, 2), C(1));
+  EXPECT_EQ(m(2, 1), C(1));
+  EXPECT_EQ(m(5, 5), C(1));
+  EXPECT_EQ(m(6, 6), C(1));
+}
+
+TEST(Fredkin, EqualsToffoliSandwich) {
+  // CSWAP(c; a, b) == CX(b, a) . CCX(c, a; b) . CX(b, a).
+  QCircuit<double> decomposed(3);
+  decomposed.push_back(CX<double>(2, 1));
+  decomposed.push_back(Toffoli<double>(0, 1, 2));
+  decomposed.push_back(CX<double>(2, 1));
+  qclab::test::expectMatrixNear(Fredkin<double>(0, 1, 2).matrix(),
+                                decomposed.matrix());
+}
+
+TEST(Fredkin, AccessorsAndValidation) {
+  const Fredkin<double> gate(3, 2, 0);
+  EXPECT_EQ(gate.control(), 3);
+  EXPECT_EQ(gate.target0(), 0);  // sorted
+  EXPECT_EQ(gate.target1(), 2);
+  EXPECT_EQ(gate.qubits(), (std::vector<int>{0, 2, 3}));
+  EXPECT_THROW(Fredkin<double>(0, 1, 1), InvalidArgumentError);
+  EXPECT_THROW(Fredkin<double>(1, 1, 2), InvalidArgumentError);
+  EXPECT_THROW(Fredkin<double>(-1, 1, 2), InvalidArgumentError);
+}
+
+TEST(Fredkin, SimulatesThroughKernelBackend) {
+  // Fredkin has one control and two targets -> exercises the applyK path.
+  QCircuit<double> circuit(4);
+  circuit.push_back(Fredkin<double>(1, 0, 3));
+  random::Rng rng(1);
+  const auto state = qclab::test::randomState<double>(4, rng);
+  const sim::KernelBackend<double> kernel;
+  const sim::SparseKronBackend<double> sparse;
+  qclab::test::expectStateNear(circuit.simulate(state, kernel).state(0),
+                               circuit.simulate(state, sparse).state(0),
+                               1e-12);
+}
+
+TEST(Fredkin, QasmAndDraw) {
+  std::ostringstream qasm;
+  Fredkin<double>(0, 1, 2).toQASM(qasm);
+  EXPECT_EQ(qasm.str(), "cswap q[0], q[1], q[2];\n");
+  std::vector<io::DrawItem> items;
+  Fredkin<double>(0, 1, 2).appendDrawItems(items);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].kind, io::DrawItem::Kind::kSwap);
+  EXPECT_EQ(items[0].controls1, std::vector<int>{0});
+}
+
+TEST(Cu, MatchesNamedControlledGates) {
+  // CU(theta, 0, 0, 0) == CRY(theta) ... up to the u3/RY equality.
+  qclab::test::expectMatrixNear(CU<double>(0, 1, 0.7, 0.0, 0.0).matrix(),
+                                CRotationY<double>(0, 1, 0.7).matrix());
+  // CU(0, 0, lambda, 0) == CPhase(lambda).
+  qclab::test::expectMatrixNear(CU<double>(0, 1, 0.0, 0.0, 0.9).matrix(),
+                                CPhase<double>(0, 1, 0.9).matrix());
+}
+
+TEST(Cu, GammaIsControlledGlobalPhase) {
+  // CU(0, 0, 0, gamma) == CPhase(gamma) acting on the *control* subspace:
+  // diag(1, 1, e^{ig}, e^{ig}) for control 0, target 1.
+  const double gamma = 0.6;
+  const auto m = CU<double>(0, 1, 0.0, 0.0, 0.0, gamma).matrix();
+  const C phase = std::polar(1.0, gamma);
+  EXPECT_NEAR(std::abs(m(0, 0) - C(1)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(m(1, 1) - C(1)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(m(2, 2) - phase), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(m(3, 3) - phase), 0.0, 1e-14);
+}
+
+TEST(Cu, FromMatrixIsExact) {
+  random::Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto u = qclab::test::randomUnitary1<double>(rng);
+    const auto cu = CU<double>::fromMatrix(0, 1, u);
+    const auto reference =
+        controlledMatrix<double>({0, 1}, {0}, {1}, {1}, u);
+    qclab::test::expectMatrixNear(cu.matrix(), reference, 1e-11);
+  }
+}
+
+TEST(Cu, InverseIsMatrixInverse) {
+  const CU<double> gate(1, 0, 0.5, -0.3, 1.1, 0.4);
+  qclab::test::expectMatrixNear(gate.inverse()->matrix() * gate.matrix(),
+                                M::identity(4), 1e-12);
+}
+
+TEST(Cu, QasmRoundTrip) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(CU<double>(0, 1, 0.5, -0.3, 1.1, 0.4));
+  circuit.push_back(CU<double>(1, 0, 0.2, 0.0, 0.0, 0.0, 0));
+  const auto reparsed = io::parseQasm<double>(circuit.toQASM());
+  qclab::test::expectMatrixNear(reparsed.matrix(), circuit.matrix(), 1e-11);
+}
+
+TEST(Cu, CswapQasmRoundTrip) {
+  QCircuit<double> circuit(3);
+  circuit.push_back(Fredkin<double>(2, 0, 1));
+  circuit.push_back(CU<double>(0, 2, 1.2, 0.3, -0.7, 0.25));
+  const auto reparsed = io::parseQasm<double>(circuit.toQASM());
+  qclab::test::expectMatrixNear(reparsed.matrix(), circuit.matrix(), 1e-11);
+}
+
+TEST(Cu, ShiftQubits) {
+  CU<double> gate(0, 1, 0.1, 0.2, 0.3);
+  gate.shiftQubits(2);
+  EXPECT_EQ(gate.control(), 2);
+  EXPECT_EQ(gate.target(), 3);
+  Fredkin<double> fredkin(0, 1, 2);
+  fredkin.shiftQubits(1);
+  EXPECT_EQ(fredkin.qubits(), (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace qclab::qgates

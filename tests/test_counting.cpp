@@ -1,0 +1,115 @@
+/// \file test_counting.cpp
+/// \brief Unit tests for quantum counting and the circuit depth metric.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace qclab::algorithms {
+namespace {
+
+using namespace qclab::qgates;
+
+TEST(MultiOracle, FlipsAllMarkedPhases) {
+  const auto oracle = groverOracleMulti<double>({"00", "11"});
+  const auto m = oracle.matrix();
+  EXPECT_NEAR(std::abs(m(0, 0) - std::complex<double>(-1)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(m(1, 1) - std::complex<double>(1)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(m(2, 2) - std::complex<double>(1)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(m(3, 3) - std::complex<double>(-1)), 0.0, 1e-12);
+}
+
+TEST(QuantumCounting, SingleMarkedStateOfFour) {
+  // N = 4, M = 1: theta = asin(1/2) = pi/6; with 4 counting qubits the
+  // estimate lands near M = 1.
+  // theta = pi/6 is not exactly representable in 4 bits; the peak lands on
+  // a neighbor of phi = 1/6, giving an estimate within ~0.6 of M = 1.
+  const auto result = quantumCounting<double>(4, {"11"});
+  EXPECT_NEAR(result.estimatedCount, 1.0, 0.6);
+  EXPECT_GT(result.probability, 0.2);
+}
+
+TEST(QuantumCounting, TwoMarkedStatesOfFour) {
+  // N = 4, M = 2: theta = pi/4 exactly -> exact phase with >= 2 counting
+  // bits, so the estimate is exact.
+  // The two eigenphases +-2*theta give two symmetric peaks of 0.5 each;
+  // both fold onto the exact estimate M = 2.
+  const auto result = quantumCounting<double>(3, {"01", "10"});
+  EXPECT_NEAR(result.estimatedCount, 2.0, 1e-9);
+  EXPECT_NEAR(result.probability, 0.5, 1e-9);
+}
+
+TEST(QuantumCounting, AllMarked) {
+  // M = N: theta = pi/2, exact.
+  const auto result =
+      quantumCounting<double>(2, {"00", "01", "10", "11"});
+  EXPECT_NEAR(result.estimatedCount, 4.0, 1e-9);
+}
+
+TEST(QuantumCounting, EightStateSpace) {
+  // N = 8, M = 2: theta = asin(1/2) = pi/6; 4 counting qubits give a
+  // coarse but usable estimate.
+  const auto result = quantumCounting<double>(4, {"000", "111"});
+  EXPECT_NEAR(result.estimatedCount, 2.0, 1.0);
+}
+
+TEST(QuantumCounting, Validation) {
+  EXPECT_THROW(quantumCounting<double>(0, {"11"}), InvalidArgumentError);
+  EXPECT_THROW(quantumCounting<double>(2, {}), InvalidArgumentError);
+  EXPECT_THROW(groverOracleMulti<double>({"01", "001"}),
+               InvalidArgumentError);
+}
+
+TEST(Depth, EmptyAndSingleGate) {
+  QCircuit<double> circuit(3);
+  EXPECT_EQ(circuit.depth(), 0);
+  circuit.push_back(Hadamard<double>(1));
+  EXPECT_EQ(circuit.depth(), 1);
+}
+
+TEST(Depth, ParallelGatesShareLayer) {
+  QCircuit<double> circuit(3);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(Hadamard<double>(1));
+  circuit.push_back(Hadamard<double>(2));
+  EXPECT_EQ(circuit.depth(), 1);
+  circuit.push_back(CX<double>(0, 1));
+  EXPECT_EQ(circuit.depth(), 2);
+  circuit.push_back(Hadamard<double>(2));  // fits alongside the CX
+  EXPECT_EQ(circuit.depth(), 2);
+}
+
+TEST(Depth, ControlSpanBlocksIntermediateQubits) {
+  QCircuit<double> circuit(3);
+  circuit.push_back(CZ<double>(0, 2));
+  circuit.push_back(Hadamard<double>(1));  // inside the CZ span
+  EXPECT_EQ(circuit.depth(), 2);
+}
+
+TEST(Depth, NestedCircuitsCountElementwise) {
+  QCircuit<double> sub(2, 1);
+  sub.push_back(Hadamard<double>(0));
+  sub.push_back(CX<double>(0, 1));
+  QCircuit<double> parent(3);
+  parent.push_back(Hadamard<double>(0));
+  parent.push_back(QCircuit<double>(sub));
+  // H(0) in layer 0; sub's H(1) also layer 0; CX(1,2) layer 1.
+  EXPECT_EQ(parent.depth(), 2);
+}
+
+TEST(Depth, GhzIsLinear) {
+  for (int n = 2; n <= 8; ++n) {
+    EXPECT_EQ(ghz<double>(n).depth(), n);
+  }
+}
+
+TEST(Depth, MeasurementsOccupyLayers) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(Measurement<double>(0));
+  circuit.push_back(Measurement<double>(1));
+  EXPECT_EQ(circuit.depth(), 2);
+}
+
+}  // namespace
+}  // namespace qclab::algorithms

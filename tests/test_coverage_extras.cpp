@@ -1,0 +1,156 @@
+/// \file test_coverage_extras.cpp
+/// \brief Gap-filling tests for paths not covered elsewhere: measurement
+/// noise models, stabilizer iSWAP†, unmeasured phase estimation, drawing
+/// edge cases, and nested-circuit noise simulation.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace qclab {
+namespace {
+
+using C = std::complex<double>;
+using namespace qclab::qgates;
+
+TEST(NoiseModel, MeasurementNoiseFlipsOutcomes) {
+  // Perfect state |0>, but the readout channel flips with probability 0.1:
+  // the post-measurement distribution shows the readout error.
+  noise::NoiseModel<double> model;
+  model.measurementNoise = noise::KrausChannel<double>::bitFlip(0.1);
+  QCircuit<double> circuit(1);
+  circuit.push_back(Measurement<double>(0));
+  const auto rho = noise::simulateDensity(circuit, "0", model);
+  const auto distribution = rho.probabilities({0});
+  EXPECT_NEAR(distribution[0], 0.9, 1e-12);
+  EXPECT_NEAR(distribution[1], 0.1, 1e-12);
+}
+
+TEST(NoiseModel, GateNoiseAppliesPerTouchedQubit) {
+  // A CX under bit-flip gate noise perturbs both qubits.
+  noise::NoiseModel<double> model;
+  model.gateNoise = noise::KrausChannel<double>::bitFlip(0.25);
+  QCircuit<double> circuit(2);
+  circuit.push_back(CX<double>(0, 1));
+  const auto rho = noise::simulateDensity(circuit, "00", model);
+  // Marginal flip probability 0.25 per qubit.
+  EXPECT_NEAR(rho.probability0(0), 0.75, 1e-12);
+  EXPECT_NEAR(rho.probability0(1), 0.75, 1e-12);
+}
+
+TEST(NoiseModel, NestedCircuitsCarryOffsets) {
+  QCircuit<double> sub(1, 1);  // acts on qubit 1 of the parent
+  sub.push_back(PauliX<double>(0));
+  QCircuit<double> parent(2);
+  parent.push_back(QCircuit<double>(sub));
+  const auto rho = noise::simulateDensity(parent, "00");
+  EXPECT_NEAR(rho.probability0(1), 0.0, 1e-12);
+  EXPECT_NEAR(rho.probability0(0), 1.0, 1e-12);
+}
+
+TEST(Stabilizer, ISwapDaggerInvertsISwap) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(iSWAP<double>(0, 1));
+  circuit.push_back(iSWAPdg<double>(0, 1));
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(Measurement<double>(0));
+  circuit.push_back(Measurement<double>(1));
+  random::Rng rng(1);
+  for (int shot = 0; shot < 20; ++shot) {
+    stabilizer::Tableau tableau(2);
+    EXPECT_EQ(stabilizer::simulateShot(circuit, tableau, rng), "00");
+  }
+}
+
+TEST(Stabilizer, RejectsCustomBasisMeasurement) {
+  const double h = 1.0 / std::sqrt(2.0);
+  dense::Matrix<double> basis{{h, h}, {h, -h}};
+  QCircuit<double> circuit(1);
+  circuit.push_back(Measurement<double>(0, basis));
+  random::Rng rng(2);
+  stabilizer::Tableau tableau(1);
+  EXPECT_THROW(stabilizer::simulateShot(circuit, tableau, rng),
+               InvalidArgumentError);
+}
+
+TEST(PhaseEstimation, UnmeasuredVariantLeavesRegisterCoherent) {
+  const auto tGate = TGate<double>(0).matrix();
+  auto circuit = algorithms::phaseEstimation<double>(3, tGate,
+                                                     /*measure=*/false);
+  auto initial = dense::kron(basisState<double>("000"),
+                             basisState<double>("1"));
+  const auto simulation = circuit.simulate(initial);
+  ASSERT_EQ(simulation.nbBranches(), 1u);
+  EXPECT_EQ(simulation.nbMeasurements(), 0u);
+  // The counting register holds |001> exactly; with the target |1>, the
+  // full state is the basis state |0011>.
+  qclab::test::expectStateNear(simulation.state(0),
+                               basisState<double>("0011"), 1e-10);
+}
+
+TEST(Draw, SingleQubitEmptyCircuit) {
+  QCircuit<double> circuit(1);
+  const auto drawing = circuit.draw();
+  EXPECT_NE(drawing.find("q0:"), std::string::npos);
+  EXPECT_EQ(std::count(drawing.begin(), drawing.end(), '\n'), 3);
+}
+
+TEST(Draw, OffsetCircuitRendersLowerRows) {
+  QCircuit<double> sub(1, 2);
+  sub.push_back(Hadamard<double>(0));
+  // Drawing the offset circuit standalone shows wires q0..q2.
+  const auto drawing = sub.draw();
+  EXPECT_NE(drawing.find("q2:"), std::string::npos);
+  EXPECT_NE(drawing.find("H"), std::string::npos);
+}
+
+TEST(Draw, WideAngleLabelsWidenColumns) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(RotationX<double>(0, -2.25));
+  circuit.push_back(Hadamard<double>(1));
+  const auto drawing = circuit.draw();
+  EXPECT_NE(drawing.find("RX(-2.25)"), std::string::npos);
+}
+
+TEST(QCircuitExtras, DepthAndCountsOfPaperCircuits) {
+  // Layers: [CX01 | M1] is not possible (q1 shared) -> CX01; [H0, M1];
+  // [M0, CX12]; [CZ02] -> depth 4.
+  const auto qtc = algorithms::teleportationCircuit<double>();
+  EXPECT_EQ(qtc.depth(), 4);
+  const auto counts = qtc.gateCounts();
+  EXPECT_EQ(counts.at("measure"), 2u);
+  EXPECT_EQ(counts.at("cX"), 2u);
+  EXPECT_EQ(counts.at("cZ"), 1u);
+  EXPECT_EQ(counts.at("H"), 1u);
+}
+
+TEST(QCircuitExtras, InverseOfBlockKeepsLabel) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.asBlock("G");
+  const auto inverse = circuit.inverted();
+  EXPECT_TRUE(inverse.isBlock());
+  EXPECT_EQ(inverse.label(), "G†");
+}
+
+TEST(Measurement, CustomBasisSimulationProbabilities) {
+  // Custom basis whose first vector is v itself: measuring v gives 0 with
+  // certainty.
+  const double h = 1.0 / std::sqrt(2.0);
+  const std::vector<C> v = {C(h, 0.0), C(0.0, h)};
+  dense::Matrix<double> basis(2, 2);
+  basis(0, 0) = v[0];
+  basis(1, 0) = v[1];
+  basis(0, 1) = -std::conj(v[1]);
+  basis(1, 1) = std::conj(v[0]);
+  QCircuit<double> circuit(1);
+  circuit.push_back(Measurement<double>(0, basis));
+  const auto simulation = circuit.simulate(v);
+  ASSERT_EQ(simulation.nbBranches(), 1u);
+  EXPECT_EQ(simulation.result(0), "0");
+  EXPECT_NEAR(simulation.probability(0), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qclab

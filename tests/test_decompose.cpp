@@ -1,0 +1,72 @@
+/// \file test_decompose.cpp
+/// \brief Unit tests for the ZYZ decomposition of 2x2 unitaries.
+
+#include <gtest/gtest.h>
+
+#include "qclab/dense/decompose.hpp"
+#include "qclab/qgates/qgates.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab::dense {
+namespace {
+
+using C = std::complex<double>;
+using M = Matrix<double>;
+
+/// Reconstructs e^{i alpha} u3(theta, phi, lambda) and compares with U.
+void expectZyzReconstructs(const M& u) {
+  const auto euler = zyzDecompose(u);
+  const auto u3 =
+      qgates::U3<double>(0, euler.theta, euler.phi, euler.lambda).matrix();
+  const auto reconstructed = u3 * std::polar(1.0, euler.alpha);
+  qclab::test::expectMatrixNear(reconstructed, u, 1e-12);
+}
+
+TEST(Zyz, FixedGates) {
+  expectZyzReconstructs(pauliI<double>());
+  expectZyzReconstructs(pauliX<double>());
+  expectZyzReconstructs(pauliY<double>());
+  expectZyzReconstructs(pauliZ<double>());
+  expectZyzReconstructs(qgates::Hadamard<double>(0).matrix());
+  expectZyzReconstructs(qgates::SGate<double>(0).matrix());
+  expectZyzReconstructs(qgates::TdgGate<double>(0).matrix());
+  expectZyzReconstructs(qgates::SX<double>(0).matrix());
+}
+
+TEST(Zyz, RotationGates) {
+  for (double theta : {0.0, 0.1, 1.5707, 3.1, -2.5}) {
+    expectZyzReconstructs(qgates::RotationX<double>(0, theta).matrix());
+    expectZyzReconstructs(qgates::RotationY<double>(0, theta).matrix());
+    expectZyzReconstructs(qgates::RotationZ<double>(0, theta).matrix());
+    expectZyzReconstructs(qgates::Phase<double>(0, theta).matrix());
+  }
+}
+
+TEST(Zyz, ThetaInPrincipalRange) {
+  random::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto u = qclab::test::randomUnitary1<double>(rng);
+    const auto euler = zyzDecompose(u);
+    EXPECT_GE(euler.theta, 0.0);
+    EXPECT_LE(euler.theta, M_PI + 1e-12);
+  }
+}
+
+TEST(Zyz, RejectsNonUnitary) {
+  EXPECT_THROW(zyzDecompose(M{{1, 1}, {0, 1}}), qclab::InvalidArgumentError);
+  EXPECT_THROW(zyzDecompose(M(3, 3)), qclab::InvalidArgumentError);
+}
+
+class ZyzRandomSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ZyzRandomSweep, ReconstructsRandomUnitaries) {
+  random::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 20; ++i) {
+    expectZyzReconstructs(qclab::test::randomUnitary1<double>(rng));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ZyzRandomSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace qclab::dense

@@ -1,0 +1,206 @@
+/// \file test_dense.cpp
+/// \brief Unit tests for the dense complex matrix substrate.
+
+#include <gtest/gtest.h>
+
+#include "qclab/dense/matrix.hpp"
+#include "qclab/dense/ops.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab::dense {
+namespace {
+
+using C = std::complex<double>;
+using M = Matrix<double>;
+
+TEST(DenseMatrix, ConstructionAndAccess) {
+  M m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.isSquare());
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), C(0));
+  m(1, 2) = C(3, 4);
+  EXPECT_EQ(m(1, 2), C(3, 4));
+}
+
+TEST(DenseMatrix, InitializerList) {
+  M m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m(0, 0), C(1));
+  EXPECT_EQ(m(0, 1), C(2));
+  EXPECT_EQ(m(1, 0), C(3));
+  EXPECT_EQ(m(1, 1), C(4));
+  EXPECT_THROW((M{{1, 2}, {3}}), qclab::InvalidArgumentError);
+}
+
+TEST(DenseMatrix, Identity) {
+  const auto id = M::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_EQ(id(i, j), i == j ? C(1) : C(0));
+}
+
+TEST(DenseMatrix, Arithmetic) {
+  const M a{{1, 2}, {3, 4}};
+  const M b{{5, 6}, {7, 8}};
+  const auto sum = a + b;
+  EXPECT_EQ(sum(0, 0), C(6));
+  EXPECT_EQ(sum(1, 1), C(12));
+  const auto diff = b - a;
+  EXPECT_EQ(diff(0, 1), C(4));
+  const auto scaled = a * C(2);
+  EXPECT_EQ(scaled(1, 0), C(6));
+  EXPECT_THROW(a + M(3, 3), qclab::InvalidArgumentError);
+}
+
+TEST(DenseMatrix, MatMul) {
+  const M a{{1, 2}, {3, 4}};
+  const M b{{5, 6}, {7, 8}};
+  const auto product = a * b;
+  EXPECT_EQ(product(0, 0), C(19));
+  EXPECT_EQ(product(0, 1), C(22));
+  EXPECT_EQ(product(1, 0), C(43));
+  EXPECT_EQ(product(1, 1), C(50));
+  // Identity is neutral.
+  qclab::test::expectMatrixNear(a * M::identity(2), a);
+  qclab::test::expectMatrixNear(M::identity(2) * a, a);
+}
+
+TEST(DenseMatrix, ApplyMatchesMatMul) {
+  const M a{{1, C(0, 2)}, {3, 4}};
+  const std::vector<C> x = {C(1, 1), C(2, -1)};
+  const auto y = a.apply(x);
+  EXPECT_EQ(y[0], C(1, 1) + C(0, 2) * C(2, -1));
+  EXPECT_EQ(y[1], C(3) * C(1, 1) + C(4) * C(2, -1));
+}
+
+TEST(DenseMatrix, TransposeConjDagger) {
+  const M a{{C(1, 1), C(2, -3)}, {C(0, 5), C(4)}};
+  const auto t = a.transpose();
+  EXPECT_EQ(t(0, 1), C(0, 5));
+  const auto c = a.conj();
+  EXPECT_EQ(c(0, 0), C(1, -1));
+  const auto d = a.dagger();
+  EXPECT_EQ(d(1, 0), C(2, 3));
+  EXPECT_EQ(d(0, 1), C(0, -5));
+  // dagger == conj(transpose).
+  qclab::test::expectMatrixNear(d, a.transpose().conj());
+}
+
+TEST(DenseMatrix, TraceAndNorms) {
+  const M a{{C(1, 2), C(0)}, {C(0), C(3, -1)}};
+  EXPECT_EQ(a.trace(), C(4, 1));
+  EXPECT_NEAR(a.normF(), std::sqrt(1. + 4. + 9. + 1.), 1e-14);
+  EXPECT_NEAR(a.normMax(), std::abs(C(3, -1)), 1e-14);
+  EXPECT_THROW(M(2, 3).trace(), qclab::InvalidArgumentError);
+}
+
+TEST(DenseMatrix, UnitaryAndHermitianChecks) {
+  EXPECT_TRUE(pauliX<double>().isUnitary(1e-14));
+  EXPECT_TRUE(pauliY<double>().isUnitary(1e-14));
+  EXPECT_TRUE(pauliX<double>().isHermitian(1e-14));
+  const M notUnitary{{1, 1}, {0, 1}};
+  EXPECT_FALSE(notUnitary.isUnitary(1e-10));
+  EXPECT_FALSE(notUnitary.isHermitian(1e-10));
+  EXPECT_FALSE(M(2, 3).isUnitary(1e-10));
+}
+
+TEST(DenseOps, KronBasics) {
+  const auto k = kron(pauliX<double>(), M::identity(2));
+  // X (x) I = [[0, I], [I, 0]].
+  EXPECT_EQ(k.rows(), 4u);
+  EXPECT_EQ(k(0, 2), C(1));
+  EXPECT_EQ(k(1, 3), C(1));
+  EXPECT_EQ(k(2, 0), C(1));
+  EXPECT_EQ(k(3, 1), C(1));
+  EXPECT_EQ(k(0, 0), C(0));
+}
+
+TEST(DenseOps, KronMixedProductProperty) {
+  // (A (x) B)(C (x) D) == (AC) (x) (BD).
+  random::Rng rng(1);
+  const auto a = qclab::test::randomUnitary1<double>(rng);
+  const auto b = qclab::test::randomUnitary1<double>(rng);
+  const auto c = qclab::test::randomUnitary1<double>(rng);
+  const auto d = qclab::test::randomUnitary1<double>(rng);
+  qclab::test::expectMatrixNear(kron(a, b) * kron(c, d),
+                                kron(a * c, b * d));
+}
+
+TEST(DenseOps, KronVectors) {
+  const std::vector<C> a = {C(1), C(2)};
+  const std::vector<C> b = {C(0, 1), C(3)};
+  const auto k = kron(a, b);
+  ASSERT_EQ(k.size(), 4u);
+  EXPECT_EQ(k[0], C(0, 1));
+  EXPECT_EQ(k[1], C(3));
+  EXPECT_EQ(k[2], C(0, 2));
+  EXPECT_EQ(k[3], C(6));
+}
+
+TEST(DenseOps, DirectSum) {
+  const auto s = directSum(pauliZ<double>(), pauliX<double>());
+  EXPECT_EQ(s.rows(), 4u);
+  EXPECT_EQ(s(0, 0), C(1));
+  EXPECT_EQ(s(1, 1), C(-1));
+  EXPECT_EQ(s(2, 3), C(1));
+  EXPECT_EQ(s(0, 2), C(0));
+}
+
+TEST(DenseOps, InnerOuterNorm) {
+  const std::vector<C> a = {C(1), C(0, 1)};
+  const std::vector<C> b = {C(0, 1), C(1)};
+  // <a|b> = conj(1)*i + conj(i)*1 = i - i = 0.
+  EXPECT_EQ(inner(a, b), C(0));
+  EXPECT_NEAR(normSquared(a), 2.0, 1e-14);
+  const auto o = outer(a, a);
+  EXPECT_EQ(o(0, 1), C(1) * std::conj(C(0, 1)));
+  EXPECT_EQ(o(1, 0), C(0, 1));
+}
+
+TEST(DenseOps, EqualUpToPhase) {
+  const std::vector<C> a = {C(1, 0), C(0, 1)};
+  std::vector<C> b = a;
+  const C phase = std::polar(1.0, 1.234);
+  for (auto& x : b) x *= phase;
+  EXPECT_TRUE(equalUpToPhase(a, b, 1e-12));
+  b[0] += C(0.1, 0);
+  EXPECT_FALSE(equalUpToPhase(a, b, 1e-12));
+  // Different sizes never match.
+  EXPECT_FALSE(equalUpToPhase(a, std::vector<C>{C(1)}, 1e-12));
+}
+
+TEST(DenseOps, PauliAlgebra) {
+  // X Y = i Z, Y Z = i X, Z X = i Y, X^2 = Y^2 = Z^2 = I.
+  const auto x = pauliX<double>();
+  const auto y = pauliY<double>();
+  const auto z = pauliZ<double>();
+  qclab::test::expectMatrixNear(x * y, z * C(0, 1));
+  qclab::test::expectMatrixNear(y * z, x * C(0, 1));
+  qclab::test::expectMatrixNear(z * x, y * C(0, 1));
+  qclab::test::expectMatrixNear(x * x, M::identity(2));
+  qclab::test::expectMatrixNear(y * y, M::identity(2));
+  qclab::test::expectMatrixNear(z * z, M::identity(2));
+}
+
+class KronDimensionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(KronDimensionSweep, ShapesAndUnitarity) {
+  const auto [ra, rb] = GetParam();
+  // Unitary (x) unitary is unitary; dims multiply.
+  random::Rng rng(static_cast<std::uint64_t>(ra * 10 + rb));
+  M a = M::identity(static_cast<std::size_t>(ra));
+  M b = M::identity(static_cast<std::size_t>(rb));
+  // Perturb with a unitary pattern: permute columns cyclically.
+  const auto k = kron(a, b);
+  EXPECT_EQ(k.rows(), static_cast<std::size_t>(ra * rb));
+  EXPECT_TRUE(k.isUnitary(1e-13));
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, KronDimensionSweep,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(1, 2, 8)));
+
+}  // namespace
+}  // namespace qclab::dense

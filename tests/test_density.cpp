@@ -1,0 +1,173 @@
+/// \file test_density.cpp
+/// \brief Unit tests for the density-matrix utilities behind the tomography
+/// example (paper §5.2).
+
+#include <gtest/gtest.h>
+
+#include "qclab/density.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab::density {
+namespace {
+
+using C = std::complex<double>;
+using M = dense::Matrix<double>;
+
+std::vector<C> paperV() {
+  const double h = 1.0 / std::sqrt(2.0);
+  return {C(h, 0.0), C(0.0, h)};
+}
+
+TEST(Density, PureStateDensityMatrix) {
+  const auto rho = densityMatrix(paperV());
+  // Paper §5.2: rho_v = [[0.5, -0.5i], [0.5i, 0.5]].
+  EXPECT_NEAR(std::abs(rho(0, 0) - C(0.5)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(rho(0, 1) - C(0.0, -0.5)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(rho(1, 0) - C(0.0, 0.5)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(rho(1, 1) - C(0.5)), 0.0, 1e-14);
+  EXPECT_TRUE(isDensityMatrix(rho, 1e-12));
+}
+
+TEST(Density, IsDensityMatrixChecks) {
+  EXPECT_FALSE(isDensityMatrix(M::identity(2), 1e-12));  // trace 2
+  auto mixed = M::identity(2);
+  mixed *= C(0.5);
+  EXPECT_TRUE(isDensityMatrix(mixed, 1e-12));
+  EXPECT_FALSE(isDensityMatrix(M{{0.5, 0.5}, {0.0, 0.5}}, 1e-12));
+}
+
+TEST(Density, PurityPureVsMixed) {
+  EXPECT_NEAR(purity(densityMatrix(paperV())), 1.0, 1e-13);
+  auto mixed = M::identity(2);
+  mixed *= C(0.5);
+  EXPECT_NEAR(purity(mixed), 0.5, 1e-14);
+}
+
+TEST(Density, TraceDistanceExtremes) {
+  const auto rho0 = densityMatrix(basisState<double>("0"));
+  const auto rho1 = densityMatrix(basisState<double>("1"));
+  EXPECT_NEAR(traceDistance(rho0, rho0), 0.0, 1e-13);
+  EXPECT_NEAR(traceDistance(rho0, rho1), 1.0, 1e-13);
+}
+
+TEST(Density, TraceDistanceOfPureStatesFormula) {
+  // For pure states: D = sqrt(1 - |<a|b>|^2).
+  random::Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    const auto a = qclab::test::randomState<double>(1, rng);
+    const auto b = qclab::test::randomState<double>(1, rng);
+    const double overlap = std::abs(dense::inner(a, b));
+    const double expected = std::sqrt(std::max(0.0, 1.0 - overlap * overlap));
+    EXPECT_NEAR(traceDistance(densityMatrix(a), densityMatrix(b)), expected,
+                1e-10);
+  }
+}
+
+TEST(Density, FidelityPureStates) {
+  // F(|a>, |b>) = |<a|b>|^2.
+  random::Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    const auto a = qclab::test::randomState<double>(1, rng);
+    const auto b = qclab::test::randomState<double>(1, rng);
+    const double overlap = std::abs(dense::inner(a, b));
+    EXPECT_NEAR(fidelity(densityMatrix(a), densityMatrix(b)),
+                overlap * overlap, 1e-7);  // Jacobi eigensolver accuracy
+    EXPECT_NEAR(fidelity(a, densityMatrix(b)), overlap * overlap, 1e-12);
+  }
+}
+
+TEST(Density, FidelityWithSelfIsOne) {
+  const auto rho = densityMatrix(paperV());
+  EXPECT_NEAR(fidelity(rho, rho), 1.0, 1e-10);
+  EXPECT_NEAR(fidelity(paperV(), rho), 1.0, 1e-13);
+}
+
+TEST(Density, SqrtPsd) {
+  const auto rho = densityMatrix(paperV());
+  const auto root = sqrtPsd(rho);
+  qclab::test::expectMatrixNear(root * root, rho, 1e-11);
+  EXPECT_THROW(sqrtPsd(M{{-1.0, 0.0}, {0.0, 1.0}}),
+               qclab::InvalidArgumentError);
+}
+
+TEST(Density, PartialTraceOfProductState) {
+  random::Rng rng(3);
+  const auto a = qclab::test::randomState<double>(1, rng);
+  const auto b = qclab::test::randomState<double>(1, rng);
+  const auto rho = densityMatrix(dense::kron(a, b));
+  // Tracing out qubit 1 leaves |a><a|.
+  qclab::test::expectMatrixNear(partialTrace(rho, 2, {1}), densityMatrix(a),
+                                1e-12);
+  // Tracing out qubit 0 leaves |b><b|.
+  qclab::test::expectMatrixNear(partialTrace(rho, 2, {0}), densityMatrix(b),
+                                1e-12);
+}
+
+TEST(Density, PartialTraceOfBellIsMaximallyMixed) {
+  const double h = 1.0 / std::sqrt(2.0);
+  const std::vector<C> bell = {C(h), C(0), C(0), C(h)};
+  const auto rho = densityMatrix(bell);
+  auto half = M::identity(2);
+  half *= C(0.5);
+  qclab::test::expectMatrixNear(partialTrace(rho, 2, {0}), half, 1e-13);
+  qclab::test::expectMatrixNear(partialTrace(rho, 2, {1}), half, 1e-13);
+}
+
+TEST(Density, PartialTracePreservesTrace) {
+  random::Rng rng(4);
+  const auto state = qclab::test::randomState<double>(3, rng);
+  const auto rho = densityMatrix(state);
+  for (const std::vector<int>& traced :
+       {std::vector<int>{0}, {1}, {2}, {0, 2}, {0, 1, 2}}) {
+    const auto reduced = partialTrace(rho, 3, traced);
+    EXPECT_NEAR(std::abs(reduced.trace() - C(1)), 0.0, 1e-12);
+  }
+}
+
+TEST(Density, PartialTraceValidation) {
+  const auto rho = densityMatrix(basisState<double>("00"));
+  EXPECT_THROW(partialTrace(rho, 2, {2}), qclab::QubitRangeError);
+  EXPECT_THROW(partialTrace(rho, 2, {0, 0}), qclab::InvalidArgumentError);
+  EXPECT_THROW(partialTrace(M::identity(3), 2, {0}),
+               qclab::InvalidArgumentError);
+}
+
+TEST(Density, PauliCoefficientsRoundTrip) {
+  const auto rho = densityMatrix(paperV());
+  const auto s = pauliCoefficients(rho);
+  EXPECT_NEAR(s[0], 1.0, 1e-13);  // trace
+  EXPECT_NEAR(s[1], 0.0, 1e-13);  // <X>
+  EXPECT_NEAR(s[2], 1.0, 1e-13);  // <Y> (v is the +1 eigenstate of Y)
+  EXPECT_NEAR(s[3], 0.0, 1e-13);  // <Z>
+  qclab::test::expectMatrixNear(fromPauliCoefficients(s), rho, 1e-13);
+}
+
+TEST(Density, PauliCoefficientsOfBasisStates) {
+  const auto s0 = pauliCoefficients(densityMatrix(basisState<double>("0")));
+  EXPECT_NEAR(s0[3], 1.0, 1e-14);
+  const auto s1 = pauliCoefficients(densityMatrix(basisState<double>("1")));
+  EXPECT_NEAR(s1[3], -1.0, 1e-14);
+}
+
+class PartialTraceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartialTraceSweep, ReducedOfCircuitStateIsValidDensityMatrix) {
+  const int nbQubits = 4;
+  const int seed = GetParam();
+  const auto circuit = qclab::test::randomCircuit<double>(nbQubits, 20, seed);
+  const auto state =
+      circuit.simulate(std::string(static_cast<std::size_t>(nbQubits), '0'))
+          .state(0);
+  const auto rho = densityMatrix(state);
+  const auto reduced = partialTrace(rho, nbQubits, {1, 3});
+  EXPECT_TRUE(isDensityMatrix(reduced, 1e-10));
+  // Purity of a reduced state lies in [1/d, 1].
+  const double p = purity(reduced);
+  EXPECT_GE(p, 0.25 - 1e-10);
+  EXPECT_LE(p, 1.0 + 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartialTraceSweep, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace qclab::density

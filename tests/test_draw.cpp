@@ -1,0 +1,194 @@
+/// \file test_draw.cpp
+/// \brief Unit tests for the column layout engine and the ASCII / LaTeX
+/// renderers (paper §4).
+
+#include <gtest/gtest.h>
+
+#include "qclab/io/layout.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab::io {
+namespace {
+
+using namespace qclab::qgates;
+
+TEST(DrawItem, SpanIncludesControls) {
+  DrawItem item;
+  item.boxTop = 2;
+  item.boxBottom = 2;
+  item.controls1 = {0};
+  item.controls0 = {4};
+  EXPECT_EQ(item.top(), 0);
+  EXPECT_EQ(item.bottom(), 4);
+}
+
+TEST(Layout, ParallelGatesShareColumn) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(Hadamard<double>(1));
+  std::vector<DrawItem> items;
+  circuit.appendDrawItems(items);
+  int nbColumns = 0;
+  const auto columns = assignColumns(items, 2, nbColumns);
+  EXPECT_EQ(nbColumns, 1);
+  EXPECT_EQ(columns[0], columns[1]);
+}
+
+TEST(Layout, OverlappingGatesStack) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(CX<double>(0, 1));
+  circuit.push_back(Hadamard<double>(0));
+  std::vector<DrawItem> items;
+  circuit.appendDrawItems(items);
+  int nbColumns = 0;
+  const auto columns = assignColumns(items, 2, nbColumns);
+  EXPECT_EQ(nbColumns, 3);
+  EXPECT_LT(columns[0], columns[1]);
+  EXPECT_LT(columns[1], columns[2]);
+}
+
+TEST(Layout, ControlSpanBlocksMiddleWire) {
+  // CZ(0, 2) blocks qubit 1's column even though no box sits there.
+  QCircuit<double> circuit(3);
+  circuit.push_back(CZ<double>(0, 2));
+  circuit.push_back(Hadamard<double>(1));
+  std::vector<DrawItem> items;
+  circuit.appendDrawItems(items);
+  int nbColumns = 0;
+  const auto columns = assignColumns(items, 3, nbColumns);
+  EXPECT_EQ(nbColumns, 2);
+  EXPECT_LT(columns[0], columns[1]);
+}
+
+TEST(Layout, BarrierSeparatesColumns) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(Barrier<double>(0, 1));
+  circuit.push_back(Hadamard<double>(1));
+  std::vector<DrawItem> items;
+  circuit.appendDrawItems(items);
+  int nbColumns = 0;
+  const auto columns = assignColumns(items, 2, nbColumns);
+  // H(1) could have shared a column with H(0), but the barrier intervenes.
+  EXPECT_EQ(columns[2], 2);
+}
+
+TEST(AsciiRender, ContainsWiresLabelsAndBoxes) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(CX<double>(0, 1));
+  const auto drawing = circuit.draw();
+  EXPECT_NE(drawing.find("q0:"), std::string::npos);
+  EXPECT_NE(drawing.find("q1:"), std::string::npos);
+  EXPECT_NE(drawing.find("H"), std::string::npos);
+  EXPECT_NE(drawing.find("●"), std::string::npos);
+  EXPECT_NE(drawing.find("┤"), std::string::npos);
+  EXPECT_NE(drawing.find("─"), std::string::npos);
+  // 2 qubits x 3 text rows.
+  EXPECT_EQ(std::count(drawing.begin(), drawing.end(), '\n'), 6);
+}
+
+TEST(AsciiRender, OpenControlUsesHollowDot) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(CX<double>(0, 1, 0));
+  const auto drawing = circuit.draw();
+  EXPECT_NE(drawing.find("○"), std::string::npos);
+}
+
+TEST(AsciiRender, SwapCrossesAndBarrier) {
+  QCircuit<double> circuit(3);
+  circuit.push_back(SWAP<double>(0, 2));
+  circuit.push_back(Barrier<double>(0, 2));
+  const auto drawing = circuit.draw();
+  EXPECT_EQ(drawing.find("╳") != std::string::npos, true);
+  EXPECT_NE(drawing.find("░"), std::string::npos);
+}
+
+TEST(AsciiRender, MeasurementBox) {
+  QCircuit<double> circuit(1);
+  circuit.push_back(Measurement<double>(0, 'x'));
+  const auto drawing = circuit.draw();
+  EXPECT_NE(drawing.find("Mx"), std::string::npos);
+}
+
+TEST(AsciiRender, BlockCircuitDrawsAsSingleBox) {
+  QCircuit<double> sub(2);
+  sub.push_back(Hadamard<double>(0));
+  sub.push_back(CX<double>(0, 1));
+  sub.asBlock("oracle");
+  QCircuit<double> circuit(2);
+  circuit.push_back(QCircuit<double>(sub));
+  const auto drawing = circuit.draw();
+  EXPECT_NE(drawing.find("oracle"), std::string::npos);
+  EXPECT_EQ(drawing.find("H"), std::string::npos);  // contents hidden
+  sub.unBlock();
+  QCircuit<double> unblocked(2);
+  unblocked.push_back(QCircuit<double>(sub));
+  EXPECT_NE(unblocked.draw().find("H"), std::string::npos);
+}
+
+TEST(AsciiRender, MidWireCrossingUsesCrossGlyph) {
+  // CZ(0, 2): the connector must cross qubit 1's wire with a ┼.
+  QCircuit<double> circuit(3);
+  circuit.push_back(CZ<double>(0, 2));
+  const auto drawing = circuit.draw();
+  EXPECT_NE(drawing.find("┼"), std::string::npos);
+  EXPECT_NE(drawing.find("│"), std::string::npos);
+}
+
+TEST(LatexRender, QuantikzStructure) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(CX<double>(0, 1));
+  circuit.push_back(Measurement<double>(0));
+  const auto tex = circuit.toTex();
+  EXPECT_NE(tex.find("\\begin{quantikz}"), std::string::npos);
+  EXPECT_NE(tex.find("\\end{quantikz}"), std::string::npos);
+  EXPECT_NE(tex.find("\\gate{H}"), std::string::npos);
+  EXPECT_NE(tex.find("\\ctrl{1}"), std::string::npos);
+  EXPECT_NE(tex.find("\\meter{}"), std::string::npos);
+  EXPECT_NE(tex.find("\\lstick{$q_{0}$}"), std::string::npos);
+}
+
+TEST(LatexRender, OpenControlAndSwap) {
+  QCircuit<double> circuit(3);
+  circuit.push_back(CX<double>(0, 1, 0));
+  circuit.push_back(SWAP<double>(1, 2));
+  const auto tex = circuit.toTex();
+  EXPECT_NE(tex.find("\\octrl{"), std::string::npos);
+  EXPECT_NE(tex.find("\\swap{1}"), std::string::npos);
+  EXPECT_NE(tex.find("\\targX{}"), std::string::npos);
+}
+
+TEST(LatexRender, MultiQubitGateUsesWires) {
+  QCircuit<double> circuit(3);
+  circuit.push_back(
+      MatrixGateN<double>({0, 2}, dense::Matrix<double>::identity(4), "G"));
+  const auto tex = circuit.toTex();
+  EXPECT_NE(tex.find("\\gate[wires=3]{G}"), std::string::npos);
+}
+
+TEST(LatexRender, EscapesSpecialCharacters) {
+  QCircuit<double> circuit(1);
+  circuit.push_back(
+      MatrixGate1<double>(0, dense::Matrix<double>::identity(2), "a_b%c"));
+  const auto tex = circuit.toTex();
+  EXPECT_NE(tex.find("a\\_b\\%c"), std::string::npos);
+}
+
+TEST(AsciiRender, PaperTeleportationShapeSmokeTest) {
+  const auto circuit = qclab::algorithms::teleportationCircuit<double>();
+  const auto drawing = circuit.draw();
+  // 3 qubits -> 9 lines; both measurements and both controls visible.
+  EXPECT_EQ(std::count(drawing.begin(), drawing.end(), '\n'), 9);
+  std::size_t measureCount = 0;
+  for (std::size_t pos = drawing.find("M"); pos != std::string::npos;
+       pos = drawing.find("M", pos + 1)) {
+    ++measureCount;
+  }
+  EXPECT_EQ(measureCount, 2u);
+}
+
+}  // namespace
+}  // namespace qclab::io

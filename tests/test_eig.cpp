@@ -1,0 +1,113 @@
+/// \file test_eig.cpp
+/// \brief Unit tests for the complex Hermitian Jacobi eigensolver.
+
+#include <gtest/gtest.h>
+
+#include "qclab/dense/eig.hpp"
+#include "qclab/dense/ops.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab::dense {
+namespace {
+
+using C = std::complex<double>;
+using M = Matrix<double>;
+
+M randomHermitian(std::size_t n, std::uint64_t seed) {
+  random::Rng rng(seed);
+  M a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = C(rng.normal(), rng.normal());
+    }
+  }
+  M h = a + a.dagger();
+  h *= C(0.5);
+  return h;
+}
+
+TEST(Eigh, DiagonalMatrix) {
+  M d(3, 3);
+  d(0, 0) = C(3);
+  d(1, 1) = C(-1);
+  d(2, 2) = C(2);
+  const auto result = eigh(d);
+  ASSERT_EQ(result.values.size(), 3u);
+  EXPECT_NEAR(result.values[0], -1.0, 1e-12);
+  EXPECT_NEAR(result.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(result.values[2], 3.0, 1e-12);
+}
+
+TEST(Eigh, PauliMatrices) {
+  for (const auto& pauli :
+       {pauliX<double>(), pauliY<double>(), pauliZ<double>()}) {
+    const auto result = eigh(pauli);
+    EXPECT_NEAR(result.values[0], -1.0, 1e-12);
+    EXPECT_NEAR(result.values[1], 1.0, 1e-12);
+  }
+}
+
+TEST(Eigh, EigenvaluesSortedAscending) {
+  const auto result = eigh(randomHermitian(8, 1));
+  for (std::size_t i = 1; i < result.values.size(); ++i) {
+    EXPECT_LE(result.values[i - 1], result.values[i]);
+  }
+}
+
+TEST(Eigh, TraceAndFrobeniusInvariants) {
+  const auto a = randomHermitian(6, 2);
+  const auto result = eigh(a);
+  double sum = 0.0, sumSq = 0.0;
+  for (double v : result.values) {
+    sum += v;
+    sumSq += v * v;
+  }
+  EXPECT_NEAR(sum, std::real(a.trace()), 1e-10);
+  EXPECT_NEAR(std::sqrt(sumSq), a.normF(), 1e-10);
+}
+
+TEST(Eigh, Reconstruction) {
+  const auto a = randomHermitian(5, 3);
+  const auto result = eigh(a, /*computeVectors=*/true);
+  // A == V diag(values) V^H.
+  M lambda(5, 5);
+  for (std::size_t i = 0; i < 5; ++i) lambda(i, i) = C(result.values[i]);
+  const auto reconstructed =
+      result.vectors * lambda * result.vectors.dagger();
+  qclab::test::expectMatrixNear(reconstructed, a, 1e-10);
+  // Eigenvectors are orthonormal.
+  EXPECT_TRUE(result.vectors.isUnitary(1e-10));
+}
+
+TEST(Eigh, RejectsNonHermitian) {
+  M a{{1, 2}, {3, 4}};
+  EXPECT_THROW(eigh(a), qclab::InvalidArgumentError);
+  EXPECT_THROW(eigh(M(2, 3)), qclab::InvalidArgumentError);
+}
+
+TEST(Eigh, OneByOne) {
+  M a(1, 1);
+  a(0, 0) = C(7);
+  const auto result = eigh(a);
+  ASSERT_EQ(result.values.size(), 1u);
+  EXPECT_NEAR(result.values[0], 7.0, 1e-14);
+}
+
+class EighSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EighSizeSweep, ReconstructsRandomHermitian) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  const auto a = randomHermitian(n, 17 + n);
+  const auto result = eigh(a, true);
+  M lambda(n, n);
+  for (std::size_t i = 0; i < n; ++i) lambda(i, i) = C(result.values[i]);
+  qclab::test::expectMatrixNear(result.vectors * lambda *
+                                    result.vectors.dagger(),
+                                a, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EighSizeSweep,
+                         ::testing::Values(1, 2, 3, 4, 6, 8, 12, 16));
+
+}  // namespace
+}  // namespace qclab::dense

@@ -1,0 +1,61 @@
+/// \file test_errors.cpp
+/// \brief Unit tests for the error hierarchy and checking helpers.
+
+#include <gtest/gtest.h>
+
+#include "qclab/util/errors.hpp"
+#include "qclab/version.hpp"
+
+namespace qclab {
+namespace {
+
+TEST(Errors, Hierarchy) {
+  // Every library error derives from qclab::Error.
+  EXPECT_THROW(throw QubitRangeError("x"), Error);
+  EXPECT_THROW(throw InvalidArgumentError("x"), Error);
+  EXPECT_THROW(throw QasmParseError("x", 1), Error);
+  EXPECT_THROW(throw Error("x"), std::runtime_error);
+}
+
+TEST(Errors, CheckQubit) {
+  EXPECT_NO_THROW(util::checkQubit(0, 1));
+  EXPECT_NO_THROW(util::checkQubit(4, 5));
+  EXPECT_THROW(util::checkQubit(-1, 5), QubitRangeError);
+  EXPECT_THROW(util::checkQubit(5, 5), QubitRangeError);
+  try {
+    util::checkQubit(7, 3);
+    FAIL();
+  } catch (const QubitRangeError& error) {
+    EXPECT_NE(std::string(error.what()).find("7"), std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("3"), std::string::npos);
+  }
+}
+
+TEST(Errors, Require) {
+  EXPECT_NO_THROW(util::require(true, "never"));
+  try {
+    util::require(false, "the message");
+    FAIL();
+  } catch (const InvalidArgumentError& error) {
+    EXPECT_STREQ(error.what(), "the message");
+  }
+}
+
+TEST(Errors, QasmParseErrorFormatsLine) {
+  const QasmParseError error("bad token", 12);
+  EXPECT_EQ(error.line(), 12);
+  EXPECT_NE(std::string(error.what()).find("line 12"), std::string::npos);
+  EXPECT_NE(std::string(error.what()).find("bad token"), std::string::npos);
+}
+
+TEST(Version, Consistent) {
+  const auto v = version();
+  EXPECT_GE(v.major, 1);
+  const std::string expected = std::to_string(v.major) + "." +
+                               std::to_string(v.minor) + "." +
+                               std::to_string(v.patch);
+  EXPECT_EQ(versionString(), expected);
+}
+
+}  // namespace
+}  // namespace qclab

@@ -1,0 +1,80 @@
+/// \file test_float.cpp
+/// \brief The library is templated over the real scalar type like QCLAB++;
+/// exercise the whole stack with T = float.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace qclab {
+namespace {
+
+using C = std::complex<float>;
+using namespace qclab::qgates;
+
+TEST(Float, BellCircuitSimulation) {
+  QCircuit<float> circuit(2);
+  circuit.push_back(std::make_unique<Hadamard<float>>(0));
+  circuit.push_back(std::make_unique<CNOT<float>>(0, 1));
+  circuit.push_back(std::make_unique<Measurement<float>>(0));
+  circuit.push_back(std::make_unique<Measurement<float>>(1));
+  const auto simulation = circuit.simulate("00");
+  ASSERT_EQ(simulation.results(), (std::vector<std::string>{"00", "11"}));
+  EXPECT_NEAR(simulation.probability(0), 0.5, 1e-6);
+  EXPECT_NEAR(simulation.probability(1), 0.5, 1e-6);
+}
+
+TEST(Float, GateMatricesUnitary) {
+  EXPECT_TRUE(Hadamard<float>(0).matrix().isUnitary(1e-6f));
+  EXPECT_TRUE(RotationX<float>(0, 0.7f).matrix().isUnitary(1e-6f));
+  EXPECT_TRUE(Toffoli<float>(0, 1, 2).matrix().isUnitary(1e-5f));
+  EXPECT_TRUE(U3<float>(0, 0.3f, -0.2f, 1.1f).matrix().isUnitary(1e-6f));
+}
+
+TEST(Float, BackendsAgree) {
+  const auto circuit = qclab::test::randomCircuit<float>(4, 20, 3);
+  random::Rng rng(4);
+  const auto initial = qclab::test::randomState<float>(4, rng);
+  const sim::KernelBackend<float> kernel;
+  const sim::SparseKronBackend<float> sparse;
+  const auto a = circuit.simulate(initial, kernel).state(0);
+  const auto b = circuit.simulate(initial, sparse).state(0);
+  qclab::test::expectStateNear(a, b, 1e-4f);
+}
+
+TEST(Float, QRotationFusion) {
+  QRotation<float> rotation(0.5f);
+  const auto composed = rotation * QRotation<float>(0.25f);
+  EXPECT_NEAR(composed.theta(), 0.75f, 1e-6f);
+}
+
+TEST(Float, GroverFindsMarkedState) {
+  const auto circuit = algorithms::grover<float>("11", 1);
+  const auto simulation = circuit.simulate("00");
+  ASSERT_EQ(simulation.results(), std::vector<std::string>{"11"});
+  EXPECT_NEAR(simulation.probability(0), 1.0, 1e-5);
+}
+
+TEST(Float, TeleportationPreservesState) {
+  const float h = 1.0f / std::sqrt(2.0f);
+  const std::vector<C> v = {C(h, 0.0f), C(0.0f, h)};
+  const auto qtc = algorithms::teleportationCircuit<float>();
+  const auto simulation = qtc.simulate(algorithms::teleportationInput(v));
+  for (std::size_t i = 0; i < simulation.nbBranches(); ++i) {
+    const auto reduced = reducedStatevector<float>(
+        simulation.state(i), {0, 1}, simulation.result(i), 1e-4f);
+    qclab::test::expectStateNear(reduced, v, 1e-5f);
+  }
+}
+
+TEST(Float, QasmRoundTrip) {
+  QCircuit<float> circuit(2);
+  circuit.push_back(Hadamard<float>(0));
+  circuit.push_back(RotationZ<float>(1, 0.75f));
+  circuit.push_back(CX<float>(0, 1));
+  const auto reparsed = io::parseQasm<float>(circuit.toQASM());
+  qclab::test::expectMatrixNear(reparsed.matrix(), circuit.matrix(), 1e-5f);
+}
+
+}  // namespace
+}  // namespace qclab

@@ -1,0 +1,171 @@
+/// \file test_gates1.cpp
+/// \brief Unit tests for the fixed single-qubit gates, plus parameterized
+/// sweeps over the whole 1-qubit gate catalog (unitarity, inverse, clone,
+/// diagonal consistency, QASM names, draw items).
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+
+#include "qclab/qgates/qgates.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab::qgates {
+namespace {
+
+using C = std::complex<double>;
+using M = dense::Matrix<double>;
+using GateFactory = std::function<std::unique_ptr<QGate1<double>>(int)>;
+
+struct GateCase {
+  std::string name;
+  GateFactory make;
+};
+
+std::vector<GateCase> gateCatalog() {
+  return {
+      {"Identity", [](int q) { return std::make_unique<Identity<double>>(q); }},
+      {"PauliX", [](int q) { return std::make_unique<PauliX<double>>(q); }},
+      {"PauliY", [](int q) { return std::make_unique<PauliY<double>>(q); }},
+      {"PauliZ", [](int q) { return std::make_unique<PauliZ<double>>(q); }},
+      {"Hadamard", [](int q) { return std::make_unique<Hadamard<double>>(q); }},
+      {"S", [](int q) { return std::make_unique<SGate<double>>(q); }},
+      {"Sdg", [](int q) { return std::make_unique<SdgGate<double>>(q); }},
+      {"T", [](int q) { return std::make_unique<TGate<double>>(q); }},
+      {"Tdg", [](int q) { return std::make_unique<TdgGate<double>>(q); }},
+      {"SX", [](int q) { return std::make_unique<SX<double>>(q); }},
+      {"SXdg", [](int q) { return std::make_unique<SXdg<double>>(q); }},
+      {"Phase", [](int q) { return std::make_unique<Phase<double>>(q, 0.7); }},
+      {"RX", [](int q) { return std::make_unique<RotationX<double>>(q, 1.1); }},
+      {"RY", [](int q) { return std::make_unique<RotationY<double>>(q, -0.4); }},
+      {"RZ", [](int q) { return std::make_unique<RotationZ<double>>(q, 2.2); }},
+      {"U2", [](int q) { return std::make_unique<U2<double>>(q, 0.3, 1.4); }},
+      {"U3",
+       [](int q) { return std::make_unique<U3<double>>(q, 0.5, -0.2, 0.9); }},
+  };
+}
+
+class Gate1Sweep : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  GateCase gateCase_ = gateCatalog()[GetParam()];
+};
+
+TEST_P(Gate1Sweep, IsUnitary) {
+  const auto gate = gateCase_.make(0);
+  EXPECT_TRUE(gate->matrix().isUnitary(1e-14)) << gateCase_.name;
+}
+
+TEST_P(Gate1Sweep, InverseIsMatrixInverse) {
+  const auto gate = gateCase_.make(2);
+  const auto inverse = gate->inverse();
+  qclab::test::expectMatrixNear(inverse->matrix() * gate->matrix(),
+                                M::identity(2));
+  EXPECT_EQ(inverse->qubits(), gate->qubits()) << gateCase_.name;
+}
+
+TEST_P(Gate1Sweep, CloneIsIndependentDeepCopy) {
+  auto gate = gateCase_.make(1);
+  const auto cloned = gate->clone();
+  qclab::test::expectMatrixNear(
+      static_cast<const QGate<double>&>(*cloned).matrix(), gate->matrix());
+  EXPECT_EQ(cloned->qubits(), gate->qubits());
+  gate->setQubit(3);
+  EXPECT_EQ(cloned->qubits(), std::vector<int>{1});  // clone unaffected
+}
+
+TEST_P(Gate1Sweep, DiagonalFlagMatchesMatrix) {
+  const auto gate = gateCase_.make(0);
+  const auto m = gate->matrix();
+  const bool matrixDiagonal =
+      std::abs(m(0, 1)) < 1e-15 && std::abs(m(1, 0)) < 1e-15;
+  EXPECT_EQ(gate->isDiagonal(), matrixDiagonal) << gateCase_.name;
+}
+
+TEST_P(Gate1Sweep, QubitManagement) {
+  auto gate = gateCase_.make(5);
+  EXPECT_EQ(gate->qubit(), 5);
+  EXPECT_EQ(gate->nbQubits(), 1);
+  EXPECT_EQ(gate->qubits(), std::vector<int>{5});
+  gate->setQubit(2);
+  EXPECT_EQ(gate->qubit(), 2);
+  gate->shiftQubits(3);
+  EXPECT_EQ(gate->qubit(), 5);
+  EXPECT_THROW(gate->shiftQubits(-6), InvalidArgumentError);
+  EXPECT_THROW(gateCase_.make(-1), InvalidArgumentError);
+}
+
+TEST_P(Gate1Sweep, QasmStatementWellFormed) {
+  const auto gate = gateCase_.make(4);
+  std::ostringstream stream;
+  gate->toQASM(stream, 2);
+  const std::string qasm = stream.str();
+  EXPECT_NE(qasm.find("q[6]"), std::string::npos) << qasm;  // offset applied
+  EXPECT_EQ(qasm.back(), '\n');
+  EXPECT_NE(qasm.find(';'), std::string::npos);
+}
+
+TEST_P(Gate1Sweep, DrawItemCoversQubit) {
+  const auto gate = gateCase_.make(3);
+  std::vector<io::DrawItem> items;
+  gate->appendDrawItems(items, 1);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].boxTop, 4);
+  EXPECT_EQ(items[0].boxBottom, 4);
+  EXPECT_FALSE(items[0].label.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Catalog, Gate1Sweep,
+                         ::testing::Range<std::size_t>(0, 17));
+
+TEST(Gates1, HadamardMatrix) {
+  const auto h = Hadamard<double>(0).matrix();
+  const double invSqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(h(0, 0) - C(invSqrt2)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(h(1, 1) - C(-invSqrt2)), 0.0, 1e-15);
+}
+
+TEST(Gates1, SSquaredIsZ) {
+  const auto s = SGate<double>(0).matrix();
+  qclab::test::expectMatrixNear(s * s, dense::pauliZ<double>());
+}
+
+TEST(Gates1, TSquaredIsS) {
+  const auto t = TGate<double>(0).matrix();
+  qclab::test::expectMatrixNear(t * t, SGate<double>(0).matrix());
+}
+
+TEST(Gates1, SxSquaredIsX) {
+  const auto sx = SX<double>(0).matrix();
+  qclab::test::expectMatrixNear(sx * sx, dense::pauliX<double>());
+}
+
+TEST(Gates1, HadamardConjugatesXandZ) {
+  const auto h = Hadamard<double>(0).matrix();
+  qclab::test::expectMatrixNear(h * dense::pauliX<double>() * h,
+                                dense::pauliZ<double>());
+  qclab::test::expectMatrixNear(h * dense::pauliZ<double>() * h,
+                                dense::pauliX<double>());
+}
+
+TEST(Gates1, PhaseSpecialValues) {
+  // Phase(pi/2) == S, Phase(pi/4) == T, Phase(pi) == Z.
+  qclab::test::expectMatrixNear(Phase<double>(0, M_PI_2).matrix(),
+                                SGate<double>(0).matrix());
+  qclab::test::expectMatrixNear(Phase<double>(0, M_PI_4).matrix(),
+                                TGate<double>(0).matrix());
+  qclab::test::expectMatrixNear(Phase<double>(0, M_PI).matrix(),
+                                dense::pauliZ<double>());
+}
+
+TEST(Gates1, QasmNames) {
+  EXPECT_EQ(Hadamard<double>(0).qasmName(), "h");
+  EXPECT_EQ(PauliX<double>(0).qasmName(), "x");
+  EXPECT_EQ(SdgGate<double>(0).qasmName(), "sdg");
+  EXPECT_EQ(TGate<double>(0).qasmName(), "t");
+  EXPECT_EQ(SX<double>(0).qasmName(), "sx");
+  EXPECT_EQ(Phase<double>(0, 0.5).qasmName().substr(0, 2), "p(");
+}
+
+}  // namespace
+}  // namespace qclab::qgates

@@ -1,0 +1,122 @@
+/// \file test_gates2.cpp
+/// \brief Unit tests for the non-controlled two-qubit gates: SWAP, iSWAP,
+/// RXX, RYY, RZZ.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qclab/qgates/qgates.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab::qgates {
+namespace {
+
+using C = std::complex<double>;
+using M = dense::Matrix<double>;
+
+TEST(Swap, MatrixAndInvolution) {
+  const auto swap = SWAP<double>(0, 1).matrix();
+  const M expected{{1, 0, 0, 0}, {0, 0, 1, 0}, {0, 1, 0, 0}, {0, 0, 0, 1}};
+  qclab::test::expectMatrixNear(swap, expected);
+  qclab::test::expectMatrixNear(swap * swap, M::identity(4));
+}
+
+TEST(Swap, QubitsSortedAndValidated) {
+  const SWAP<double> swap(3, 1);
+  EXPECT_EQ(swap.qubit0(), 1);
+  EXPECT_EQ(swap.qubit1(), 3);
+  EXPECT_EQ(swap.qubits(), (std::vector<int>{1, 3}));
+  EXPECT_THROW(SWAP<double>(2, 2), InvalidArgumentError);
+  EXPECT_THROW(SWAP<double>(-1, 2), InvalidArgumentError);
+}
+
+TEST(Swap, EqualsThreeCnots) {
+  const auto cx01 = CX<double>(0, 1).matrix();
+  const auto cx10 = CX<double>(1, 0).matrix();
+  qclab::test::expectMatrixNear(SWAP<double>(0, 1).matrix(),
+                                cx01 * cx10 * cx01);
+}
+
+TEST(ISwap, MatrixAndInverse) {
+  const auto gate = iSWAP<double>(0, 1);
+  const auto m = gate.matrix();
+  EXPECT_EQ(m(1, 2), C(0, 1));
+  EXPECT_EQ(m(2, 1), C(0, 1));
+  EXPECT_TRUE(m.isUnitary(1e-14));
+  const auto inverse = gate.inverse();
+  qclab::test::expectMatrixNear(inverse->matrix() * m, M::identity(4));
+  // (iSWAP)^4 == I.
+  qclab::test::expectMatrixNear(m * m * m * m, M::identity(4));
+}
+
+TEST(TwoQubitRotations, MatchExponentialDefinition) {
+  // exp(-i theta/2 P (x) P) = cos(theta/2) I - i sin(theta/2) P (x) P.
+  const double theta = 0.77;
+  const C cosTerm(std::cos(theta / 2));
+  const C sinTerm(0, -std::sin(theta / 2));
+
+  const auto checkAgainstPauli = [&](const M& gateMatrix, const M& pauli) {
+    const auto pp = dense::kron(pauli, pauli);
+    auto expected = M::identity(4) * cosTerm + pp * sinTerm;
+    qclab::test::expectMatrixNear(gateMatrix, expected);
+  };
+  checkAgainstPauli(RotationXX<double>(0, 1, theta).matrix(),
+                    dense::pauliX<double>());
+  checkAgainstPauli(RotationYY<double>(0, 1, theta).matrix(),
+                    dense::pauliY<double>());
+  checkAgainstPauli(RotationZZ<double>(0, 1, theta).matrix(),
+                    dense::pauliZ<double>());
+}
+
+TEST(TwoQubitRotations, RzzIsDiagonal) {
+  EXPECT_TRUE(RotationZZ<double>(0, 1, 0.5).isDiagonal());
+  EXPECT_FALSE(RotationXX<double>(0, 1, 0.5).isDiagonal());
+  EXPECT_FALSE(RotationYY<double>(0, 1, 0.5).isDiagonal());
+}
+
+TEST(TwoQubitRotations, FusionAndInverse) {
+  RotationZZ<double> gate(0, 1, 0.5);
+  gate.fuse(QRotation<double>(0.3));
+  EXPECT_NEAR(gate.theta(), 0.8, 1e-14);
+  const auto inverse = gate.inverse();
+  qclab::test::expectMatrixNear(inverse->matrix() * gate.matrix(),
+                                M::identity(4));
+}
+
+TEST(TwoQubitGates, QasmOutput) {
+  std::ostringstream stream;
+  SWAP<double>(0, 2).toQASM(stream, 1);
+  EXPECT_EQ(stream.str(), "swap q[1], q[3];\n");
+  std::ostringstream stream2;
+  RotationZZ<double>(0, 1, 0.5).toQASM(stream2);
+  EXPECT_EQ(stream2.str().substr(0, 4), "rzz(");
+}
+
+TEST(TwoQubitGates, SwapDrawsAsCrosses) {
+  std::vector<io::DrawItem> items;
+  SWAP<double>(0, 2).appendDrawItems(items);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].kind, io::DrawItem::Kind::kSwap);
+  EXPECT_EQ(items[0].swapQubits, (std::vector<int>{0, 2}));
+}
+
+class TwoQubitRotationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TwoQubitRotationSweep, UnitaryAndCompose) {
+  const double theta = GetParam();
+  const auto a = RotationXX<double>(0, 1, theta);
+  const auto b = RotationXX<double>(0, 1, 0.3);
+  EXPECT_TRUE(a.matrix().isUnitary(1e-14));
+  // Same-axis rotations commute and compose by angle addition.
+  qclab::test::expectMatrixNear(
+      a.matrix() * b.matrix(),
+      RotationXX<double>(0, 1, theta + 0.3).matrix());
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, TwoQubitRotationSweep,
+                         ::testing::Values(-M_PI, -0.7, 0.0, 0.4, M_PI_2,
+                                           M_PI, 2.0));
+
+}  // namespace
+}  // namespace qclab::qgates

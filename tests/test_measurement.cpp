@@ -1,0 +1,144 @@
+/// \file test_measurement.cpp
+/// \brief Unit tests for the Measurement and Reset objects themselves
+/// (construction, basis handling, QASM, drawing).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "test_helpers.hpp"
+
+namespace qclab {
+namespace {
+
+using C = std::complex<double>;
+using M = dense::Matrix<double>;
+
+TEST(Measurement, DefaultsToZBasis) {
+  const Measurement<double> m(1);
+  EXPECT_EQ(m.basis(), Basis::kZ);
+  EXPECT_EQ(m.qubit(), 1);
+  EXPECT_EQ(m.nbQubits(), 1);
+  EXPECT_EQ(m.qubits(), std::vector<int>{1});
+  EXPECT_EQ(m.objectType(), ObjectType::kMeasurement);
+  qclab::test::expectMatrixNear(m.basisVectors(), M::identity(2));
+}
+
+TEST(Measurement, CharBasisSelection) {
+  EXPECT_EQ(Measurement<double>(0, 'x').basis(), Basis::kX);
+  EXPECT_EQ(Measurement<double>(0, 'X').basis(), Basis::kX);
+  EXPECT_EQ(Measurement<double>(0, 'y').basis(), Basis::kY);
+  EXPECT_EQ(Measurement<double>(0, 'z').basis(), Basis::kZ);
+  EXPECT_THROW(Measurement<double>(0, 'q'), InvalidArgumentError);
+  EXPECT_THROW(Measurement<double>(-1), InvalidArgumentError);
+}
+
+TEST(Measurement, BasisVectorsAreUnitaryAndCorrect) {
+  const double h = 1.0 / std::sqrt(2.0);
+  const auto x = Measurement<double>(0, 'x').basisVectors();
+  EXPECT_TRUE(x.isUnitary(1e-14));
+  // Columns are |+> and |->.
+  EXPECT_NEAR(std::abs(x(0, 0) - C(h)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(x(1, 1) - C(-h)), 0.0, 1e-14);
+
+  const auto y = Measurement<double>(0, 'y').basisVectors();
+  EXPECT_TRUE(y.isUnitary(1e-14));
+  // Columns are (1, i)/sqrt(2) and (1, -i)/sqrt(2).
+  EXPECT_NEAR(std::abs(y(1, 0) - C(0, h)), 0.0, 1e-14);
+  EXPECT_NEAR(std::abs(y(1, 1) - C(0, -h)), 0.0, 1e-14);
+}
+
+TEST(Measurement, BasisChangeIsDaggerOfVectors) {
+  const Measurement<double> m(0, 'y');
+  qclab::test::expectMatrixNear(m.basisChangeMatrix(),
+                                m.basisVectors().dagger());
+}
+
+TEST(Measurement, CustomBasisValidation) {
+  const double h = 1.0 / std::sqrt(2.0);
+  M good{{h, h}, {h, -h}};
+  EXPECT_NO_THROW(Measurement<double>(0, good));
+  EXPECT_EQ(Measurement<double>(0, good).basis(), Basis::kCustom);
+  M bad{{1, 1}, {0, 1}};
+  EXPECT_THROW(Measurement<double>(0, bad), InvalidArgumentError);
+  EXPECT_THROW(Measurement<double>(0, M(3, 3)), InvalidArgumentError);
+}
+
+TEST(Measurement, QasmPerBasis) {
+  std::ostringstream z;
+  Measurement<double>(0).toQASM(z, 1);
+  EXPECT_EQ(z.str(), "measure q[1] -> c[1];\n");
+
+  std::ostringstream x;
+  Measurement<double>(0, 'x').toQASM(x);
+  EXPECT_EQ(x.str(), "h q[0];\nmeasure q[0] -> c[0];\n");
+
+  std::ostringstream y;
+  Measurement<double>(0, 'y').toQASM(y);
+  EXPECT_EQ(y.str(), "sdg q[0];\nh q[0];\nmeasure q[0] -> c[0];\n");
+
+  const double h = 1.0 / std::sqrt(2.0);
+  Measurement<double> custom(0, M{{h, h}, {h, -h}});
+  std::ostringstream sink;
+  EXPECT_THROW(custom.toQASM(sink), InvalidArgumentError);
+}
+
+TEST(Measurement, DrawLabels) {
+  std::vector<io::DrawItem> items;
+  Measurement<double>(0).appendDrawItems(items);
+  Measurement<double>(0, 'x').appendDrawItems(items);
+  Measurement<double>(0, 'y').appendDrawItems(items);
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].label, "M");
+  EXPECT_EQ(items[1].label, "Mx");
+  EXPECT_EQ(items[2].label, "My");
+  EXPECT_EQ(items[0].kind, io::DrawItem::Kind::kMeasure);
+}
+
+TEST(Measurement, CloneAndShift) {
+  Measurement<double> m(2, 'x');
+  auto cloned = m.clone();
+  EXPECT_EQ(cloned->qubits(), std::vector<int>{2});
+  cloned->shiftQubits(3);
+  EXPECT_EQ(cloned->qubits(), std::vector<int>{5});
+  EXPECT_EQ(m.qubit(), 2);
+}
+
+TEST(Reset, Basics) {
+  const Reset<double> reset(1);
+  EXPECT_EQ(reset.qubit(), 1);
+  EXPECT_EQ(reset.objectType(), ObjectType::kReset);
+  EXPECT_THROW(Reset<double>(-1), InvalidArgumentError);
+  std::ostringstream qasm;
+  reset.toQASM(qasm, 1);
+  EXPECT_EQ(qasm.str(), "reset q[2];\n");
+  std::vector<io::DrawItem> items;
+  reset.appendDrawItems(items);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].kind, io::DrawItem::Kind::kReset);
+}
+
+TEST(Barrier, Basics) {
+  const Barrier<double> barrier(1, 3);
+  EXPECT_EQ(barrier.nbQubits(), 3);
+  EXPECT_EQ(barrier.qubits(), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(barrier.objectType(), ObjectType::kBarrier);
+  EXPECT_THROW(Barrier<double>(3, 1), InvalidArgumentError);
+  std::ostringstream qasm;
+  barrier.toQASM(qasm);
+  EXPECT_EQ(qasm.str(), "barrier q[1], q[2], q[3];\n");
+}
+
+TEST(Barrier, IsSimulationNoOp) {
+  QCircuit<double> withBarrier(2);
+  withBarrier.push_back(qgates::Hadamard<double>(0));
+  withBarrier.push_back(Barrier<double>(0, 1));
+  withBarrier.push_back(qgates::CX<double>(0, 1));
+  QCircuit<double> without(2);
+  without.push_back(qgates::Hadamard<double>(0));
+  without.push_back(qgates::CX<double>(0, 1));
+  qclab::test::expectMatrixNear(withBarrier.matrix(), without.matrix());
+}
+
+}  // namespace
+}  // namespace qclab

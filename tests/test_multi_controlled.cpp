@@ -1,0 +1,161 @@
+/// \file test_multi_controlled.cpp
+/// \brief Unit tests for MCX / MCY / MCZ / Toffoli, including the paper's
+/// control-state usage from the QEC example (§5.4).
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "qclab/qgates/qgates.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab::qgates {
+namespace {
+
+using C = std::complex<double>;
+using M = dense::Matrix<double>;
+
+TEST(Toffoli, TruthTable) {
+  const auto ccx = Toffoli<double>(0, 1, 2).matrix();
+  EXPECT_EQ(ccx.rows(), 8u);
+  // Only |110> <-> |111> are exchanged.
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(ccx(i, i), C(1));
+  EXPECT_EQ(ccx(6, 7), C(1));
+  EXPECT_EQ(ccx(7, 6), C(1));
+  EXPECT_EQ(ccx(6, 6), C(0));
+  EXPECT_TRUE(ccx.isUnitary(1e-14));
+}
+
+TEST(Mcx, MatchesToffoliForAllOnesStates) {
+  qclab::test::expectMatrixNear(
+      MCX<double>({0, 1}, 2, {1, 1}).matrix(),
+      Toffoli<double>(0, 1, 2).matrix());
+  qclab::test::expectMatrixNear(MCX<double>({0, 1}, 2).matrix(),
+                                Toffoli<double>(0, 1, 2).matrix());
+}
+
+TEST(Mcx, ControlStatesSelectSubspace) {
+  // Paper §5.4: MCX([3,4], 2, [0,1]) fires when ancilla 3 is |0> and
+  // ancilla 4 is |1>.  Here on a 3-qubit version: controls {0,1} states
+  // {0,1}, target 2 -> only |01x> flips.
+  const auto m = MCX<double>({0, 1}, 2, {0, 1}).matrix();
+  EXPECT_EQ(m(2, 3), C(1));  // |010> <-> |011>
+  EXPECT_EQ(m(3, 2), C(1));
+  EXPECT_EQ(m(0, 0), C(1));
+  EXPECT_EQ(m(6, 6), C(1));
+  EXPECT_EQ(m(7, 7), C(1));
+}
+
+TEST(Mcx, TargetBetweenControls) {
+  // Controls {0, 2}, target 1: |1x1> flips the middle bit.
+  const auto m = MCX<double>({0, 2}, 1, {1, 1}).matrix();
+  // |101> (5) <-> |111> (7).
+  EXPECT_EQ(m(5, 7), C(1));
+  EXPECT_EQ(m(7, 5), C(1));
+  EXPECT_EQ(m(4, 4), C(1));
+  EXPECT_TRUE(m.isUnitary(1e-14));
+}
+
+TEST(Mcz, DiagonalWithSinglePhaseFlip) {
+  const auto m = MCZ<double>({0, 1}, 2, {1, 1}).matrix();
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_EQ(m(i, i), C(1));
+  EXPECT_EQ(m(7, 7), C(-1));
+  EXPECT_TRUE(MCZ<double>({0, 1}, 2, {1, 1}).isDiagonal());
+}
+
+TEST(Mcy, EqualsSXSdgConjugation) {
+  // MCY == (I (x) S) MCX (I (x) Sdg) on the target.
+  const auto mcy = MCY<double>({0, 1}, 2, {1, 1}).matrix();
+  const auto mcx = MCX<double>({0, 1}, 2, {1, 1}).matrix();
+  const auto s = dense::kron(M::identity(4), SGate<double>(0).matrix());
+  const auto sdg = dense::kron(M::identity(4), SdgGate<double>(0).matrix());
+  qclab::test::expectMatrixNear(mcy, s * mcx * sdg);
+}
+
+TEST(McGate, AccessorsAndQubits) {
+  const MCX<double> gate({4, 1}, 2, {1, 0});
+  EXPECT_EQ(gate.controlQubits(), (std::vector<int>{4, 1}));
+  EXPECT_EQ(gate.target(), 2);
+  EXPECT_EQ(gate.states(), (std::vector<int>{1, 0}));
+  EXPECT_EQ(gate.qubits(), (std::vector<int>{1, 2, 4}));  // sorted
+  EXPECT_EQ(gate.nbQubits(), 3);
+}
+
+TEST(McGate, Validation) {
+  EXPECT_THROW(MCX<double>({}, 0, {}), InvalidArgumentError);
+  EXPECT_THROW(MCX<double>({0, 0}, 1, {1, 1}), InvalidArgumentError);
+  EXPECT_THROW(MCX<double>({0, 1}, 1, {1, 1}), InvalidArgumentError);
+  EXPECT_THROW(MCX<double>({0, 1}, 2, {1}), InvalidArgumentError);
+  EXPECT_THROW(MCX<double>({0, 1}, 2, {1, 2}), InvalidArgumentError);
+}
+
+TEST(McGate, InverseIsSelf) {
+  const MCX<double> gate({0, 1}, 2, {0, 1});
+  const auto inverse = gate.inverse();
+  qclab::test::expectMatrixNear(inverse->matrix() * gate.matrix(),
+                                M::identity(8));
+}
+
+TEST(McGate, QasmCcxAndStateWrappers) {
+  std::ostringstream plain;
+  MCX<double>({0, 1}, 2, {1, 1}).toQASM(plain);
+  EXPECT_EQ(plain.str(), "ccx q[0], q[1], q[2];\n");
+
+  std::ostringstream wrapped;
+  MCX<double>({0, 1}, 2, {0, 1}).toQASM(wrapped);
+  EXPECT_EQ(wrapped.str(), "x q[0];\nccx q[0], q[1], q[2];\nx q[0];\n");
+
+  std::ostringstream mcz;
+  MCZ<double>({0, 1}, 2, {1, 1}).toQASM(mcz);
+  EXPECT_EQ(mcz.str(), "h q[2];\nccx q[0], q[1], q[2];\nh q[2];\n");
+
+  std::ostringstream c3x;
+  MCX<double>({0, 1, 2}, 3).toQASM(c3x);
+  EXPECT_EQ(c3x.str(), "c3x q[0], q[1], q[2], q[3];\n");
+
+  MCX<double> tooBig({0, 1, 2, 3, 4}, 5);
+  std::ostringstream sink;
+  EXPECT_THROW(tooBig.toQASM(sink), InvalidArgumentError);
+}
+
+TEST(McGate, DrawItemsWithMixedControlStates) {
+  std::vector<io::DrawItem> items;
+  MCX<double>({3, 4}, 0, {1, 0}).appendDrawItems(items);
+  ASSERT_EQ(items.size(), 1u);
+  EXPECT_EQ(items[0].boxTop, 0);
+  EXPECT_EQ(items[0].controls1, std::vector<int>{3});
+  EXPECT_EQ(items[0].controls0, std::vector<int>{4});
+}
+
+TEST(McGate, ShiftQubits) {
+  MCX<double> gate({0, 2}, 1, {1, 1});
+  gate.shiftQubits(2);
+  EXPECT_EQ(gate.controlQubits(), (std::vector<int>{2, 4}));
+  EXPECT_EQ(gate.target(), 3);
+}
+
+class McxControlCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(McxControlCountSweep, UnitaryInvolutionAndSelectivity) {
+  const int nbControls = GetParam();
+  std::vector<int> controls(static_cast<std::size_t>(nbControls));
+  for (int i = 0; i < nbControls; ++i) controls[static_cast<std::size_t>(i)] = i;
+  const MCX<double> gate(controls, nbControls);
+  const auto m = gate.matrix();
+  EXPECT_TRUE(m.isUnitary(1e-13));
+  qclab::test::expectMatrixNear(m * m, M::identity(m.rows()));
+  // Exactly one pair of basis states is exchanged.
+  std::size_t offDiagonal = 0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (i != j && std::abs(m(i, j)) > 1e-14) ++offDiagonal;
+    }
+  }
+  EXPECT_EQ(offDiagonal, 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ControlCounts, McxControlCountSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace qclab::qgates

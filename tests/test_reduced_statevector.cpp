@@ -1,0 +1,127 @@
+/// \file test_reduced_statevector.cpp
+/// \brief Unit tests for reducedStatevector (paper §5.1) and basisState.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace qclab {
+namespace {
+
+using C = std::complex<double>;
+
+TEST(BasisState, SingleQubit) {
+  const auto zero = basisState<double>("0");
+  ASSERT_EQ(zero.size(), 2u);
+  EXPECT_EQ(zero[0], C(1));
+  EXPECT_EQ(zero[1], C(0));
+  const auto one = basisState<double>("1");
+  EXPECT_EQ(one[1], C(1));
+}
+
+TEST(BasisState, MsbFirstOrdering) {
+  const auto state = basisState<double>("10");
+  ASSERT_EQ(state.size(), 4u);
+  EXPECT_EQ(state[2], C(1));  // |10> -> index 2
+}
+
+TEST(BasisState, Validation) {
+  EXPECT_THROW(basisState<double>(""), InvalidArgumentError);
+  EXPECT_THROW(basisState<double>("02"), InvalidArgumentError);
+}
+
+TEST(ReducedStatevector, ExtractsFactorOfProductState) {
+  // |1> (x) v: knowing qubit 0 is '1' recovers v on qubit 1.
+  random::Rng rng(1);
+  const auto v = qclab::test::randomState<double>(1, rng);
+  const auto full = dense::kron(basisState<double>("1"), v);
+  const auto reduced = reducedStatevector<double>(full, {0}, "1");
+  qclab::test::expectStateNear(reduced, v);
+}
+
+TEST(ReducedStatevector, MiddleQubitKnown) {
+  // a (x) |0> (x) b on 3 qubits; qubit 1 known.
+  random::Rng rng(2);
+  const auto a = qclab::test::randomState<double>(1, rng);
+  const auto b = qclab::test::randomState<double>(1, rng);
+  const auto full = dense::kron(a, dense::kron(basisState<double>("0"), b));
+  const auto reduced = reducedStatevector<double>(full, {1}, "0");
+  qclab::test::expectStateNear(reduced, dense::kron(a, b));
+}
+
+TEST(ReducedStatevector, MultipleKnownQubitsAnyOrder) {
+  random::Rng rng(3);
+  const auto v = qclab::test::randomState<double>(1, rng);
+  // v on qubit 1, qubits 0 and 2 in |1> and |0>.
+  const auto full = dense::kron(
+      basisState<double>("1"), dense::kron(v, basisState<double>("0")));
+  // Known qubits given in descending order with matching values.
+  const auto reduced = reducedStatevector<double>(full, {2, 0}, "01");
+  qclab::test::expectStateNear(reduced, v);
+}
+
+TEST(ReducedStatevector, NoKnownQubitsReturnsInput) {
+  random::Rng rng(4);
+  const auto v = qclab::test::randomState<double>(2, rng);
+  const auto reduced = reducedStatevector<double>(v, {}, "");
+  qclab::test::expectStateNear(reduced, v);
+}
+
+TEST(ReducedStatevector, AllKnownReturnsScalar) {
+  const auto full = basisState<double>("101");
+  const auto reduced = reducedStatevector<double>(full, {0, 1, 2}, "101");
+  ASSERT_EQ(reduced.size(), 1u);
+  EXPECT_NEAR(std::abs(reduced[0]), 1.0, 1e-14);
+}
+
+TEST(ReducedStatevector, ThrowsOnEntangledState) {
+  // Bell state: neither qubit has a definite value.
+  const double h = 1.0 / std::sqrt(2.0);
+  const std::vector<C> bell = {C(h), C(0), C(0), C(h)};
+  EXPECT_THROW(reducedStatevector<double>(bell, {0}, "0"),
+               InvalidArgumentError);
+}
+
+TEST(ReducedStatevector, ThrowsOnWrongKnownValue) {
+  const auto full = basisState<double>("10");
+  EXPECT_THROW(reducedStatevector<double>(full, {0}, "0"),
+               InvalidArgumentError);
+}
+
+TEST(ReducedStatevector, Validation) {
+  const auto full = basisState<double>("00");
+  EXPECT_THROW(reducedStatevector<double>(full, {0}, "01"),
+               InvalidArgumentError);
+  EXPECT_THROW(reducedStatevector<double>(full, {0, 0}, "00"),
+               InvalidArgumentError);
+  EXPECT_THROW(reducedStatevector<double>(full, {2}, "0"), QubitRangeError);
+  EXPECT_THROW(reducedStatevector<double>(full, {0}, "x"),
+               InvalidArgumentError);
+  EXPECT_THROW(
+      reducedStatevector<double>(std::vector<C>(3), {0}, "0"),
+      InvalidArgumentError);
+}
+
+class ReducedSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReducedSweep, RandomProductStatesRoundTrip) {
+  const int nbQubits = GetParam();
+  random::Rng rng(static_cast<std::uint64_t>(nbQubits) * 7 + 1);
+  // Build |bits> (x) v with v on the *last* qubit; vary known qubits count.
+  const auto v = qclab::test::randomState<double>(1, rng);
+  std::string bits;
+  for (int q = 0; q + 1 < nbQubits; ++q) {
+    bits += rng.uniformInt(2) ? '1' : '0';
+  }
+  auto full = basisState<double>(bits);
+  full = dense::kron(full, v);
+  std::vector<int> known(static_cast<std::size_t>(nbQubits - 1));
+  for (int q = 0; q + 1 < nbQubits; ++q) known[static_cast<std::size_t>(q)] = q;
+  const auto reduced = reducedStatevector<double>(full, known, bits);
+  qclab::test::expectStateNear(reduced, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ReducedSweep, ::testing::Range(2, 9));
+
+}  // namespace
+}  // namespace qclab

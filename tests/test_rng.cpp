@@ -1,0 +1,190 @@
+/// \file test_rng.cpp
+/// \brief Unit tests for the xoshiro256** generator and sampling routines.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "qclab/random/rng.hpp"
+#include "qclab/util/errors.hpp"
+
+namespace qclab::random {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(rng());
+  rng.seed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng(), first[i]);
+}
+
+TEST(Rng, ZeroSeedWorks) {
+  Rng rng(0);
+  // splitmix64 seeding guarantees a nonzero state even for seed 0.
+  bool anyNonZero = false;
+  for (int i = 0; i < 10; ++i) anyNonZero |= rng() != 0;
+  EXPECT_TRUE(anyNonZero);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.0, 3.0);
+    ASSERT_GE(u, -2.0);
+    ASSERT_LT(u, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntBoundsAndCoverage) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniformInt(6);
+    ASSERT_LT(v, 6u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all faces of the die appear
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(6);
+  double sum = 0.0, sumSq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumSq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumSq / n, 1.0, 0.05);
+}
+
+TEST(Rng, DiscreteRespectsWeights) {
+  Rng rng(7);
+  const std::vector<double> weights = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) ++counts[rng.discrete(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Rng, BinomialEdgeCases) {
+  Rng rng(8);
+  EXPECT_EQ(rng.binomial(100, 0.0), 0u);
+  EXPECT_EQ(rng.binomial(100, 1.0), 100u);
+  EXPECT_EQ(rng.binomial(0, 0.5), 0u);
+}
+
+TEST(Rng, BinomialMeanAndVariance) {
+  Rng rng(9);
+  const std::uint64_t trials = 1000;
+  const double p = 0.3;
+  const int reps = 500;
+  double sum = 0.0, sumSq = 0.0;
+  for (int i = 0; i < reps; ++i) {
+    const double x = static_cast<double>(rng.binomial(trials, p));
+    sum += x;
+    sumSq += x * x;
+  }
+  const double mean = sum / reps;
+  const double variance = sumSq / reps - mean * mean;
+  EXPECT_NEAR(mean, trials * p, 5.0);
+  EXPECT_NEAR(variance, trials * p * (1 - p), 60.0);
+}
+
+TEST(Rng, MultinomialSumsToTrials) {
+  Rng rng(10);
+  const std::vector<double> weights = {0.1, 0.2, 0.3, 0.4};
+  const auto counts = rng.multinomial(10000, weights);
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  EXPECT_EQ(total, 10000u);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / 10000.0, 0.4, 0.03);
+}
+
+TEST(Rng, MultinomialZeroWeightCategoryGetsNothing) {
+  Rng rng(11);
+  const auto counts = rng.multinomial(5000, {0.5, 0.0, 0.5});
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[0] + counts[2], 5000u);
+}
+
+TEST(Rng, MultinomialValidation) {
+  Rng rng(12);
+  EXPECT_THROW(rng.multinomial(10, {}), qclab::InvalidArgumentError);
+  EXPECT_THROW(rng.multinomial(10, {0.0, 0.0}), qclab::InvalidArgumentError);
+  EXPECT_THROW(rng.multinomial(10, {1.0, -1.0}), qclab::InvalidArgumentError);
+}
+
+TEST(Rng, JumpProducesDisjointStream) {
+  Rng a(13);
+  Rng b(13);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+class MultinomialSweep
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(MultinomialSweep, CountsSumAndStayProportional) {
+  const auto [categories, trials] = GetParam();
+  Rng rng(99);
+  std::vector<double> weights(static_cast<std::size_t>(categories));
+  for (auto& w : weights) w = rng.uniform(0.1, 1.0);
+  double total = 0.0;
+  for (double w : weights) total += w;
+
+  const auto counts = rng.multinomial(trials, weights);
+  std::uint64_t sum = 0;
+  for (auto c : counts) sum += c;
+  EXPECT_EQ(sum, trials);
+  if (trials >= 10000) {
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+      EXPECT_NEAR(static_cast<double>(counts[k]) / trials, weights[k] / total,
+                  0.05);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MultinomialSweep,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 16),
+                       ::testing::Values(std::uint64_t{1}, std::uint64_t{100},
+                                         std::uint64_t{10000})));
+
+}  // namespace
+}  // namespace qclab::random

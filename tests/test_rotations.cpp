@@ -1,0 +1,194 @@
+/// \file test_rotations.cpp
+/// \brief Unit tests for QAngle / QRotation (the numerically stable
+/// (cos, sin) representation) and the rotation gates.
+
+#include <gtest/gtest.h>
+
+#include "qclab/qgates/qgates.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab::qgates {
+namespace {
+
+using M = dense::Matrix<double>;
+using C = std::complex<double>;
+
+TEST(QAngle, DefaultIsZero) {
+  QAngle<double> angle;
+  EXPECT_EQ(angle.cos(), 1.0);
+  EXPECT_EQ(angle.sin(), 0.0);
+  EXPECT_EQ(angle.theta(), 0.0);
+}
+
+TEST(QAngle, ThetaRoundTrip) {
+  for (double theta : {0.0, 0.5, -1.2, 3.0, -3.0}) {
+    QAngle<double> angle(theta);
+    EXPECT_NEAR(angle.theta(), theta, 1e-14);
+    EXPECT_NEAR(angle.cos(), std::cos(theta), 1e-15);
+    EXPECT_NEAR(angle.sin(), std::sin(theta), 1e-15);
+  }
+}
+
+TEST(QAngle, PairConstructorValidatesNormalization) {
+  EXPECT_NO_THROW(QAngle<double>(0.6, 0.8));
+  EXPECT_THROW(QAngle<double>(0.6, 0.9), InvalidArgumentError);
+}
+
+TEST(QAngle, SumMatchesAngleAddition) {
+  const QAngle<double> a(0.7), b(1.1);
+  const auto sum = a + b;
+  EXPECT_NEAR(sum.cos(), std::cos(1.8), 1e-14);
+  EXPECT_NEAR(sum.sin(), std::sin(1.8), 1e-14);
+  const auto diff = a - b;
+  EXPECT_NEAR(diff.theta(), -0.4, 1e-14);
+  EXPECT_NEAR((-a).theta(), -0.7, 1e-14);
+}
+
+TEST(QAngle, CompoundAssignment) {
+  QAngle<double> angle(0.25);
+  angle += QAngle<double>(0.5);
+  EXPECT_NEAR(angle.theta(), 0.75, 1e-14);
+  angle -= QAngle<double>(1.0);
+  EXPECT_NEAR(angle.theta(), -0.25, 1e-14);
+}
+
+TEST(QAngle, LongFusionChainStaysNormalized) {
+  // The whole point of the (cos, sin) representation: thousands of fusions
+  // do not drift away from the unit circle.
+  QAngle<double> accumulated;
+  const QAngle<double> step(1e-3);
+  for (int i = 0; i < 10000; ++i) accumulated += step;
+  const double norm = accumulated.cos() * accumulated.cos() +
+                      accumulated.sin() * accumulated.sin();
+  EXPECT_NEAR(norm, 1.0, 1e-11);
+  // theta() returns the principal value in (-pi, pi]: 10 rad == 10 - 4*pi.
+  EXPECT_NEAR(accumulated.theta(), 10.0 - 4.0 * M_PI, 1e-10);
+}
+
+TEST(QRotation, HalfAngleStorage) {
+  QRotation<double> rotation(1.0);
+  EXPECT_NEAR(rotation.cos(), std::cos(0.5), 1e-15);
+  EXPECT_NEAR(rotation.sin(), std::sin(0.5), 1e-15);
+  EXPECT_NEAR(rotation.theta(), 1.0, 1e-14);
+}
+
+TEST(QRotation, FusionAndInverse) {
+  const QRotation<double> a(0.8), b(0.4);
+  EXPECT_NEAR((a * b).theta(), 1.2, 1e-14);
+  EXPECT_NEAR((a / b).theta(), 0.4, 1e-14);
+  EXPECT_NEAR(a.inverse().theta(), -0.8, 1e-14);
+  EXPECT_TRUE((a * a.inverse()).approxEqual(QRotation<double>(), 1e-14));
+}
+
+TEST(RotationGates, MatrixForms) {
+  const double theta = 0.9;
+  const double c = std::cos(theta / 2), s = std::sin(theta / 2);
+  const auto rx = RotationX<double>(0, theta).matrix();
+  EXPECT_NEAR(std::abs(rx(0, 0) - C(c)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(rx(0, 1) - C(0, -s)), 0.0, 1e-15);
+  const auto ry = RotationY<double>(0, theta).matrix();
+  EXPECT_NEAR(std::abs(ry(0, 1) - C(-s)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(ry(1, 0) - C(s)), 0.0, 1e-15);
+  const auto rz = RotationZ<double>(0, theta).matrix();
+  EXPECT_NEAR(std::abs(rz(0, 0) - std::polar(1.0, -theta / 2)), 0.0, 1e-15);
+  EXPECT_NEAR(std::abs(rz(1, 1) - std::polar(1.0, theta / 2)), 0.0, 1e-15);
+}
+
+TEST(RotationGates, PiRotationsArePaulisUpToPhase) {
+  // RX(pi) = -iX, RY(pi) = -iY, RZ(pi) = -iZ.
+  qclab::test::expectMatrixNear(RotationX<double>(0, M_PI).matrix(),
+                                dense::pauliX<double>() * C(0, -1));
+  qclab::test::expectMatrixNear(RotationY<double>(0, M_PI).matrix(),
+                                dense::pauliY<double>() * C(0, -1));
+  qclab::test::expectMatrixNear(RotationZ<double>(0, M_PI).matrix(),
+                                dense::pauliZ<double>() * C(0, -1));
+}
+
+TEST(RotationGates, CompositionMatchesMatrixProduct) {
+  const double alpha = 0.7, beta = -1.3;
+  for (int axis = 0; axis < 3; ++axis) {
+    std::unique_ptr<QGate1<double>> a, b, sum;
+    switch (axis) {
+      case 0:
+        a = std::make_unique<RotationX<double>>(0, alpha);
+        b = std::make_unique<RotationX<double>>(0, beta);
+        sum = std::make_unique<RotationX<double>>(0, alpha + beta);
+        break;
+      case 1:
+        a = std::make_unique<RotationY<double>>(0, alpha);
+        b = std::make_unique<RotationY<double>>(0, beta);
+        sum = std::make_unique<RotationY<double>>(0, alpha + beta);
+        break;
+      default:
+        a = std::make_unique<RotationZ<double>>(0, alpha);
+        b = std::make_unique<RotationZ<double>>(0, beta);
+        sum = std::make_unique<RotationZ<double>>(0, alpha + beta);
+        break;
+    }
+    qclab::test::expectMatrixNear(a->matrix() * b->matrix(), sum->matrix());
+  }
+}
+
+TEST(RotationGates, FuseUpdatesAngle) {
+  RotationX<double> gate(0, 0.5);
+  gate.fuse(QRotation<double>(0.25));
+  EXPECT_NEAR(gate.theta(), 0.75, 1e-14);
+  qclab::test::expectMatrixNear(gate.matrix(),
+                                RotationX<double>(0, 0.75).matrix());
+  gate.setTheta(-1.0);
+  EXPECT_NEAR(gate.theta(), -1.0, 1e-14);
+}
+
+TEST(UGates, U3GeneratesNamedGates) {
+  // U3(theta, 0, 0) == RY(theta).
+  qclab::test::expectMatrixNear(U3<double>(0, 0.8, 0.0, 0.0).matrix(),
+                                RotationY<double>(0, 0.8).matrix());
+  // U3(0, 0, lambda) == Phase(lambda).
+  qclab::test::expectMatrixNear(U3<double>(0, 0.0, 0.0, 0.6).matrix(),
+                                Phase<double>(0, 0.6).matrix());
+  // U2(phi, lambda) == U3(pi/2, phi, lambda).
+  qclab::test::expectMatrixNear(U2<double>(0, 0.3, 1.1).matrix(),
+                                U3<double>(0, M_PI_2, 0.3, 1.1).matrix());
+  // u3(pi/2, 0, pi) == H.
+  qclab::test::expectMatrixNear(U3<double>(0, M_PI_2, 0.0, M_PI).matrix(),
+                                Hadamard<double>(0).matrix());
+}
+
+TEST(UGates, AccessorsAndInverse) {
+  const U3<double> u(1, 0.5, -0.2, 0.9);
+  EXPECT_NEAR(u.theta(), 0.5, 1e-14);
+  EXPECT_NEAR(u.phi(), -0.2, 1e-14);
+  EXPECT_NEAR(u.lambda(), 0.9, 1e-14);
+  const auto inverse = u.inverse();
+  qclab::test::expectMatrixNear(inverse->matrix() * u.matrix(),
+                                M::identity(2));
+  const U2<double> u2(0, 0.4, 1.3);
+  EXPECT_NEAR(u2.phi(), 0.4, 1e-14);
+  qclab::test::expectMatrixNear(u2.inverse()->matrix() * u2.matrix(),
+                                M::identity(2));
+}
+
+class RotationAngleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RotationAngleSweep, UnitaryAndInverseForAllAxes) {
+  const double theta = GetParam();
+  const RotationX<double> rx(0, theta);
+  const RotationY<double> ry(0, theta);
+  const RotationZ<double> rz(0, theta);
+  for (const QGate1<double>* gate :
+       {static_cast<const QGate1<double>*>(&rx),
+        static_cast<const QGate1<double>*>(&ry),
+        static_cast<const QGate1<double>*>(&rz)}) {
+    EXPECT_TRUE(gate->matrix().isUnitary(1e-14));
+    qclab::test::expectMatrixNear(gate->inverse()->matrix() * gate->matrix(),
+                                  M::identity(2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, RotationAngleSweep,
+                         ::testing::Values(-2.0 * M_PI, -M_PI, -0.5, 0.0,
+                                           1e-8, 0.5, M_PI_2, M_PI,
+                                           2.0 * M_PI));
+
+}  // namespace
+}  // namespace qclab::qgates

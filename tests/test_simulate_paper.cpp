@@ -1,0 +1,303 @@
+/// \file test_simulate_paper.cpp
+/// \brief Every concrete numeric result reported in the paper, as tests:
+/// E1 (§3.3 Bell measurement), E2 (§5.1 teleportation), E3 (§5.2
+/// tomography), E4 (§5.3 Grover), E5 (§5.4 error correction).
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace qclab {
+namespace {
+
+using C = std::complex<double>;
+using namespace qclab::qgates;
+
+/// The state v = (1/sqrt(2), i/sqrt(2)) used throughout the paper.
+std::vector<C> paperV() {
+  const double h = 1.0 / std::sqrt(2.0);
+  return {C(h, 0.0), C(0.0, h)};
+}
+
+// ---- E1: circuit (1), paper §2-§3.3 ---------------------------------------
+
+TEST(PaperE1, BellCircuitResultsAndProbabilities) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(std::make_unique<Hadamard<double>>(0));
+  circuit.push_back(std::make_unique<CNOT<double>>(0, 1));
+  circuit.push_back(std::make_unique<Measurement<double>>(0));
+  circuit.push_back(std::make_unique<Measurement<double>>(1));
+
+  const auto simulation = circuit.simulate("00");
+  ASSERT_EQ(simulation.results(), (std::vector<std::string>{"00", "11"}));
+  EXPECT_NEAR(simulation.probability(0), 0.5, 1e-14);
+  EXPECT_NEAR(simulation.probability(1), 0.5, 1e-14);
+}
+
+TEST(PaperE1, VectorInitialStateEquivalent) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(CX<double>(0, 1));
+  circuit.push_back(Measurement<double>(0));
+  circuit.push_back(Measurement<double>(1));
+  // Paper §3.1: simulate([1;0;0;0]) equals simulate('00').
+  std::vector<C> initial = {C(1), C(0), C(0), C(0)};
+  const auto a = circuit.simulate(initial);
+  const auto b = circuit.simulate("00");
+  ASSERT_EQ(a.nbBranches(), b.nbBranches());
+  for (std::size_t i = 0; i < a.nbBranches(); ++i) {
+    EXPECT_EQ(a.result(i), b.result(i));
+    EXPECT_NEAR(a.probability(i), b.probability(i), 1e-14);
+  }
+}
+
+// ---- E2: quantum teleportation, paper §5.1 --------------------------------
+
+TEST(PaperE2, FourOutcomesAtQuarterProbability) {
+  const auto qtc = algorithms::teleportationCircuit<double>();
+  const auto simulation =
+      qtc.simulate(algorithms::teleportationInput(paperV()));
+  ASSERT_EQ(simulation.results(),
+            (std::vector<std::string>{"00", "01", "10", "11"}));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(simulation.probability(i), 0.25, 1e-12);
+  }
+}
+
+TEST(PaperE2, ReducedStateOfQubit2IsV) {
+  const auto v = paperV();
+  const auto qtc = algorithms::teleportationCircuit<double>();
+  const auto simulation = qtc.simulate(algorithms::teleportationInput(v));
+  for (std::size_t i = 0; i < simulation.nbBranches(); ++i) {
+    const auto reduced =
+        reducedStatevector<double>(simulation.state(i), {0, 1},
+                                   simulation.result(i));
+    // Paper prints 0.7071 + 0.7071i exactly; our branches match v exactly
+    // (no global phase ambiguity for this circuit).
+    qclab::test::expectStateNear(reduced, v, 1e-12);
+  }
+}
+
+TEST(PaperE2, TeleportsRandomStates) {
+  random::Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto v = qclab::test::randomState<double>(1, rng);
+    const auto qtc = algorithms::teleportationCircuit<double>();
+    const auto simulation = qtc.simulate(algorithms::teleportationInput(v));
+    for (std::size_t i = 0; i < simulation.nbBranches(); ++i) {
+      const auto reduced = reducedStatevector<double>(
+          simulation.state(i), {0, 1}, simulation.result(i));
+      EXPECT_TRUE(dense::equalUpToPhase(reduced, v, 1e-10));
+    }
+  }
+}
+
+TEST(PaperE2, StateForOutcome00MatchesPaper) {
+  // The paper prints the full 8-vector for outcome '00': (v0, v1, 0, ..., 0)
+  // pattern: qubits 0, 1 collapsed to |00>, qubit 2 carrying v.
+  const auto v = paperV();
+  const auto qtc = algorithms::teleportationCircuit<double>();
+  const auto simulation = qtc.simulate(algorithms::teleportationInput(v));
+  const auto& state = simulation.state(0);
+  EXPECT_NEAR(std::abs(state[0] - v[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(state[1] - v[1]), 0.0, 1e-12);
+  for (std::size_t i = 2; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(state[i]), 0.0, 1e-12);
+  }
+}
+
+// ---- E3: quantum tomography, paper §5.2 ------------------------------------
+
+TEST(PaperE3, BasisProbabilitiesOfV) {
+  // For v = (1, i)/sqrt(2): Px(0) = 0.5, Py(0) = 1, Pz(0) = 0.5.
+  const auto v = paperV();
+  for (const auto& [basis, expected] :
+       std::vector<std::pair<char, double>>{{'x', 0.5}, {'y', 1.0},
+                                            {'z', 0.5}}) {
+    QCircuit<double> circuit(1);
+    circuit.push_back(Measurement<double>(0, basis));
+    const auto simulation = circuit.simulate(v);
+    double p0 = 0.0;
+    for (std::size_t i = 0; i < simulation.nbBranches(); ++i) {
+      if (simulation.result(i) == "0") p0 = simulation.probability(i);
+    }
+    EXPECT_NEAR(p0, expected, 1e-12) << "basis " << basis;
+  }
+}
+
+TEST(PaperE3, TomographyReconstructsV) {
+  const auto v = paperV();
+  const auto result = algorithms::tomography1Qubit(v, 1000, 1);
+
+  // S0 = 1 always; S2 ~ 1 (exact: Y-measurement of a Y eigenstate),
+  // S1, S3 ~ 0 with O(1/sqrt(shots)) noise.
+  EXPECT_NEAR(result.coefficients[0], 1.0, 1e-15);
+  EXPECT_NEAR(result.coefficients[1], 0.0, 0.1);
+  EXPECT_NEAR(result.coefficients[2], 1.0, 1e-12);
+  EXPECT_NEAR(result.coefficients[3], 0.0, 0.1);
+
+  // Counts sum to the shot budget per basis.
+  for (int b = 0; b < 3; ++b) {
+    EXPECT_EQ(result.counts[b][0] + result.counts[b][1], 1000u);
+  }
+
+  // Trace distance to the true density matrix is small (paper: 0.006).
+  const auto trueRho = density::densityMatrix(v);
+  const double distance = density::traceDistance(trueRho, result.estimate);
+  EXPECT_LT(distance, 0.05);
+  EXPECT_GT(density::fidelity(trueRho, result.estimate), 0.99);
+}
+
+TEST(PaperE3, TomographyConvergesWithShots) {
+  const auto v = paperV();
+  const auto trueRho = density::densityMatrix(v);
+  const double coarse = density::traceDistance(
+      trueRho, algorithms::tomography1Qubit(v, 100, 3).estimate);
+  const double fine = density::traceDistance(
+      trueRho, algorithms::tomography1Qubit(v, 100000, 3).estimate);
+  EXPECT_LT(fine, 0.01);
+  EXPECT_LT(fine, coarse + 1e-12);
+}
+
+// ---- E4: Grover, paper §5.3 -------------------------------------------------
+
+TEST(PaperE4, TwoQubitGroverFinds11WithCertainty) {
+  // Built exactly as in the paper, from oracle and diffuser sub-circuits.
+  QCircuit<double> oracle(2);
+  oracle.push_back(CZ<double>(0, 1));
+
+  QCircuit<double> diffuser(2);
+  diffuser.push_back(Hadamard<double>(0));
+  diffuser.push_back(Hadamard<double>(1));
+  diffuser.push_back(PauliZ<double>(0));
+  diffuser.push_back(PauliZ<double>(1));
+  diffuser.push_back(CZ<double>(0, 1));
+  diffuser.push_back(Hadamard<double>(0));
+  diffuser.push_back(Hadamard<double>(1));
+
+  oracle.asBlock("oracle");
+  diffuser.asBlock("diffuser");
+
+  QCircuit<double> gc(2);
+  gc.push_back(Hadamard<double>(0));
+  gc.push_back(Hadamard<double>(1));
+  gc.push_back(QCircuit<double>(oracle));
+  gc.push_back(QCircuit<double>(diffuser));
+  gc.push_back(Measurement<double>(0));
+  gc.push_back(Measurement<double>(1));
+
+  const auto simulation = gc.simulate("00");
+  ASSERT_EQ(simulation.results(), std::vector<std::string>{"11"});
+  EXPECT_NEAR(simulation.probability(0), 1.0, 1e-12);
+}
+
+TEST(PaperE4, LibraryGroverMatchesPaperConstruction) {
+  const auto circuit = algorithms::grover<double>("11", 1);
+  const auto simulation = circuit.simulate("00");
+  ASSERT_EQ(simulation.results(), std::vector<std::string>{"11"});
+  EXPECT_NEAR(simulation.probability(0), 1.0, 1e-12);
+}
+
+TEST(PaperE4, SuccessProbabilityMatchesAnalyticFormula) {
+  for (int n = 2; n <= 5; ++n) {
+    const std::string marked(static_cast<std::size_t>(n), '1');
+    for (int iterations = 1; iterations <= 3; ++iterations) {
+      const auto circuit = algorithms::grover<double>(marked, iterations);
+      const auto simulation =
+          circuit.simulate(std::string(static_cast<std::size_t>(n), '0'));
+      double success = 0.0;
+      for (std::size_t i = 0; i < simulation.nbBranches(); ++i) {
+        if (simulation.result(i) == marked) {
+          success = simulation.probability(i);
+        }
+      }
+      EXPECT_NEAR(success,
+                  algorithms::groverSuccessProbability(n, iterations), 1e-10)
+          << "n=" << n << " iterations=" << iterations;
+    }
+  }
+}
+
+TEST(PaperE4, ArbitraryMarkedStates) {
+  for (const std::string marked : {"00", "01", "10", "101", "0110"}) {
+    const int n = static_cast<int>(marked.size());
+    const int iterations = algorithms::groverIterations(n);
+    const auto circuit = algorithms::grover<double>(marked, iterations);
+    const auto simulation =
+        circuit.simulate(std::string(static_cast<std::size_t>(n), '0'));
+    double success = 0.0;
+    for (std::size_t i = 0; i < simulation.nbBranches(); ++i) {
+      if (simulation.result(i) == marked) success = simulation.probability(i);
+    }
+    EXPECT_GT(success, 0.75) << "marked " << marked;
+  }
+}
+
+// ---- E5: quantum error correction, paper §5.4 --------------------------------
+
+std::vector<C> qecInitialState() {
+  const auto v = paperV();
+  return dense::kron(v, basisState<double>("0000"));
+}
+
+TEST(PaperE5, SyndromeIs11ForErrorOnQubit0) {
+  const auto qec = algorithms::repetitionCodeDemo<double>(0);
+  const auto simulation = qec.simulate(qecInitialState());
+  ASSERT_EQ(simulation.results(), std::vector<std::string>{"11"});
+  EXPECT_NEAR(simulation.probability(0), 1.0, 1e-12);
+}
+
+TEST(PaperE5, LogicalStateRestored) {
+  const auto v = paperV();
+  const auto qec = algorithms::repetitionCodeDemo<double>(0);
+  const auto simulation = qec.simulate(qecInitialState());
+  // Reduce over the measured ancillas: data qubits carry
+  // alpha|000> + beta|111>.
+  const auto data = reducedStatevector<double>(simulation.state(0), {3, 4},
+                                               simulation.result(0));
+  ASSERT_EQ(data.size(), 8u);
+  EXPECT_NEAR(std::abs(data[0] - v[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(data[7] - v[1]), 0.0, 1e-12);
+  for (std::size_t i = 1; i < 7; ++i) {
+    EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-12);
+  }
+}
+
+class QecErrorLocationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QecErrorLocationSweep, CorrectsEverySingleBitFlip) {
+  const int errorQubit = GetParam();
+  const auto v = paperV();
+  const auto qec = algorithms::repetitionCodeDemo<double>(errorQubit);
+  const auto simulation = qec.simulate(qecInitialState());
+  ASSERT_EQ(simulation.nbBranches(), 1u);
+  EXPECT_EQ(simulation.result(0),
+            algorithms::expectedSyndrome(errorQubit));
+  const auto data = reducedStatevector<double>(simulation.state(0), {3, 4},
+                                               simulation.result(0));
+  EXPECT_NEAR(std::abs(data[0] - v[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(data[7] - v[1]), 0.0, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(ErrorLocations, QecErrorLocationSweep,
+                         ::testing::Values(-1, 0, 1, 2));
+
+TEST(PaperE5, RandomStatesProtected) {
+  random::Rng rng(21);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto v = qclab::test::randomState<double>(1, rng);
+    const auto initial = dense::kron(v, basisState<double>("0000"));
+    for (int errorQubit = 0; errorQubit <= 2; ++errorQubit) {
+      const auto qec = algorithms::repetitionCodeDemo<double>(errorQubit);
+      const auto simulation = qec.simulate(initial);
+      ASSERT_EQ(simulation.nbBranches(), 1u);
+      const auto data = reducedStatevector<double>(
+          simulation.state(0), {3, 4}, simulation.result(0));
+      EXPECT_NEAR(std::abs(data[0] - v[0]), 0.0, 1e-10);
+      EXPECT_NEAR(std::abs(data[7] - v[1]), 0.0, 1e-10);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace qclab

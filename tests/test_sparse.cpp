@@ -1,0 +1,147 @@
+/// \file test_sparse.cpp
+/// \brief Unit tests for the CSR sparse matrix substrate.
+
+#include <gtest/gtest.h>
+
+#include "qclab/sparse/csr.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab::sparse {
+namespace {
+
+using C = std::complex<double>;
+using Csr = CsrMatrix<double>;
+using M = dense::Matrix<double>;
+
+Csr randomSparse(std::size_t rows, std::size_t cols, std::size_t nnz,
+                 std::uint64_t seed) {
+  random::Rng rng(seed);
+  std::vector<Triplet<double>> triplets;
+  for (std::size_t k = 0; k < nnz; ++k) {
+    triplets.push_back({rng.uniformInt(rows), rng.uniformInt(cols),
+                        C(rng.normal(), rng.normal())});
+  }
+  return Csr::fromTriplets(rows, cols, std::move(triplets));
+}
+
+TEST(Csr, EmptyAndZero) {
+  Csr empty;
+  EXPECT_EQ(empty.rows(), 0u);
+  EXPECT_EQ(empty.nnz(), 0u);
+  Csr zero(3, 4);
+  EXPECT_EQ(zero.rows(), 3u);
+  EXPECT_EQ(zero.cols(), 4u);
+  EXPECT_EQ(zero.nnz(), 0u);
+  EXPECT_EQ(zero.at(2, 3), C(0));
+}
+
+TEST(Csr, FromTripletsSortsColumns) {
+  auto m = Csr::fromTriplets(2, 4, {{0, 3, C(3)}, {0, 1, C(1)}, {1, 0, C(5)}});
+  EXPECT_EQ(m.nnz(), 3u);
+  EXPECT_EQ(m.at(0, 1), C(1));
+  EXPECT_EQ(m.at(0, 3), C(3));
+  EXPECT_EQ(m.at(1, 0), C(5));
+  EXPECT_EQ(m.at(0, 0), C(0));
+  // Column indices ascending within each row.
+  const auto& cols = m.colInd();
+  const auto& rowPtr = m.rowPtr();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t k = rowPtr[r] + 1; k < rowPtr[r + 1]; ++k) {
+      EXPECT_LT(cols[k - 1], cols[k]);
+    }
+  }
+}
+
+TEST(Csr, DuplicateTripletsAreSummed) {
+  auto m = Csr::fromTriplets(2, 2, {{0, 0, C(1)}, {0, 0, C(2)}, {1, 1, C(3)}});
+  EXPECT_EQ(m.at(0, 0), C(3));
+  EXPECT_EQ(m.nnz(), 2u);
+}
+
+TEST(Csr, OutOfBoundsTripletThrows) {
+  EXPECT_THROW(Csr::fromTriplets(2, 2, {{2, 0, C(1)}}),
+               qclab::InvalidArgumentError);
+}
+
+TEST(Csr, Identity) {
+  const auto id = Csr::identity(4);
+  EXPECT_EQ(id.nnz(), 4u);
+  qclab::test::expectMatrixNear(id.toDense(), M::identity(4));
+}
+
+TEST(Csr, DenseRoundTrip) {
+  M d{{1, 0, 2}, {0, 0, 0}, {C(0, 3), 4, 0}};
+  const auto sparse = Csr::fromDense(d);
+  EXPECT_EQ(sparse.nnz(), 4u);
+  qclab::test::expectMatrixNear(sparse.toDense(), d);
+}
+
+TEST(Csr, ApplyMatchesDense) {
+  const auto a = randomSparse(8, 8, 20, 1);
+  random::Rng rng(2);
+  std::vector<C> x(8);
+  for (auto& value : x) value = C(rng.normal(), rng.normal());
+  const auto ySparse = a.apply(x);
+  const auto yDense = a.toDense().apply(x);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(ySparse[i] - yDense[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Csr, ApplyDimensionMismatch) {
+  const auto a = randomSparse(4, 6, 5, 3);
+  EXPECT_THROW(a.apply(std::vector<C>(4)), qclab::InvalidArgumentError);
+}
+
+TEST(Csr, SpGemmMatchesDense) {
+  const auto a = randomSparse(6, 5, 12, 4);
+  const auto b = randomSparse(5, 7, 14, 5);
+  const auto product = a * b;
+  qclab::test::expectMatrixNear(product.toDense(), a.toDense() * b.toDense(),
+                                1e-12);
+}
+
+TEST(Csr, SpGemmDimensionMismatch) {
+  const auto a = randomSparse(4, 5, 6, 6);
+  const auto b = randomSparse(4, 5, 6, 7);
+  EXPECT_THROW(a * b, qclab::InvalidArgumentError);
+}
+
+TEST(Csr, KronMatchesDense) {
+  const auto a = randomSparse(3, 2, 4, 8);
+  const auto b = randomSparse(2, 4, 5, 9);
+  const auto k = kron(a, b);
+  EXPECT_EQ(k.rows(), 6u);
+  EXPECT_EQ(k.cols(), 8u);
+  qclab::test::expectMatrixNear(k.toDense(),
+                                dense::kron(a.toDense(), b.toDense()), 1e-12);
+}
+
+TEST(Csr, KronWithIdentityPreservesStructure) {
+  // I (x) A keeps A's nnz pattern in each diagonal block.
+  const auto a = randomSparse(2, 2, 3, 10);
+  const auto k = kron(Csr::identity(3), a);
+  EXPECT_EQ(k.nnz(), 3 * a.nnz());
+}
+
+class CsrApplySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsrApplySweep, LargeApplyMatchesDense) {
+  const auto n = static_cast<std::size_t>(1) << GetParam();
+  const auto a = randomSparse(n, n, 4 * n, 11 + GetParam());
+  random::Rng rng(12);
+  std::vector<C> x(n);
+  for (auto& value : x) value = C(rng.normal(), rng.normal());
+  const auto ySparse = a.apply(x);
+  const auto yDense = a.toDense().apply(x);
+  double maxDiff = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    maxDiff = std::max(maxDiff, std::abs(ySparse[i] - yDense[i]));
+  }
+  EXPECT_LT(maxDiff, 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CsrApplySweep, ::testing::Values(2, 4, 6, 8));
+
+}  // namespace
+}  // namespace qclab::sparse

@@ -1,0 +1,299 @@
+/// \file test_stabilizer.cpp
+/// \brief Unit tests for the CHP stabilizer tableau and its circuit
+/// adapter, cross-validated against the state-vector simulator on random
+/// Clifford circuits.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace qclab::stabilizer {
+namespace {
+
+using namespace qclab::qgates;
+
+/// Appends `length` random Clifford gates to `circuit`.
+void addRandomCliffords(QCircuit<double>& circuit, int length,
+                        random::Rng& rng) {
+  const int n = circuit.nbQubits();
+  auto qubit = [&]() { return static_cast<int>(rng.uniformInt(n)); };
+  auto pair = [&]() {
+    const int a = qubit();
+    int b = qubit();
+    while (b == a) b = qubit();
+    return std::pair<int, int>{a, b};
+  };
+  for (int i = 0; i < length; ++i) {
+    switch (rng.uniformInt(11)) {
+      case 0: circuit.push_back(Hadamard<double>(qubit())); break;
+      case 1: circuit.push_back(SGate<double>(qubit())); break;
+      case 2: circuit.push_back(SdgGate<double>(qubit())); break;
+      case 3: circuit.push_back(PauliX<double>(qubit())); break;
+      case 4: circuit.push_back(PauliY<double>(qubit())); break;
+      case 5: circuit.push_back(PauliZ<double>(qubit())); break;
+      case 6: circuit.push_back(SX<double>(qubit())); break;
+      case 7: {
+        const auto [a, b] = pair();
+        circuit.push_back(CX<double>(a, b));
+        break;
+      }
+      case 8: {
+        const auto [a, b] = pair();
+        circuit.push_back(CZ<double>(a, b));
+        break;
+      }
+      case 9: {
+        const auto [a, b] = pair();
+        circuit.push_back(SWAP<double>(a, b));
+        break;
+      }
+      default: {
+        const auto [a, b] = pair();
+        circuit.push_back(iSWAP<double>(a, b));
+        break;
+      }
+    }
+  }
+}
+
+TEST(Tableau, InitialStabilizersAreZ) {
+  Tableau tableau(3);
+  EXPECT_EQ(tableau.stabilizer(0), "+ZII");
+  EXPECT_EQ(tableau.stabilizer(1), "+IZI");
+  EXPECT_EQ(tableau.stabilizer(2), "+IIZ");
+  EXPECT_TRUE(tableau.isDeterministic(0));
+}
+
+TEST(Tableau, HadamardMakesXStabilizer) {
+  Tableau tableau(2);
+  tableau.h(0);
+  EXPECT_EQ(tableau.stabilizer(0), "+XI");
+  EXPECT_FALSE(tableau.isDeterministic(0));
+  EXPECT_TRUE(tableau.isDeterministic(1));
+}
+
+TEST(Tableau, BellStateStabilizers) {
+  Tableau tableau(2);
+  tableau.h(0);
+  tableau.cx(0, 1);
+  EXPECT_EQ(tableau.stabilizer(0), "+XX");
+  EXPECT_EQ(tableau.stabilizer(1), "+ZZ");
+}
+
+TEST(Tableau, PauliFlipsSigns) {
+  Tableau tableau(1);
+  tableau.x(0);  // |1>: stabilizer -Z
+  EXPECT_EQ(tableau.stabilizer(0), "-Z");
+  random::Rng rng(1);
+  EXPECT_EQ(tableau.measure(0, rng), 1);
+}
+
+TEST(Tableau, DeterministicMeasurements) {
+  Tableau tableau(2);
+  random::Rng rng(2);
+  EXPECT_EQ(tableau.measure(0, rng), 0);
+  tableau.x(1);
+  EXPECT_EQ(tableau.measure(1, rng), 1);
+  // |+> measured in X basis (h, measure, h) is deterministic 0.
+  tableau.h(0);
+  tableau.h(0);  // back to |0>
+  EXPECT_EQ(tableau.measure(0, rng), 0);
+}
+
+TEST(Tableau, BellCorrelations) {
+  random::Rng rng(3);
+  int ones = 0;
+  for (int shot = 0; shot < 200; ++shot) {
+    Tableau tableau(2);
+    tableau.h(0);
+    tableau.cx(0, 1);
+    const int first = tableau.measure(0, rng);
+    const int second = tableau.measure(1, rng);
+    EXPECT_EQ(first, second);  // perfectly correlated
+    ones += first;
+  }
+  EXPECT_GT(ones, 60);   // roughly half
+  EXPECT_LT(ones, 140);
+}
+
+TEST(Tableau, RepeatedMeasurementIsStable) {
+  random::Rng rng(4);
+  Tableau tableau(1);
+  tableau.h(0);
+  const int first = tableau.measure(0, rng);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(tableau.measure(0, rng), first);
+  }
+}
+
+TEST(Tableau, ResetGivesZero) {
+  random::Rng rng(5);
+  for (int shot = 0; shot < 20; ++shot) {
+    Tableau tableau(2);
+    tableau.h(0);
+    tableau.cx(0, 1);
+    tableau.reset(0, rng);
+    EXPECT_EQ(tableau.measure(0, rng), 0);
+  }
+}
+
+TEST(Tableau, SDGAndSXAgreeWithDefinitions) {
+  // S Sdg = I: stabilizers return to +Z after h s sdg h.
+  Tableau tableau(1);
+  tableau.h(0);
+  tableau.s(0);
+  tableau.sdg(0);
+  tableau.h(0);
+  EXPECT_EQ(tableau.stabilizer(0), "+Z");
+  // sx sx = x.
+  Tableau other(1);
+  other.sx(0);
+  other.sx(0);
+  EXPECT_EQ(other.stabilizer(0), "-Z");
+}
+
+TEST(StabilizerSimulator, GhzParity) {
+  const auto circuit = [] {
+    auto ghz = qclab::algorithms::ghz<double>(5);
+    for (int q = 0; q < 5; ++q) ghz.push_back(Measurement<double>(q));
+    return ghz;
+  }();
+  random::Rng rng(6);
+  const auto histogram = sampleCounts(circuit, 200, rng);
+  // Only all-zeros and all-ones can appear.
+  for (const auto& [outcome, count] : histogram) {
+    EXPECT_TRUE(outcome == "00000" || outcome == "11111") << outcome;
+    EXPECT_GT(count, 0u);
+  }
+  EXPECT_EQ(histogram.size(), 2u);
+}
+
+TEST(StabilizerSimulator, MatchesStateVectorOnPaperE1) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(CX<double>(0, 1));
+  circuit.push_back(Measurement<double>(0));
+  circuit.push_back(Measurement<double>(1));
+  random::Rng rng(7);
+  const auto histogram = sampleCounts(circuit, 1000, rng);
+  ASSERT_EQ(histogram.size(), 2u);
+  EXPECT_NEAR(static_cast<double>(histogram.at("00")) / 1000.0, 0.5, 0.06);
+  EXPECT_NEAR(static_cast<double>(histogram.at("11")) / 1000.0, 0.5, 0.06);
+}
+
+TEST(StabilizerSimulator, QecSyndromesAllCliffords) {
+  // The paper's repetition-code circuit *without* the MCX corrections is
+  // pure Clifford; the syndrome matches the state-vector result exactly.
+  for (int errorQubit = -1; errorQubit <= 2; ++errorQubit) {
+    QCircuit<double> circuit(5);
+    circuit.push_back(CX<double>(0, 1));
+    circuit.push_back(CX<double>(0, 2));
+    if (errorQubit >= 0) circuit.push_back(PauliX<double>(errorQubit));
+    circuit.push_back(CX<double>(0, 3));
+    circuit.push_back(CX<double>(1, 3));
+    circuit.push_back(CX<double>(0, 4));
+    circuit.push_back(CX<double>(2, 4));
+    circuit.push_back(Measurement<double>(3));
+    circuit.push_back(Measurement<double>(4));
+    random::Rng rng(8);
+    Tableau tableau(5);
+    const auto outcome = simulateShot(circuit, tableau, rng);
+    EXPECT_EQ(outcome, qclab::algorithms::expectedSyndrome(errorQubit));
+  }
+}
+
+TEST(StabilizerSimulator, XBasisMeasurement) {
+  QCircuit<double> circuit(1);
+  circuit.push_back(Hadamard<double>(0));           // |+>
+  circuit.push_back(Measurement<double>(0, 'x'));   // deterministic 0
+  random::Rng rng(9);
+  for (int shot = 0; shot < 20; ++shot) {
+    Tableau tableau(1);
+    EXPECT_EQ(simulateShot(circuit, tableau, rng), "0");
+  }
+}
+
+TEST(StabilizerSimulator, YBasisMeasurement) {
+  // S H |0> = (|0> + i|1>)/sqrt(2), the +1 eigenstate of Y.
+  QCircuit<double> circuit(1);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(SGate<double>(0));
+  circuit.push_back(Measurement<double>(0, 'y'));
+  random::Rng rng(10);
+  for (int shot = 0; shot < 20; ++shot) {
+    Tableau tableau(1);
+    EXPECT_EQ(simulateShot(circuit, tableau, rng), "0");
+  }
+}
+
+TEST(StabilizerSimulator, RejectsNonClifford) {
+  QCircuit<double> circuit(1);
+  circuit.push_back(TGate<double>(0));
+  random::Rng rng(11);
+  Tableau tableau(1);
+  EXPECT_THROW(simulateShot(circuit, tableau, rng), InvalidArgumentError);
+  QCircuit<double> rotation(1);
+  rotation.push_back(RotationX<double>(0, 0.3));
+  EXPECT_THROW(simulateShot(rotation, tableau, rng), InvalidArgumentError);
+}
+
+/// Cross validation: on random Clifford circuits, any outcome the tableau
+/// produces must have nonzero probability under the state-vector
+/// simulation, and deterministic qubits must agree.
+class CliffordCrossValidation : public ::testing::TestWithParam<int> {};
+
+TEST_P(CliffordCrossValidation, OutcomesConsistentWithStateVector) {
+  const int n = 4;
+  random::Rng circuitRng(static_cast<std::uint64_t>(GetParam()));
+  QCircuit<double> circuit(n);
+  addRandomCliffords(circuit, 30, circuitRng);
+  for (int q = 0; q < n; ++q) circuit.push_back(Measurement<double>(q));
+
+  // Reference outcome probabilities.
+  const auto simulation = circuit.simulate(std::string(n, '0'));
+  std::map<std::string, double> probabilities;
+  for (std::size_t i = 0; i < simulation.nbBranches(); ++i) {
+    probabilities[simulation.result(i)] = simulation.probability(i);
+  }
+
+  random::Rng shotRng(99);
+  const auto histogram = sampleCounts(circuit, 300, shotRng);
+  for (const auto& [outcome, count] : histogram) {
+    ASSERT_TRUE(probabilities.count(outcome))
+        << "stabilizer produced impossible outcome " << outcome;
+  }
+  // If the state-vector says deterministic, so must the tableau.
+  if (probabilities.size() == 1) {
+    EXPECT_EQ(histogram.size(), 1u);
+    EXPECT_EQ(histogram.begin()->first, probabilities.begin()->first);
+  }
+  // Frequencies approximate probabilities (loose: 300 shots).
+  for (const auto& [outcome, probability] : probabilities) {
+    const double frequency =
+        histogram.count(outcome)
+            ? static_cast<double>(histogram.at(outcome)) / 300.0
+            : 0.0;
+    EXPECT_NEAR(frequency, probability, 0.12) << outcome;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CliffordCrossValidation,
+                         ::testing::Range(1, 13));
+
+TEST(StabilizerSimulator, ScalesToManyQubits) {
+  // 200-qubit GHZ: hopeless for the state-vector simulator, instant here.
+  const int n = 200;
+  QCircuit<double> circuit(n);
+  circuit.push_back(Hadamard<double>(0));
+  for (int q = 1; q < n; ++q) circuit.push_back(CX<double>(q - 1, q));
+  for (int q = 0; q < n; ++q) circuit.push_back(Measurement<double>(q));
+  random::Rng rng(12);
+  Tableau tableau(n);
+  const auto outcome = simulateShot(circuit, tableau, rng);
+  ASSERT_EQ(outcome.size(), static_cast<std::size_t>(n));
+  EXPECT_TRUE(outcome == std::string(n, '0') ||
+              outcome == std::string(n, '1'));
+}
+
+}  // namespace
+}  // namespace qclab::stabilizer

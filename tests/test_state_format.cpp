@@ -1,0 +1,114 @@
+/// \file test_state_format.cpp
+/// \brief Unit tests for state pretty-printing, gate counting, and a golden
+/// snapshot of the paper's circuit (1) terminal drawing.
+
+#include <gtest/gtest.h>
+
+#include "qclab/io/state_format.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab::io {
+namespace {
+
+using C = std::complex<double>;
+using namespace qclab::qgates;
+
+TEST(FormatAmplitude, PaperStyle) {
+  EXPECT_EQ(formatAmplitude(C(0.7071067811, 0.0)), "0.7071 + 0.0000i");
+  EXPECT_EQ(formatAmplitude(C(0.0, 0.7071067811)), "0.0000 + 0.7071i");
+  EXPECT_EQ(formatAmplitude(C(-0.5, -0.25)), "-0.5000 - 0.2500i");
+  EXPECT_EQ(formatAmplitude(C(1.0, 0.0), 2), "1.00 + 0.00i");
+}
+
+TEST(FormatStatevector, BellState) {
+  const auto bell = qclab::algorithms::bellState<double>();
+  const auto text = formatStatevector(bell);
+  EXPECT_NE(text.find("0.7071 + 0.0000i |00>"), std::string::npos);
+  EXPECT_NE(text.find("0.0000 + 0.0000i |01>"), std::string::npos);
+  EXPECT_NE(text.find("0.7071 + 0.0000i |11>"), std::string::npos);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(FormatStatevector, SkipZeros) {
+  const auto bell = qclab::algorithms::bellState<double>();
+  StateFormat format;
+  format.skipZeros = true;
+  const auto text = formatStatevector(bell, format);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_EQ(text.find("|01>"), std::string::npos);
+}
+
+TEST(FormatStatevector, NoLabels) {
+  StateFormat format;
+  format.basisLabels = false;
+  const auto text =
+      formatStatevector(std::vector<C>{C(1), C(0)}, format);
+  EXPECT_EQ(text.find('|'), std::string::npos);
+}
+
+TEST(FormatStatevector, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(formatStatevector(std::vector<C>(3)), InvalidArgumentError);
+}
+
+TEST(GateCounts, MixedCircuit) {
+  QCircuit<double> sub(2);
+  sub.push_back(Hadamard<double>(0));
+  sub.push_back(CX<double>(0, 1));
+
+  QCircuit<double> circuit(3);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(Hadamard<double>(1));
+  circuit.push_back(QCircuit<double>(sub));
+  circuit.push_back(CZ<double>(0, 2));
+  circuit.push_back(Measurement<double>(0));
+  circuit.push_back(Reset<double>(1));
+  circuit.push_back(Barrier<double>(0, 2));
+
+  const auto counts = circuit.gateCounts();
+  EXPECT_EQ(counts.at("H"), 3u);       // two direct + one nested
+  EXPECT_EQ(counts.at("cX"), 1u);      // the nested CNOT
+  EXPECT_EQ(counts.at("cZ"), 1u);
+  EXPECT_EQ(counts.at("measure"), 1u);
+  EXPECT_EQ(counts.at("reset"), 1u);
+  EXPECT_EQ(counts.at("barrier"), 1u);
+}
+
+TEST(GateCounts, EmptyCircuit) {
+  EXPECT_TRUE(QCircuit<double>(2).gateCounts().empty());
+}
+
+TEST(GoldenDrawing, PaperCircuitOne) {
+  // Pin the exact terminal rendering of the paper's circuit (1).
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(CX<double>(0, 1));
+  circuit.push_back(Measurement<double>(0));
+  circuit.push_back(Measurement<double>(1));
+  const std::string expected =
+      "     ┌─┐       ┌─┐\n"
+      "q0: ─┤H├───●───┤M├──\n"
+      "     └─┘   │   └─┘\n"
+      "          ┌┴┐  ┌─┐\n"
+      "q1: ──────┤X├──┤M├──\n"
+      "          └─┘  └─┘\n";
+  EXPECT_EQ(circuit.draw(), expected);
+}
+
+TEST(GoldenDrawing, OracleBlock) {
+  QCircuit<double> oracle(2);
+  oracle.push_back(CZ<double>(0, 1));
+  oracle.asBlock("oracle");
+  QCircuit<double> circuit(2);
+  circuit.push_back(QCircuit<double>(oracle));
+  const std::string expected =
+      "     ┌──────┐\n"
+      "q0: ─┤oracle├──\n"
+      "     │      │\n"
+      "     │      │\n"
+      "q1: ─┤      ├──\n"
+      "     └──────┘\n";
+  EXPECT_EQ(circuit.draw(), expected);
+}
+
+}  // namespace
+}  // namespace qclab::io

@@ -1,0 +1,227 @@
+/// \file test_transpile.cpp
+/// \brief Unit tests for the circuit optimization passes; every pass must
+/// preserve the circuit unitary exactly.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace qclab::transpile {
+namespace {
+
+using namespace qclab::qgates;
+using M = dense::Matrix<double>;
+
+TEST(Flatten, InlinesNestedCircuitsWithOffsets) {
+  QCircuit<double> inner(1, 1);
+  inner.push_back(PauliX<double>(0));
+  QCircuit<double> middle(2, 1);
+  middle.push_back(QCircuit<double>(inner));
+  middle.push_back(Hadamard<double>(0));
+  QCircuit<double> root(3);
+  root.push_back(Hadamard<double>(0));
+  root.push_back(QCircuit<double>(middle));
+
+  const auto flat = flatten(root);
+  EXPECT_EQ(flat.nbObjects(), 3u);
+  for (const auto& object : flat) {
+    EXPECT_NE(object->objectType(), ObjectType::kCircuit);
+  }
+  qclab::test::expectMatrixNear(flat.matrix(), root.matrix());
+}
+
+TEST(Flatten, PreservesMeasurements) {
+  QCircuit<double> sub(1, 1);
+  sub.push_back(Measurement<double>(0));
+  QCircuit<double> root(2);
+  root.push_back(Hadamard<double>(1));
+  root.push_back(QCircuit<double>(sub));
+  const auto flat = flatten(root);
+  EXPECT_EQ(flat.nbObjects(), 2u);
+  EXPECT_EQ(flat.objectAt(1).objectType(), ObjectType::kMeasurement);
+  EXPECT_EQ(flat.objectAt(1).qubits(), std::vector<int>{1});
+}
+
+TEST(RemoveTrivial, DropsIdentitiesAndZeroRotations) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Identity<double>(0));
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(RotationZ<double>(1, 0.0));
+  circuit.push_back(Phase<double>(1, 0.0));
+  circuit.push_back(CX<double>(0, 1));
+  const auto cleaned = removeTrivialGates(circuit);
+  EXPECT_EQ(cleaned.nbObjects(), 2u);
+  qclab::test::expectMatrixNear(cleaned.matrix(), circuit.matrix());
+}
+
+TEST(CancelInverse, RemovesAdjacentPairs) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(CX<double>(0, 1));
+  circuit.push_back(CX<double>(0, 1));
+  circuit.push_back(SGate<double>(1));
+  circuit.push_back(SdgGate<double>(1));
+  const auto cleaned = cancelInversePairs(circuit);
+  EXPECT_EQ(cleaned.nbObjects(), 0u);
+}
+
+TEST(CancelInverse, CascadesThroughNewAdjacency) {
+  // X H H X: after H H cancel, the X pair becomes adjacent and cancels too.
+  QCircuit<double> circuit(1);
+  circuit.push_back(PauliX<double>(0));
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(PauliX<double>(0));
+  const auto cleaned = cancelInversePairs(circuit);
+  EXPECT_EQ(cleaned.nbObjects(), 0u);
+}
+
+TEST(CancelInverse, RespectsInterveningGatesOnSameQubit) {
+  QCircuit<double> circuit(1);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(TGate<double>(0));
+  circuit.push_back(Hadamard<double>(0));
+  const auto cleaned = cancelInversePairs(circuit);
+  EXPECT_EQ(cleaned.nbObjects(), 3u);
+}
+
+TEST(CancelInverse, IgnoresDisjointInterveningGates) {
+  // H(0), X(1), H(0): the X on another qubit does not block cancellation.
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(PauliX<double>(1));
+  circuit.push_back(Hadamard<double>(0));
+  const auto cleaned = cancelInversePairs(circuit);
+  EXPECT_EQ(cleaned.nbObjects(), 1u);
+  qclab::test::expectMatrixNear(cleaned.matrix(), circuit.matrix());
+}
+
+TEST(CancelInverse, MeasurementBlocksCancellation) {
+  QCircuit<double> circuit(1);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(Measurement<double>(0));
+  circuit.push_back(Hadamard<double>(0));
+  const auto cleaned = cancelInversePairs(circuit);
+  EXPECT_EQ(cleaned.nbObjects(), 3u);
+}
+
+TEST(FuseRotations, MergesSameAxisRuns) {
+  QCircuit<double> circuit(1);
+  circuit.push_back(RotationX<double>(0, 0.3));
+  circuit.push_back(RotationX<double>(0, 0.4));
+  const auto fused = fuseRotations(circuit);
+  ASSERT_EQ(fused.nbObjects(), 1u);
+  const auto& gate =
+      static_cast<const RotationX<double>&>(fused.objectAt(0));
+  EXPECT_NEAR(gate.theta(), 0.7, 1e-14);
+  qclab::test::expectMatrixNear(fused.matrix(), circuit.matrix());
+}
+
+TEST(FuseRotations, OppositeAnglesVanish) {
+  QCircuit<double> circuit(1);
+  circuit.push_back(RotationY<double>(0, 0.9));
+  circuit.push_back(RotationY<double>(0, -0.9));
+  EXPECT_EQ(fuseRotations(circuit).nbObjects(), 0u);
+}
+
+TEST(FuseRotations, DifferentAxesUntouched) {
+  QCircuit<double> circuit(1);
+  circuit.push_back(RotationX<double>(0, 0.3));
+  circuit.push_back(RotationY<double>(0, 0.4));
+  EXPECT_EQ(fuseRotations(circuit).nbObjects(), 2u);
+}
+
+TEST(FuseRotations, PhaseCPhaseAndTwoQubit) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Phase<double>(0, 0.2));
+  circuit.push_back(Phase<double>(0, 0.3));
+  circuit.push_back(CPhase<double>(0, 1, 0.4));
+  circuit.push_back(CPhase<double>(0, 1, 0.5));
+  circuit.push_back(RotationZZ<double>(0, 1, 0.6));
+  circuit.push_back(RotationZZ<double>(0, 1, 0.7));
+  const auto fused = fuseRotations(circuit);
+  EXPECT_EQ(fused.nbObjects(), 3u);
+  qclab::test::expectMatrixNear(fused.matrix(), circuit.matrix(), 1e-12);
+}
+
+TEST(FuseRotations, ControlledRotations) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(CRotationX<double>(0, 1, 0.3));
+  circuit.push_back(CRotationX<double>(0, 1, 0.4));
+  // Different control state: must not fuse.
+  circuit.push_back(CRotationY<double>(0, 1, 0.3, 0));
+  circuit.push_back(CRotationY<double>(0, 1, 0.4, 1));
+  const auto fused = fuseRotations(circuit);
+  EXPECT_EQ(fused.nbObjects(), 3u);
+  qclab::test::expectMatrixNear(fused.matrix(), circuit.matrix(), 1e-12);
+}
+
+TEST(MergeSingle, CollapsesRunsToOneGate) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(TGate<double>(0));
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(PauliX<double>(1));
+  const auto merged = mergeSingleQubitGates(circuit);
+  EXPECT_EQ(merged.nbObjects(), 2u);  // one MatrixGate1 + untouched X
+  qclab::test::expectMatrixNear(merged.matrix(), circuit.matrix(), 1e-12);
+}
+
+TEST(MergeSingle, RunsInterruptedByTwoQubitGate) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(CX<double>(0, 1));
+  circuit.push_back(Hadamard<double>(0));
+  const auto merged = mergeSingleQubitGates(circuit);
+  EXPECT_EQ(merged.nbObjects(), 3u);
+  qclab::test::expectMatrixNear(merged.matrix(), circuit.matrix(), 1e-12);
+}
+
+TEST(MergeSingle, IdentityRunsVanish) {
+  QCircuit<double> circuit(1);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(Hadamard<double>(0));
+  EXPECT_EQ(mergeSingleQubitGates(circuit).nbObjects(), 0u);
+}
+
+TEST(Optimize, ShrinksRedundantCircuits) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(RotationZ<double>(1, 0.4));
+  circuit.push_back(RotationZ<double>(1, -0.4));
+  circuit.push_back(CX<double>(0, 1));
+  circuit.push_back(CX<double>(0, 1));
+  circuit.push_back(Identity<double>(0));
+  EXPECT_EQ(optimize(circuit).nbObjectsRecursive(), 0u);
+}
+
+class OptimizePropertySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizePropertySweep, PreservesUnitaryOnRandomCircuits) {
+  const auto circuit =
+      qclab::test::randomCircuit<double>(4, 40, GetParam());
+  const auto optimized = optimize(circuit);
+  EXPECT_LE(optimized.nbObjectsRecursive(), circuit.nbObjectsRecursive());
+  qclab::test::expectMatrixNear(optimized.matrix(), circuit.matrix(), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizePropertySweep,
+                         ::testing::Range(1, 11));
+
+TEST(Optimize, RotationChainsFuseToSingleGate) {
+  // 100 small same-axis rotations collapse to one.
+  QCircuit<double> circuit(1);
+  for (int i = 0; i < 100; ++i) {
+    circuit.push_back(RotationZ<double>(0, 0.01));
+  }
+  const auto optimized = optimize(circuit);
+  ASSERT_EQ(optimized.nbObjects(), 1u);
+  const auto& gate =
+      static_cast<const RotationZ<double>&>(optimized.objectAt(0));
+  EXPECT_NEAR(gate.theta(), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace qclab::transpile

@@ -1,0 +1,175 @@
+/// \file test_trotter.cpp
+/// \brief Unit tests for the Trotterized Ising time evolution against the
+/// exact unitary exp(-i t H) from the Hermitian matrix exponential.
+
+#include <gtest/gtest.h>
+
+#include "qclab/dense/expm.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab::algorithms {
+namespace {
+
+using C = std::complex<double>;
+using M = dense::Matrix<double>;
+
+TEST(ExpUnitary, DiagonalCase) {
+  M h(2, 2);
+  h(0, 0) = C(1.0);
+  h(1, 1) = C(-2.0);
+  const auto u = dense::expUnitary(h, 0.5);
+  EXPECT_NEAR(std::abs(u(0, 0) - std::polar(1.0, -0.5)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(u(1, 1) - std::polar(1.0, 1.0)), 0.0, 1e-12);
+  EXPECT_TRUE(u.isUnitary(1e-12));
+}
+
+TEST(ExpUnitary, PauliXRotation) {
+  // exp(-i t X) == RX(2t).
+  const double t = 0.37;
+  const auto u = dense::expUnitary(dense::pauliX<double>(), t);
+  qclab::test::expectMatrixNear(
+      u, qgates::RotationX<double>(0, 2.0 * t).matrix(), 1e-12);
+}
+
+TEST(ExpUnitary, GroupProperty) {
+  random::Rng rng(1);
+  M a(4, 4);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 4; ++j) a(i, j) = C(rng.normal(), rng.normal());
+  M h = a + a.dagger();
+  const auto u1 = dense::expUnitary(h, 0.3);
+  const auto u2 = dense::expUnitary(h, 0.7);
+  const auto u3 = dense::expUnitary(h, 1.0);
+  qclab::test::expectMatrixNear(u1 * u2, u3, 1e-9);
+  EXPECT_TRUE(u3.isUnitary(1e-10));
+}
+
+TEST(TrotterStep, SingleStepStructure) {
+  const auto step = trotterStepIsing<double>(4, 1.0, 0.5, 0.1);
+  // 3 bonds + 4 sites.
+  EXPECT_EQ(step.nbObjects(), 7u);
+  const auto periodic = trotterStepIsing<double>(4, 1.0, 0.5, 0.1, true);
+  EXPECT_EQ(periodic.nbObjects(), 8u);
+  EXPECT_TRUE(step.matrix().isUnitary(1e-12));
+}
+
+TEST(TrotterStep, ExactForCommutingTerms) {
+  // With h = 0, all terms commute: one step of any size is exact.
+  const int n = 3;
+  const double t = 0.8;
+  const auto hamiltonian = isingHamiltonian<double>(n, 1.0, 0.0);
+  const auto exact = dense::expUnitary(hamiltonian.matrix(), t);
+  const auto circuit = trotterIsing<double>(n, 1.0, 0.0, t, 1);
+  EXPECT_TRUE(dense::equalUpToGlobalPhase(circuit.matrix(), exact, 1e-10));
+}
+
+TEST(TrotterStep, ExactForFieldOnly) {
+  // With J = 0, a single step is exact as well.
+  const int n = 3;
+  const double t = 0.6;
+  const auto hamiltonian = isingHamiltonian<double>(n, 0.0, 0.7);
+  const auto exact = dense::expUnitary(hamiltonian.matrix(), t);
+  const auto circuit = trotterIsing<double>(n, 0.0, 0.7, t, 1);
+  EXPECT_TRUE(dense::equalUpToGlobalPhase(circuit.matrix(), exact, 1e-10));
+}
+
+TEST(Trotter, FirstOrderConverges) {
+  const int n = 3;
+  const double t = 1.0, coupling = 1.0, field = 0.5;
+  const auto exact =
+      dense::expUnitary(isingHamiltonian<double>(n, coupling, field).matrix(),
+                        t);
+  double previousError = 1e9;
+  for (int steps : {2, 8, 32}) {
+    const auto circuit =
+        trotterIsing<double>(n, coupling, field, t, steps);
+    // Compare action on a fixed state (global phase irrelevant).
+    random::Rng rng(5);
+    const auto psi = qclab::test::randomState<double>(n, rng);
+    const auto approx = circuit.simulate(psi).state(0);
+    const auto reference = exact.apply(psi);
+    double error = 0.0;
+    // Distance up to global phase: 1 - |<ref|approx>|.
+    error = 1.0 - std::abs(dense::inner(reference, approx));
+    EXPECT_LT(error, previousError * 0.5) << steps;
+    previousError = error;
+  }
+  EXPECT_LT(previousError, 5e-4);
+}
+
+TEST(Trotter, SecondOrderBeatsFirstOrder) {
+  const int n = 3;
+  const double t = 1.0, coupling = 1.0, field = 0.5;
+  const auto exact =
+      dense::expUnitary(isingHamiltonian<double>(n, coupling, field).matrix(),
+                        t);
+  random::Rng rng(6);
+  const auto psi = qclab::test::randomState<double>(n, rng);
+  const auto reference = exact.apply(psi);
+
+  const int steps = 8;
+  const auto first =
+      trotterIsing<double>(n, coupling, field, t, steps).simulate(psi).state(0);
+  const auto second = trotterIsing<double>(n, coupling, field, t, steps,
+                                           TrotterOrder::kSecond)
+                          .simulate(psi)
+                          .state(0);
+  const double errorFirst = 1.0 - std::abs(dense::inner(reference, first));
+  const double errorSecond = 1.0 - std::abs(dense::inner(reference, second));
+  EXPECT_LT(errorSecond, errorFirst / 4.0);
+}
+
+TEST(Trotter, EnergyIsConserved) {
+  // exp(-i t H) commutes with H: <H> is invariant under exact evolution,
+  // and nearly invariant under fine Trotterization.
+  const int n = 4;
+  const auto hamiltonian = isingHamiltonian<double>(n, 1.0, 0.5);
+  random::Rng rng(7);
+  const auto psi = qclab::test::randomState<double>(n, rng);
+  const double before = hamiltonian.expectation(psi);
+  const auto circuit = trotterIsing<double>(n, 1.0, 0.5, 0.5, 64,
+                                            TrotterOrder::kSecond);
+  const auto evolved = circuit.simulate(psi).state(0);
+  const double after = hamiltonian.expectation(evolved);
+  EXPECT_NEAR(after, before, 1e-3);
+}
+
+TEST(Trotter, FusesWellUnderTranspiler) {
+  // Consecutive steps produce adjacent same-axis rotations at the layer
+  // seams; the optimizer must shrink the circuit without changing it.
+  const auto circuit = trotterIsing<double>(4, 1.0, 0.5, 1.0, 6);
+  const auto optimized = transpile::optimize(circuit);
+  EXPECT_LE(optimized.nbObjectsRecursive(), circuit.nbObjectsRecursive());
+  qclab::test::expectMatrixNear(optimized.matrix(), circuit.matrix(), 1e-10);
+}
+
+TEST(Trotter, Validation) {
+  EXPECT_THROW(trotterIsing<double>(4, 1.0, 0.5, 1.0, 0),
+               InvalidArgumentError);
+  EXPECT_THROW(trotterStepIsing<double>(1, 1.0, 0.5, 0.1),
+               InvalidArgumentError);
+}
+
+class TrotterStepsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrotterStepsSweep, ErrorScalesInverselyWithSteps) {
+  const int steps = GetParam();
+  const int n = 2;
+  const double t = 1.0;
+  const auto exact =
+      dense::expUnitary(isingHamiltonian<double>(n, 1.0, 1.0).matrix(), t);
+  random::Rng rng(8);
+  const auto psi = qclab::test::randomState<double>(n, rng);
+  const auto reference = exact.apply(psi);
+  const auto approx =
+      trotterIsing<double>(n, 1.0, 1.0, t, steps).simulate(psi).state(0);
+  const double error = 1.0 - std::abs(dense::inner(reference, approx));
+  // First-order error ~ t^2/(2 steps) * ||[A,B]||; generous envelope.
+  EXPECT_LT(error, 2.0 / steps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, TrotterStepsSweep,
+                         ::testing::Values(1, 2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace qclab::algorithms
