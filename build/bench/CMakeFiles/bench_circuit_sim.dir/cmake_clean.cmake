@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_circuit_sim.dir/bench_circuit_sim.cpp.o"
+  "CMakeFiles/bench_circuit_sim.dir/bench_circuit_sim.cpp.o.d"
+  "bench_circuit_sim"
+  "bench_circuit_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_circuit_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_construct_io.dir/bench_construct_io.cpp.o"
+  "CMakeFiles/bench_construct_io.dir/bench_construct_io.cpp.o.d"
+  "bench_construct_io"
+  "bench_construct_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_construct_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

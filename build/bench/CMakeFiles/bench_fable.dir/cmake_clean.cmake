@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fable.dir/bench_fable.cpp.o"
+  "CMakeFiles/bench_fable.dir/bench_fable.cpp.o.d"
+  "bench_fable"
+  "bench_fable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

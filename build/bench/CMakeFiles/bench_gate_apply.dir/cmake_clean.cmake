@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gate_apply.dir/bench_gate_apply.cpp.o"
+  "CMakeFiles/bench_gate_apply.dir/bench_gate_apply.cpp.o.d"
+  "bench_gate_apply"
+  "bench_gate_apply.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gate_apply.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_observable.dir/bench_observable.cpp.o"
+  "CMakeFiles/bench_observable.dir/bench_observable.cpp.o.d"
+  "bench_observable"
+  "bench_observable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_observable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

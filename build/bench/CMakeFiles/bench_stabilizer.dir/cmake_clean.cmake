@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stabilizer.dir/bench_stabilizer.cpp.o"
+  "CMakeFiles/bench_stabilizer.dir/bench_stabilizer.cpp.o.d"
+  "bench_stabilizer"
+  "bench_stabilizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stabilizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

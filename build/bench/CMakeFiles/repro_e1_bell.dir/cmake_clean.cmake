@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_e1_bell.dir/repro_e1_bell.cpp.o"
+  "CMakeFiles/repro_e1_bell.dir/repro_e1_bell.cpp.o.d"
+  "repro_e1_bell"
+  "repro_e1_bell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_e1_bell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_e2_teleport.dir/repro_e2_teleport.cpp.o"
+  "CMakeFiles/repro_e2_teleport.dir/repro_e2_teleport.cpp.o.d"
+  "repro_e2_teleport"
+  "repro_e2_teleport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_e2_teleport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

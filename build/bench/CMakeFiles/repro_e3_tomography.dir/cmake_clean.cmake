@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_e3_tomography.dir/repro_e3_tomography.cpp.o"
+  "CMakeFiles/repro_e3_tomography.dir/repro_e3_tomography.cpp.o.d"
+  "repro_e3_tomography"
+  "repro_e3_tomography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_e3_tomography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_e4_grover.dir/repro_e4_grover.cpp.o"
+  "CMakeFiles/repro_e4_grover.dir/repro_e4_grover.cpp.o.d"
+  "repro_e4_grover"
+  "repro_e4_grover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_e4_grover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_e5_qec.dir/repro_e5_qec.cpp.o"
+  "CMakeFiles/repro_e5_qec.dir/repro_e5_qec.cpp.o.d"
+  "repro_e5_qec"
+  "repro_e5_qec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_e5_qec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

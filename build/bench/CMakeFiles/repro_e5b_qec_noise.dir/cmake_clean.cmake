@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_e5b_qec_noise.dir/repro_e5b_qec_noise.cpp.o"
+  "CMakeFiles/repro_e5b_qec_noise.dir/repro_e5b_qec_noise.cpp.o.d"
+  "repro_e5b_qec_noise"
+  "repro_e5b_qec_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_e5b_qec_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for repro_e5b_qec_noise.
+# This may be replaced when dependencies are built.

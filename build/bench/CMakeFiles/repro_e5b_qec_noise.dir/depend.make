@@ -1,0 +1,2 @@
+# Empty dependencies file for repro_e5b_qec_noise.
+# This may be replaced when dependencies are built.

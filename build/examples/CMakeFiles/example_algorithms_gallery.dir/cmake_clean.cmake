@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_algorithms_gallery.dir/algorithms_gallery.cpp.o"
+  "CMakeFiles/example_algorithms_gallery.dir/algorithms_gallery.cpp.o.d"
+  "example_algorithms_gallery"
+  "example_algorithms_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_algorithms_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compilers.dir/compilers.cpp.o"
+  "CMakeFiles/example_compilers.dir/compilers.cpp.o.d"
+  "example_compilers"
+  "example_compilers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compilers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_error_correction.dir/error_correction.cpp.o"
+  "CMakeFiles/example_error_correction.dir/error_correction.cpp.o.d"
+  "example_error_correction"
+  "example_error_correction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_error_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_grover.dir/grover.cpp.o"
+  "CMakeFiles/example_grover.dir/grover.cpp.o.d"
+  "example_grover"
+  "example_grover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_grover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

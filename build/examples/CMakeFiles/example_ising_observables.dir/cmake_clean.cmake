@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ising_observables.dir/ising_observables.cpp.o"
+  "CMakeFiles/example_ising_observables.dir/ising_observables.cpp.o.d"
+  "example_ising_observables"
+  "example_ising_observables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ising_observables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

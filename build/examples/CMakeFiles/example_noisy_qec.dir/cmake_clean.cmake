@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_noisy_qec.dir/noisy_qec.cpp.o"
+  "CMakeFiles/example_noisy_qec.dir/noisy_qec.cpp.o.d"
+  "example_noisy_qec"
+  "example_noisy_qec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_noisy_qec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_qft_phase_estimation.dir/qft_phase_estimation.cpp.o"
+  "CMakeFiles/example_qft_phase_estimation.dir/qft_phase_estimation.cpp.o.d"
+  "example_qft_phase_estimation"
+  "example_qft_phase_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_qft_phase_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

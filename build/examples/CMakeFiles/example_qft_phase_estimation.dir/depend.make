@@ -1,0 +1,2 @@
+# Empty dependencies file for example_qft_phase_estimation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_sampling_methods.dir/sampling_methods.cpp.o"
+  "CMakeFiles/example_sampling_methods.dir/sampling_methods.cpp.o.d"
+  "example_sampling_methods"
+  "example_sampling_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_sampling_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

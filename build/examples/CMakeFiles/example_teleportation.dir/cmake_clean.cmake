@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_teleportation.dir/teleportation.cpp.o"
+  "CMakeFiles/example_teleportation.dir/teleportation.cpp.o.d"
+  "example_teleportation"
+  "example_teleportation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_teleportation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_tomography.dir/tomography.cpp.o"
+  "CMakeFiles/example_tomography.dir/tomography.cpp.o.d"
+  "example_tomography"
+  "example_tomography.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_tomography.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qclab/io/layout.cpp" "src/CMakeFiles/qclab.dir/qclab/io/layout.cpp.o" "gcc" "src/CMakeFiles/qclab.dir/qclab/io/layout.cpp.o.d"
+  "/root/repo/src/qclab/io/qasm_lexer.cpp" "src/CMakeFiles/qclab.dir/qclab/io/qasm_lexer.cpp.o" "gcc" "src/CMakeFiles/qclab.dir/qclab/io/qasm_lexer.cpp.o.d"
+  "/root/repo/src/qclab/random/rng.cpp" "src/CMakeFiles/qclab.dir/qclab/random/rng.cpp.o" "gcc" "src/CMakeFiles/qclab.dir/qclab/random/rng.cpp.o.d"
+  "/root/repo/src/qclab/util/bitstring.cpp" "src/CMakeFiles/qclab.dir/qclab/util/bitstring.cpp.o" "gcc" "src/CMakeFiles/qclab.dir/qclab/util/bitstring.cpp.o.d"
+  "/root/repo/src/qclab/util/errors.cpp" "src/CMakeFiles/qclab.dir/qclab/util/errors.cpp.o" "gcc" "src/CMakeFiles/qclab.dir/qclab/util/errors.cpp.o.d"
+  "/root/repo/src/qclab/version.cpp" "src/CMakeFiles/qclab.dir/qclab/version.cpp.o" "gcc" "src/CMakeFiles/qclab.dir/qclab/version.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

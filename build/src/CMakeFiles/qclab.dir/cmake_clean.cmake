@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qclab.dir/qclab/io/layout.cpp.o"
+  "CMakeFiles/qclab.dir/qclab/io/layout.cpp.o.d"
+  "CMakeFiles/qclab.dir/qclab/io/qasm_lexer.cpp.o"
+  "CMakeFiles/qclab.dir/qclab/io/qasm_lexer.cpp.o.d"
+  "CMakeFiles/qclab.dir/qclab/random/rng.cpp.o"
+  "CMakeFiles/qclab.dir/qclab/random/rng.cpp.o.d"
+  "CMakeFiles/qclab.dir/qclab/util/bitstring.cpp.o"
+  "CMakeFiles/qclab.dir/qclab/util/bitstring.cpp.o.d"
+  "CMakeFiles/qclab.dir/qclab/util/errors.cpp.o"
+  "CMakeFiles/qclab.dir/qclab/util/errors.cpp.o.d"
+  "CMakeFiles/qclab.dir/qclab/version.cpp.o"
+  "CMakeFiles/qclab.dir/qclab/version.cpp.o.d"
+  "libqclab.a"
+  "libqclab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qclab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

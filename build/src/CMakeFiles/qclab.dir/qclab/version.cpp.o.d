@@ -1,0 +1,3 @@
+src/CMakeFiles/qclab.dir/qclab/version.cpp.o: \
+ /root/repo/src/qclab/version.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/qclab/version.hpp

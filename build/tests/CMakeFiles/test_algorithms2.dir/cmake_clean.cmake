@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithms2.dir/test_algorithms2.cpp.o"
+  "CMakeFiles/test_algorithms2.dir/test_algorithms2.cpp.o.d"
+  "test_algorithms2"
+  "test_algorithms2.pdb"
+  "test_algorithms2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithms2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

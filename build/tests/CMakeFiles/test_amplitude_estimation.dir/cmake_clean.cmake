@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amplitude_estimation.dir/test_amplitude_estimation.cpp.o"
+  "CMakeFiles/test_amplitude_estimation.dir/test_amplitude_estimation.cpp.o.d"
+  "test_amplitude_estimation"
+  "test_amplitude_estimation.pdb"
+  "test_amplitude_estimation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amplitude_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

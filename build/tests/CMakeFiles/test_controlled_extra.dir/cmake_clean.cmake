@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_controlled_extra.dir/test_controlled_extra.cpp.o"
+  "CMakeFiles/test_controlled_extra.dir/test_controlled_extra.cpp.o.d"
+  "test_controlled_extra"
+  "test_controlled_extra.pdb"
+  "test_controlled_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_controlled_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

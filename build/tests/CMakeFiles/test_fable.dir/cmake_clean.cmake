@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fable.dir/test_fable.cpp.o"
+  "CMakeFiles/test_fable.dir/test_fable.cpp.o.d"
+  "test_fable"
+  "test_fable.pdb"
+  "test_fable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

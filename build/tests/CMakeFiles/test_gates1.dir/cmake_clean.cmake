@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gates1.dir/test_gates1.cpp.o"
+  "CMakeFiles/test_gates1.dir/test_gates1.cpp.o.d"
+  "test_gates1"
+  "test_gates1.pdb"
+  "test_gates1[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gates1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

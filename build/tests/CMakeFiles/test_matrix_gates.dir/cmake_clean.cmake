@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_gates.dir/test_matrix_gates.cpp.o"
+  "CMakeFiles/test_matrix_gates.dir/test_matrix_gates.cpp.o.d"
+  "test_matrix_gates"
+  "test_matrix_gates.pdb"
+  "test_matrix_gates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_gates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

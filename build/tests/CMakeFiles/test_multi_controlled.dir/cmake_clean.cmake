@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_controlled.dir/test_multi_controlled.cpp.o"
+  "CMakeFiles/test_multi_controlled.dir/test_multi_controlled.cpp.o.d"
+  "test_multi_controlled"
+  "test_multi_controlled.pdb"
+  "test_multi_controlled[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_controlled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

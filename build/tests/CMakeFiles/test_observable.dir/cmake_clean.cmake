@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_observable.dir/test_observable.cpp.o"
+  "CMakeFiles/test_observable.dir/test_observable.cpp.o.d"
+  "test_observable"
+  "test_observable.pdb"
+  "test_observable[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_observable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_observable.
+# This may be replaced when dependencies are built.

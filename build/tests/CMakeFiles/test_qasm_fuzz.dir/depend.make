@@ -1,0 +1,2 @@
+# Empty dependencies file for test_qasm_fuzz.
+# This may be replaced when dependencies are built.

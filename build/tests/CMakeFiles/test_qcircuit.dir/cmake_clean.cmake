@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qcircuit.dir/test_qcircuit.cpp.o"
+  "CMakeFiles/test_qcircuit.dir/test_qcircuit.cpp.o.d"
+  "test_qcircuit"
+  "test_qcircuit.pdb"
+  "test_qcircuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qcircuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

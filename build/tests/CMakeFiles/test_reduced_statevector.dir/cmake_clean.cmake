@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reduced_statevector.dir/test_reduced_statevector.cpp.o"
+  "CMakeFiles/test_reduced_statevector.dir/test_reduced_statevector.cpp.o.d"
+  "test_reduced_statevector"
+  "test_reduced_statevector.pdb"
+  "test_reduced_statevector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reduced_statevector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rotations.dir/test_rotations.cpp.o"
+  "CMakeFiles/test_rotations.dir/test_rotations.cpp.o.d"
+  "test_rotations"
+  "test_rotations.pdb"
+  "test_rotations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

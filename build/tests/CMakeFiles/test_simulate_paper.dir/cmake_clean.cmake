@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simulate_paper.dir/test_simulate_paper.cpp.o"
+  "CMakeFiles/test_simulate_paper.dir/test_simulate_paper.cpp.o.d"
+  "test_simulate_paper"
+  "test_simulate_paper.pdb"
+  "test_simulate_paper[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simulate_paper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_format.dir/test_state_format.cpp.o"
+  "CMakeFiles/test_state_format.dir/test_state_format.cpp.o.d"
+  "test_state_format"
+  "test_state_format.pdb"
+  "test_state_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
