@@ -5,90 +5,92 @@
 /// Expected shape: the kernel backend wins at every size and the gap grows
 /// with the register size (the sparse path pays O(2^n) matrix construction
 /// per gate on top of the multiply).
+///
+/// Prints the whole run as one BENCH_*.json-shaped object (obs::Report)
+/// on stdout; `--obs-json <path>` additionally writes it to a file.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "qclab/qclab.hpp"
+#include "obs_cli.hpp"
 
 namespace {
 
 using T = double;
 using C = std::complex<T>;
 
-template <typename BackendT>
-void runGate(benchmark::State& state, const qclab::qgates::QGate<T>& gate) {
-  const int n = static_cast<int>(state.range(0));
+/// ns/op of applying `gate` to a fresh 2^n state through `backend`.
+double timeGate(const qclab::sim::Backend<T>& backend, int n,
+                const qclab::qgates::QGate<T>& gate) {
   std::vector<C> psi(std::size_t{1} << n);
   psi[0] = C(1);
-  const BackendT backend;
-  for (auto _ : state) {
-    backend.applyGate(psi, n, gate);
-    benchmark::DoNotOptimize(psi.data());
-  }
+  return qclab::benchutil::timeNsPerOp([&] { backend.applyGate(psi, n, gate); });
 }
 
-void BM_Kernel_Hadamard(benchmark::State& state) {
-  const qclab::qgates::Hadamard<T> gate(static_cast<int>(state.range(0)) / 2);
-  runGate<qclab::sim::KernelBackend<T>>(state, gate);
-}
-BENCHMARK(BM_Kernel_Hadamard)->DenseRange(4, 18, 2);
-
-void BM_SparseKron_Hadamard(benchmark::State& state) {
-  const qclab::qgates::Hadamard<T> gate(static_cast<int>(state.range(0)) / 2);
-  runGate<qclab::sim::SparseKronBackend<T>>(state, gate);
-}
-BENCHMARK(BM_SparseKron_Hadamard)->DenseRange(4, 18, 2);
-
-void BM_Kernel_Cnot(benchmark::State& state) {
-  const qclab::qgates::CX<T> gate(0, static_cast<int>(state.range(0)) - 1);
-  runGate<qclab::sim::KernelBackend<T>>(state, gate);
-}
-BENCHMARK(BM_Kernel_Cnot)->DenseRange(4, 18, 2);
-
-void BM_SparseKron_Cnot(benchmark::State& state) {
-  const qclab::qgates::CX<T> gate(0, static_cast<int>(state.range(0)) - 1);
-  runGate<qclab::sim::SparseKronBackend<T>>(state, gate);
-}
-BENCHMARK(BM_SparseKron_Cnot)->DenseRange(4, 18, 2);
-
-void BM_Kernel_Rzz(benchmark::State& state) {
-  const qclab::qgates::RotationZZ<T> gate(
-      0, static_cast<int>(state.range(0)) - 1, 0.7);
-  runGate<qclab::sim::KernelBackend<T>>(state, gate);
-}
-BENCHMARK(BM_Kernel_Rzz)->DenseRange(4, 16, 4);
-
-void BM_SparseKron_Rzz(benchmark::State& state) {
-  const qclab::qgates::RotationZZ<T> gate(
-      0, static_cast<int>(state.range(0)) - 1, 0.7);
-  runGate<qclab::sim::SparseKronBackend<T>>(state, gate);
-}
-BENCHMARK(BM_SparseKron_Rzz)->DenseRange(4, 16, 4);
-
-/// Whole-circuit comparison: a QFT, both backends.
-template <typename BackendT>
-void runQft(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
+/// ns/op of simulating an n-qubit QFT through `backend`.
+double timeQft(const qclab::sim::Backend<T>& backend, int n) {
   const auto circuit = qclab::algorithms::qft<T>(n);
-  const BackendT backend;
   const auto initial =
       qclab::basisState<T>(std::string(static_cast<std::size_t>(n), '0'));
-  for (auto _ : state) {
-    auto simulation = circuit.simulate(initial, backend);
-    benchmark::DoNotOptimize(simulation.state(0).data());
+  return qclab::benchutil::timeNsPerOp(
+      [&] { auto simulation = circuit.simulate(initial, backend); });
+}
+
+void sweepGate(qclab::obs::Report& report, const char* gateName, int maxN,
+               int step,
+               const std::function<std::unique_ptr<qclab::qgates::QGate<T>>(
+                   int)>& makeGate) {
+  const qclab::sim::KernelBackend<T> kernel;
+  const qclab::sim::SparseKronBackend<T> sparse;
+  for (int n = 4; n <= maxN; n += step) {
+    const auto gate = makeGate(n);
+    report.add(std::string("kernel/") + gateName + "/n=" + std::to_string(n),
+               timeGate(kernel, n, *gate), "ns/op");
+    report.add(
+        std::string("sparse-kron/") + gateName + "/n=" + std::to_string(n),
+        timeGate(sparse, n, *gate), "ns/op");
   }
 }
-
-void BM_Kernel_QftCircuit(benchmark::State& state) {
-  runQft<qclab::sim::KernelBackend<T>>(state);
-}
-BENCHMARK(BM_Kernel_QftCircuit)->DenseRange(4, 14, 2);
-
-void BM_SparseKron_QftCircuit(benchmark::State& state) {
-  runQft<qclab::sim::SparseKronBackend<T>>(state);
-}
-BENCHMARK(BM_SparseKron_QftCircuit)->DenseRange(4, 14, 2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string obsJsonPath =
+      qclab::benchutil::extractObsJsonPath(argc, argv);
+  qclab::obs::metrics().reset();
+  qclab::obs::Report report("bench_backend_compare");
+
+  sweepGate(report, "hadamard", 16, 2, [](int n) {
+    return std::unique_ptr<qclab::qgates::QGate<T>>(
+        new qclab::qgates::Hadamard<T>(n / 2));
+  });
+  sweepGate(report, "cnot", 16, 2, [](int n) {
+    return std::unique_ptr<qclab::qgates::QGate<T>>(
+        new qclab::qgates::CX<T>(0, n - 1));
+  });
+  sweepGate(report, "rzz", 16, 4, [](int n) {
+    return std::unique_ptr<qclab::qgates::QGate<T>>(
+        new qclab::qgates::RotationZZ<T>(0, n - 1, 0.7));
+  });
+
+  const qclab::sim::KernelBackend<T> kernel;
+  const qclab::sim::SparseKronBackend<T> sparse;
+  for (int n = 4; n <= 12; n += 2) {
+    report.add("kernel/qft-circuit/n=" + std::to_string(n),
+               timeQft(kernel, n), "ns/op");
+    report.add("sparse-kron/qft-circuit/n=" + std::to_string(n),
+               timeQft(sparse, n), "ns/op");
+  }
+
+  std::printf("%s\n", report.json().c_str());
+  if (!obsJsonPath.empty() && !report.writeJson(obsJsonPath)) {
+    std::fprintf(stderr, "error: cannot write obs JSON to %s\n",
+                 obsJsonPath.c_str());
+    return 1;
+  }
+  return 0;
+}

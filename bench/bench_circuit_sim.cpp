@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs_main.hpp"
+
 #include "qclab/qclab.hpp"
 
 namespace {
@@ -84,4 +86,4 @@ BENCHMARK(BM_CircuitMatrixExtraction)->DenseRange(2, 10, 2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+QCLAB_BENCH_MAIN("bench_circuit_sim")

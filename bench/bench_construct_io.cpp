@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs_main.hpp"
+
 #include "qclab/qclab.hpp"
 
 namespace {
@@ -99,4 +101,4 @@ BENCHMARK(BM_Inverted)->RangeMultiplier(4)->Range(16, 1024);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+QCLAB_BENCH_MAIN("bench_construct_io")

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs_main.hpp"
+
 #include "qclab/qclab.hpp"
 
 namespace {
@@ -89,4 +91,4 @@ BENCHMARK(BM_MultiplexedRySynthesis)->DenseRange(2, 10, 2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+QCLAB_BENCH_MAIN("bench_fable")

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs_main.hpp"
+
 #include "qclab/qclab.hpp"
 
 namespace {
@@ -101,4 +103,4 @@ BENCHMARK(BM_MeasureProbability)->DenseRange(8, 20, 4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+QCLAB_BENCH_MAIN("bench_gate_apply")

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs_main.hpp"
+
 #include "qclab/qclab.hpp"
 
 namespace {
@@ -66,4 +68,4 @@ BENCHMARK(BM_EntanglementEntropy)->DenseRange(4, 10, 2);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+QCLAB_BENCH_MAIN("bench_observable")

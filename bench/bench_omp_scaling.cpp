@@ -4,14 +4,20 @@
 /// thread count on a fixed 20-qubit state.  On a single-core machine every
 /// row degenerates to the 1-thread time; the harness itself is the
 /// deliverable.
+///
+/// Prints the whole run as one BENCH_*.json-shaped object (obs::Report)
+/// on stdout; `--obs-json <path>` additionally writes it to a file.
 
-#include <benchmark/benchmark.h>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #ifdef QCLAB_HAS_OPENMP
 #include <omp.h>
 #endif
 
 #include "qclab/qclab.hpp"
+#include "obs_cli.hpp"
 
 namespace {
 
@@ -20,51 +26,62 @@ using C = std::complex<T>;
 
 constexpr int kQubits = 20;
 
-void BM_Apply1Threads(benchmark::State& state) {
+void setThreads(int threads) {
 #ifdef QCLAB_HAS_OPENMP
-  omp_set_num_threads(static_cast<int>(state.range(0)));
+  omp_set_num_threads(threads);
+#else
+  (void)threads;
 #endif
-  std::vector<C> psi(std::size_t{1} << kQubits);
-  psi[0] = C(1);
-  const auto u = qclab::qgates::Hadamard<T>(0).matrix();
-  for (auto _ : state) {
-    qclab::sim::apply1(psi, kQubits, kQubits / 2, u);
-    benchmark::DoNotOptimize(psi.data());
-  }
-  state.counters["threads"] = static_cast<double>(state.range(0));
 }
-BENCHMARK(BM_Apply1Threads)->DenseRange(1, 4, 1)->UseRealTime();
-
-void BM_SpmvThreads(benchmark::State& state) {
-#ifdef QCLAB_HAS_OPENMP
-  omp_set_num_threads(static_cast<int>(state.range(0)));
-#endif
-  const qclab::qgates::Hadamard<T> gate(kQubits / 2);
-  const auto extended = qclab::sim::extendedUnitary(kQubits, gate);
-  std::vector<C> psi(std::size_t{1} << kQubits);
-  psi[0] = C(1);
-  for (auto _ : state) {
-    psi = extended.apply(psi);
-    benchmark::DoNotOptimize(psi.data());
-  }
-  state.counters["threads"] = static_cast<double>(state.range(0));
-}
-BENCHMARK(BM_SpmvThreads)->DenseRange(1, 4, 1)->UseRealTime();
-
-void BM_MeasureProbabilityThreads(benchmark::State& state) {
-#ifdef QCLAB_HAS_OPENMP
-  omp_set_num_threads(static_cast<int>(state.range(0)));
-#endif
-  std::vector<C> psi(std::size_t{1} << kQubits,
-                     C(1.0 / std::sqrt(static_cast<double>(1ULL << kQubits))));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        qclab::sim::measureProbability0(psi, kQubits, kQubits / 2));
-  }
-  state.counters["threads"] = static_cast<double>(state.range(0));
-}
-BENCHMARK(BM_MeasureProbabilityThreads)->DenseRange(1, 4, 1)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string obsJsonPath =
+      qclab::benchutil::extractObsJsonPath(argc, argv);
+  qclab::obs::metrics().reset();
+  qclab::obs::Report report("bench_omp_scaling");
+
+  const auto u = qclab::qgates::Hadamard<T>(0).matrix();
+  const qclab::qgates::Hadamard<T> gate(kQubits / 2);
+  const auto extended = qclab::sim::extendedUnitary(kQubits, gate);
+
+  for (int threads = 1; threads <= 4; ++threads) {
+    setThreads(threads);
+    const std::string suffix = "/threads=" + std::to_string(threads);
+
+    std::vector<C> psi(std::size_t{1} << kQubits);
+    psi[0] = C(1);
+    report.add("apply1" + suffix,
+               qclab::benchutil::timeNsPerOp([&] {
+                 qclab::sim::apply1(psi, kQubits, kQubits / 2, u);
+               }),
+               "ns/op");
+
+    std::vector<C> phi(std::size_t{1} << kQubits);
+    phi[0] = C(1);
+    report.add("spmv" + suffix,
+               qclab::benchutil::timeNsPerOp([&] { phi = extended.apply(phi); }),
+               "ns/op");
+
+    const std::vector<C> uniform(
+        std::size_t{1} << kQubits,
+        C(1.0 / std::sqrt(static_cast<double>(1ULL << kQubits))));
+    volatile T sink = T(0);
+    report.add("measureProbability0" + suffix,
+               qclab::benchutil::timeNsPerOp([&] {
+                 sink = qclab::sim::measureProbability0(uniform, kQubits,
+                                                        kQubits / 2);
+               }),
+               "ns/op");
+    (void)sink;
+  }
+
+  std::printf("%s\n", report.json().c_str());
+  if (!obsJsonPath.empty() && !report.writeJson(obsJsonPath)) {
+    std::fprintf(stderr, "error: cannot write obs JSON to %s\n",
+                 obsJsonPath.c_str());
+    return 1;
+  }
+  return 0;
+}

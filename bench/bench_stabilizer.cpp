@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs_main.hpp"
+
 #include "qclab/qclab.hpp"
 
 namespace {
@@ -73,4 +75,4 @@ BENCHMARK(BM_Stabilizer_Measurement)->RangeMultiplier(4)->Range(16, 256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+QCLAB_BENCH_MAIN("bench_stabilizer")

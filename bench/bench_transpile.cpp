@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "obs_main.hpp"
+
 #include "qclab/qclab.hpp"
 
 namespace {
@@ -96,4 +98,4 @@ BENCHMARK(BM_CancelInversePairsOnly)->DenseRange(1, 9, 4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+QCLAB_BENCH_MAIN("bench_transpile")

@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file obs_cli.hpp
+/// \brief Tiny shared helpers for the bench binaries: the common
+/// `--obs-json <path>` flag (export the run's obs::Report as one JSON
+/// object) and a self-calibrating wall-clock timer.  Kept free of
+/// google-benchmark so the hand-rolled JSON benches can use it too.
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace qclab::benchutil {
+
+/// Extracts and strips `--obs-json <path>` (or `--obs-json=<path>`) from
+/// argv, returning the path ("" if absent) and compacting argv/argc so the
+/// remaining arguments can be handed to another parser.
+inline std::string extractObsJsonPath(int& argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--obs-json") == 0 && i + 1 < argc) {
+      path = argv[++i];
+    } else if (std::strncmp(argv[i], "--obs-json=", 11) == 0) {
+      path = argv[i] + 11;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return path;
+}
+
+/// Average wall-clock nanoseconds per call of `f`, self-calibrating the
+/// repetition count until one timed block spans at least `minTimeNs`
+/// (default 20ms) so short kernels are measured above timer granularity.
+template <typename F>
+double timeNsPerOp(F&& f, double minTimeNs = 2e7) {
+  using clock = std::chrono::steady_clock;
+  f();  // warmup (page in the state, warm the caches)
+  long reps = 1;
+  for (;;) {
+    const auto begin = clock::now();
+    for (long r = 0; r < reps; ++r) f();
+    const double elapsedNs = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             begin)
+            .count());
+    if (elapsedNs >= minTimeNs || reps >= (1L << 28)) {
+      return elapsedNs / static_cast<double>(reps);
+    }
+    // Aim straight for the target block size instead of a fixed ramp.
+    const double scale =
+        elapsedNs > 0 ? minTimeNs / elapsedNs * 1.2 : 4.0;
+    reps = scale > 4.0 ? static_cast<long>(static_cast<double>(reps) * scale)
+                       : reps * 4;
+  }
+}
+
+}  // namespace qclab::benchutil

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file obs_main.hpp
+/// \brief Drop-in replacement for BENCHMARK_MAIN() that gives every
+/// google-benchmark binary the shared `--obs-json <path>` flag: after the
+/// benchmarks run, the process-wide obs counters are exported as one
+/// BENCH_*.json-shaped object.  Usage (instead of BENCHMARK_MAIN()):
+///
+///   QCLAB_BENCH_MAIN("bench_gate_apply")
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "qclab/obs/report.hpp"
+#include "obs_cli.hpp"
+
+namespace qclab::benchutil {
+
+inline int obsMain(int argc, char** argv, const char* benchName) {
+  std::string obsJsonPath = extractObsJsonPath(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!obsJsonPath.empty()) {
+    const obs::Report report(benchName);
+    if (!report.writeJson(obsJsonPath)) {
+      std::fprintf(stderr, "error: cannot write obs JSON to %s\n",
+                   obsJsonPath.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace qclab::benchutil
+
+#define QCLAB_BENCH_MAIN(benchName)                              \
+  int main(int argc, char** argv) {                              \
+    return qclab::benchutil::obsMain(argc, argv, benchName);     \
+  }

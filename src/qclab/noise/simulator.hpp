@@ -15,6 +15,8 @@
 #include <optional>
 
 #include "qclab/noise/density_matrix.hpp"
+#include "qclab/obs/metrics.hpp"
+#include "qclab/obs/trace.hpp"
 #include "qclab/qcircuit.hpp"
 
 namespace qclab::noise {
@@ -59,6 +61,7 @@ void simulateDensity(const QCircuit<T>& circuit, DensityMatrix<T>& state,
         if (model.gateNoise) {
           for (int qubit : gate.qubits()) {
             state.applyChannel(*model.gateNoise, {qubit + total});
+            obs::metrics().countNoiseChannel();
           }
         }
         break;
@@ -68,6 +71,7 @@ void simulateDensity(const QCircuit<T>& circuit, DensityMatrix<T>& state,
         const int qubit = measurement.qubit() + total;
         if (model.measurementNoise) {
           state.applyChannel(*model.measurementNoise, {qubit});
+          obs::metrics().countNoiseChannel();
         }
         if (measurement.basis() != Basis::kZ) {
           // Basis change, dephase, change back (paper §3.3 recipe applied
@@ -105,6 +109,10 @@ DensityMatrix<T> simulateDensity(const QCircuit<T>& circuit,
                                  const NoiseModel<T>& model = {}) {
   util::require(static_cast<int>(bits.size()) == circuit.nbQubits(),
                 "initial bitstring length must equal nbQubits");
+  const obs::Span span(
+      obs::tracer(),
+      "simulateDensity(n=" + std::to_string(circuit.nbQubits()) + ")",
+      "noise");
   DensityMatrix<T> state(bits);
   simulateDensity(circuit, state, model);
   return state;

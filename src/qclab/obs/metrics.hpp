@@ -1,0 +1,204 @@
+#pragma once
+
+/// \file metrics.hpp
+/// \brief Low-overhead global counters for the simulation engine.
+///
+/// A single process-wide Metrics registry accumulates
+///  - gate applications, split by kernel path and by gate kind,
+///  - an estimate of state-vector bytes touched by those applications,
+///  - simulation branch spawns (mid-circuit measurement forks) and prunes
+///    (outcomes dropped as numerically impossible),
+///  - shots sampled and circuit simulations started,
+///  - noise-channel applications of the density-matrix simulator.
+///
+/// Hot-path hooks are single relaxed atomic increments; the per-kind
+/// histogram (string keyed) is only fed by InstrumentedBackend, never by
+/// the bare kernels.  Compiling with QCLAB_OBS_DISABLED replaces the whole
+/// registry with an API-identical no-op so that instrumented call sites
+/// vanish and no obs state is linked into the binary.
+
+#ifndef QCLAB_OBS_DISABLED
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "qclab/sim/kernel_path.hpp"
+
+namespace qclab::obs {
+
+/// True when the library was compiled with observability enabled.
+inline constexpr bool kEnabled = true;
+
+/// Process-wide counter registry.  All mutators are thread-safe; reads are
+/// snapshots (relaxed, no cross-counter consistency guarantee).
+class Metrics {
+ public:
+  // ---- mutators -------------------------------------------------------
+
+  /// Records one gate application dispatched to `path`, touching an
+  /// estimated `bytes` of state-vector memory.  `kind` is the gate
+  /// mnemonic (same key scheme as QCircuit::gateCounts); pass nullptr to
+  /// skip the per-kind histogram (bare counter-only call sites).
+  void countGate(sim::KernelPath path, const char* kind,
+                 std::uint64_t bytes) {
+    gateTotal_.fetch_add(1, std::memory_order_relaxed);
+    gateByPath_[static_cast<int>(path)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+    bytesTouched_.fetch_add(bytes, std::memory_order_relaxed);
+    if (kind != nullptr) {
+      const std::lock_guard<std::mutex> lock(kindMutex_);
+      ++gateByKind_[kind];
+    }
+  }
+
+  /// Records a measurement/reset forking one branch into two.
+  void countBranchSpawn() {
+    branchSpawns_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records a measurement/reset outcome dropped as numerically impossible.
+  void countBranchPrune() {
+    branchPrunes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records `shots` sampled outcomes (counts / countsMap / state sampling).
+  void countShots(std::uint64_t shots) {
+    shotsSampled_.fetch_add(shots, std::memory_order_relaxed);
+  }
+
+  /// Records one QCircuit::simulate run.
+  void countCircuitSimulation() {
+    circuitSimulations_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records one Kraus-channel application in the noisy simulator.
+  void countNoiseChannel() {
+    noiseChannels_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Zeroes every counter (start of a measured region / test).
+  void reset() {
+    gateTotal_.store(0, std::memory_order_relaxed);
+    for (auto& counter : gateByPath_) {
+      counter.store(0, std::memory_order_relaxed);
+    }
+    bytesTouched_.store(0, std::memory_order_relaxed);
+    branchSpawns_.store(0, std::memory_order_relaxed);
+    branchPrunes_.store(0, std::memory_order_relaxed);
+    shotsSampled_.store(0, std::memory_order_relaxed);
+    circuitSimulations_.store(0, std::memory_order_relaxed);
+    noiseChannels_.store(0, std::memory_order_relaxed);
+    const std::lock_guard<std::mutex> lock(kindMutex_);
+    gateByKind_.clear();
+  }
+
+  // ---- readers --------------------------------------------------------
+
+  /// Total gate applications since the last reset.
+  std::uint64_t gateApplications() const {
+    return gateTotal_.load(std::memory_order_relaxed);
+  }
+
+  /// Gate applications dispatched to `path`.
+  std::uint64_t gateApplications(sim::KernelPath path) const {
+    return gateByPath_[static_cast<int>(path)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the per-kind histogram (InstrumentedBackend runs only).
+  std::map<std::string, std::uint64_t> gateKinds() const {
+    const std::lock_guard<std::mutex> lock(kindMutex_);
+    return gateByKind_;
+  }
+
+  /// Estimated state-vector bytes read + written by counted applications.
+  std::uint64_t bytesTouched() const {
+    return bytesTouched_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t branchSpawns() const {
+    return branchSpawns_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t branchPrunes() const {
+    return branchPrunes_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t shotsSampled() const {
+    return shotsSampled_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t circuitSimulations() const {
+    return circuitSimulations_.load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t noiseChannelApplications() const {
+    return noiseChannels_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> gateTotal_{0};
+  std::atomic<std::uint64_t> gateByPath_[sim::kKernelPathCount] = {};
+  std::atomic<std::uint64_t> bytesTouched_{0};
+  std::atomic<std::uint64_t> branchSpawns_{0};
+  std::atomic<std::uint64_t> branchPrunes_{0};
+  std::atomic<std::uint64_t> shotsSampled_{0};
+  std::atomic<std::uint64_t> circuitSimulations_{0};
+  std::atomic<std::uint64_t> noiseChannels_{0};
+  mutable std::mutex kindMutex_;
+  std::map<std::string, std::uint64_t> gateByKind_;
+};
+
+/// The process-wide registry.
+inline Metrics& metrics() {
+  static Metrics instance;
+  return instance;
+}
+
+}  // namespace qclab::obs
+
+#else  // QCLAB_OBS_DISABLED
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "qclab/sim/kernel_path.hpp"
+
+namespace qclab::obs {
+
+inline constexpr bool kEnabled = false;
+
+/// API-identical no-op registry: every mutator is empty, every reader
+/// returns zero, so instrumented call sites compile away entirely.
+class Metrics {
+ public:
+  void countGate(sim::KernelPath, const char*, std::uint64_t) {}
+  void countBranchSpawn() {}
+  void countBranchPrune() {}
+  void countShots(std::uint64_t) {}
+  void countCircuitSimulation() {}
+  void countNoiseChannel() {}
+  void reset() {}
+
+  std::uint64_t gateApplications() const { return 0; }
+  std::uint64_t gateApplications(sim::KernelPath) const { return 0; }
+  std::map<std::string, std::uint64_t> gateKinds() const { return {}; }
+  std::uint64_t bytesTouched() const { return 0; }
+  std::uint64_t branchSpawns() const { return 0; }
+  std::uint64_t branchPrunes() const { return 0; }
+  std::uint64_t shotsSampled() const { return 0; }
+  std::uint64_t circuitSimulations() const { return 0; }
+  std::uint64_t noiseChannelApplications() const { return 0; }
+};
+
+inline Metrics& metrics() {
+  static Metrics instance;
+  return instance;
+}
+
+}  // namespace qclab::obs
+
+#endif  // QCLAB_OBS_DISABLED

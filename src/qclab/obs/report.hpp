@@ -1,0 +1,170 @@
+#pragma once
+
+/// \file report.hpp
+/// \brief Aggregate export of the observability state.
+///
+/// A Report snapshots the global Metrics registry and Tracer, stamps the
+/// compile-time build configuration (qclab::buildInfo), and optionally
+/// carries named measurement results (benchmark timings).  It renders as
+///  - a pretty text block for terminals, and
+///  - one JSON object in the repo's canonical BENCH_*.json shape
+///    (schema "qclab-obs-v1"), so every bench and every instrumented run
+///    exports machine-readable numbers the trajectory tooling can diff.
+///
+/// The same implementation serves QCLAB_OBS_DISABLED builds: the no-op
+/// Metrics/Tracer snapshot as all-zeros, and "obs": false marks the file.
+
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qclab/obs/metrics.hpp"
+#include "qclab/obs/trace.hpp"
+#include "qclab/sim/kernel_path.hpp"
+#include "qclab/version.hpp"
+
+namespace qclab::obs {
+
+/// One named scalar measurement (e.g. a benchmark timing).
+struct ReportResult {
+  std::string name;   ///< e.g. "kernel/hadamard/n=12"
+  double value;       ///< measured value
+  std::string unit;   ///< e.g. "ns/op"
+};
+
+/// Snapshot + renderer of the observability state.
+class Report {
+ public:
+  /// `name` identifies the run (bench binary, experiment, ...).
+  explicit Report(std::string name) : name_(std::move(name)) {}
+
+  /// Attaches a named measurement to the report.
+  void add(std::string resultName, double value, std::string unit) {
+    results_.push_back(
+        {std::move(resultName), value, std::move(unit)});
+  }
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<ReportResult>& results() const noexcept {
+    return results_;
+  }
+
+  /// Pretty text block: build line, counter table, results table.
+  std::string text() const {
+    const Metrics& m = metrics();
+    std::ostringstream out;
+    out << "== qclab::obs report — " << name_ << " ==\n";
+    out << "build: " << buildInfo() << "\n";
+    out << "gate applications: " << m.gateApplications() << "\n";
+    for (int p = 0; p < sim::kKernelPathCount; ++p) {
+      const auto path = static_cast<sim::KernelPath>(p);
+      const std::uint64_t count = m.gateApplications(path);
+      if (count == 0) continue;
+      out << "  path " << std::left << std::setw(12)
+          << sim::kernelPathName(path) << " " << count << "\n";
+    }
+    for (const auto& [kind, count] : m.gateKinds()) {
+      out << "  kind " << std::left << std::setw(12) << kind << " " << count
+          << "\n";
+    }
+    out << "bytes touched (est.): " << m.bytesTouched() << "\n";
+    out << "branches: " << m.branchSpawns() << " spawned, "
+        << m.branchPrunes() << " pruned\n";
+    out << "shots sampled: " << m.shotsSampled() << "\n";
+    out << "circuit simulations: " << m.circuitSimulations() << "\n";
+    out << "noise channel applications: " << m.noiseChannelApplications()
+        << "\n";
+    out << "trace: " << tracer().nbEvents() << " spans retained, "
+        << tracer().dropped() << " dropped\n";
+    if (!results_.empty()) {
+      out << "results:\n";
+      for (const auto& result : results_) {
+        out << "  " << std::left << std::setw(36) << result.name << " "
+            << std::right << std::setw(14) << std::fixed
+            << std::setprecision(2) << result.value << " " << result.unit
+            << "\n";
+      }
+    }
+    return out.str();
+  }
+
+  /// The canonical BENCH_*.json object (schema "qclab-obs-v1").
+  std::string json() const {
+    const Metrics& m = metrics();
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"qclab-obs-v1\",\n";
+    out << "  \"name\": \"" << jsonEscape(name_) << "\",\n";
+    out << "  \"build\": {\n";
+    out << "    \"version\": \"" << versionString() << "\",\n";
+    out << "    \"openmp\": " << (builtWithOpenMP() ? "true" : "false")
+        << ",\n";
+    out << "    \"obs\": " << (builtWithObs() ? "true" : "false") << ",\n";
+    out << "    \"scalars\": \"" << scalarTypes() << "\",\n";
+    out << "    \"info\": \"" << jsonEscape(buildInfo()) << "\"\n";
+    out << "  },\n";
+    out << "  \"counters\": {\n";
+    out << "    \"gate_applications\": " << m.gateApplications() << ",\n";
+    out << "    \"gate_applications_by_path\": {";
+    bool first = true;
+    for (int p = 0; p < sim::kKernelPathCount; ++p) {
+      const auto path = static_cast<sim::KernelPath>(p);
+      const std::uint64_t count = m.gateApplications(path);
+      if (count == 0) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << sim::kernelPathName(path) << "\": " << count;
+    }
+    out << "},\n";
+    out << "    \"gate_applications_by_kind\": {";
+    first = true;
+    for (const auto& [kind, count] : m.gateKinds()) {
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << jsonEscape(kind) << "\": " << count;
+    }
+    out << "},\n";
+    out << "    \"bytes_touched\": " << m.bytesTouched() << ",\n";
+    out << "    \"branch_spawns\": " << m.branchSpawns() << ",\n";
+    out << "    \"branch_prunes\": " << m.branchPrunes() << ",\n";
+    out << "    \"shots_sampled\": " << m.shotsSampled() << ",\n";
+    out << "    \"circuit_simulations\": " << m.circuitSimulations()
+        << ",\n";
+    out << "    \"noise_channel_applications\": "
+        << m.noiseChannelApplications() << "\n";
+    out << "  },\n";
+    out << "  \"trace\": {\"events\": " << tracer().nbEvents()
+        << ", \"dropped\": " << tracer().dropped() << "},\n";
+    out << "  \"results\": [";
+    first = true;
+    for (const auto& result : results_) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n    {\"name\": \"" << jsonEscape(result.name)
+          << "\", \"value\": " << std::setprecision(17) << result.value
+          << ", \"unit\": \"" << jsonEscape(result.unit) << "\"}";
+    }
+    if (!results_.empty()) out << "\n  ";
+    out << "]\n";
+    out << "}";
+    return out.str();
+  }
+
+  /// Writes json() to `path`.  Returns false on I/O failure.
+  bool writeJson(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) return false;
+    file << json() << "\n";
+    return static_cast<bool>(file);
+  }
+
+ private:
+  std::string name_;
+  std::vector<ReportResult> results_;
+};
+
+}  // namespace qclab::obs

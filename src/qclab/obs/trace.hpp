@@ -1,0 +1,239 @@
+#pragma once
+
+/// \file trace.hpp
+/// \brief Scoped-span tracer with Chrome trace_event export.
+///
+/// A Span records wall-clock begin/end of a region (a whole simulate call,
+/// a single gate application) into a fixed-capacity ring buffer; when the
+/// buffer is full the oldest events are overwritten and counted as
+/// dropped.  The buffer exports as Chrome trace_event JSON ("X" complete
+/// events), loadable in about:tracing or https://ui.perfetto.dev — nesting
+/// is inferred from time containment on the single displayed track.
+///
+/// The tracer is disabled by default (a disabled tracer only costs one
+/// branch per span); enable() turns recording on.  Compiling with
+/// QCLAB_OBS_DISABLED replaces Tracer and Span with API-identical no-ops.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef QCLAB_OBS_DISABLED
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <utility>
+#endif
+
+namespace qclab::obs {
+
+/// One completed span.
+struct TraceEvent {
+  std::string name;          ///< span label (gate mnemonic, "simulate", ...)
+  const char* category;      ///< coarse grouping: "gate", "circuit", ...
+  std::uint64_t startNs;     ///< begin, ns since tracer epoch
+  std::uint64_t durationNs;  ///< duration in ns
+};
+
+/// Escapes a string for embedding in a JSON string literal.
+inline std::string jsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':  out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+#ifndef QCLAB_OBS_DISABLED
+
+/// Ring-buffered span recorder.
+class Tracer {
+ public:
+  /// `capacity` = maximum retained spans (oldest evicted beyond that).
+  explicit Tracer(std::size_t capacity = std::size_t{1} << 16)
+      : capacity_(capacity), epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Turns recording on/off.  Off (the default) makes spans ~free.
+  void enable() noexcept { enabled_ = true; }
+  void disable() noexcept { enabled_ = false; }
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Discards all recorded events and the dropped count.
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Nanoseconds since this tracer was constructed.
+  std::uint64_t nowNs() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+  }
+
+  /// Appends a completed span (ring semantics when at capacity).
+  void record(std::string name, const char* category, std::uint64_t startNs,
+              std::uint64_t durationNs) {
+    if (!enabled_ || capacity_ == 0) return;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    TraceEvent event{std::move(name), category, startNs, durationNs};
+    if (events_.size() < capacity_) {
+      events_.push_back(std::move(event));
+    } else {
+      events_[head_] = std::move(event);
+      head_ = (head_ + 1) % capacity_;
+      ++dropped_;
+    }
+  }
+
+  /// Recorded events, oldest first.
+  std::vector<TraceEvent> events() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceEvent> ordered;
+    ordered.reserve(events_.size());
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      ordered.push_back(events_[(head_ + i) % events_.size()]);
+    }
+    return ordered;
+  }
+
+  /// Number of recorded (retained) events.
+  std::size_t nbEvents() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+  }
+
+  /// Number of events evicted because the ring was full.
+  std::uint64_t dropped() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+  }
+
+  /// Chrome trace_event JSON of the retained spans ("X" complete events,
+  /// microsecond timestamps).  Open in about:tracing or Perfetto.
+  std::string chromeTraceJson() const {
+    std::ostringstream out;
+    out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    for (const auto& event : events()) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"name\":\"" << jsonEscape(event.name) << "\",\"cat\":\""
+          << event.category << "\",\"ph\":\"X\",\"ts\":"
+          << static_cast<double>(event.startNs) / 1e3 << ",\"dur\":"
+          << static_cast<double>(event.durationNs) / 1e3
+          << ",\"pid\":0,\"tid\":0}";
+    }
+    out << "]}";
+    return out.str();
+  }
+
+  /// Writes chromeTraceJson() to `path`.  Returns false on I/O failure.
+  bool writeChromeTrace(const std::string& path) const {
+    std::ofstream file(path);
+    if (!file) return false;
+    file << chromeTraceJson() << "\n";
+    return static_cast<bool>(file);
+  }
+
+ private:
+  std::size_t capacity_;
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+  std::size_t head_ = 0;       // oldest element once the ring is full
+  std::uint64_t dropped_ = 0;  // evicted events
+};
+
+/// The process-wide tracer.
+inline Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+/// RAII span: records [construction, destruction) into a tracer.
+class Span {
+ public:
+  Span(Tracer& tracer, std::string name, const char* category) noexcept
+      : tracer_(tracer),
+        name_(std::move(name)),
+        category_(category),
+        startNs_(tracer.enabled() ? tracer.nowNs() : 0),
+        active_(tracer.enabled()) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() {
+    if (active_) {
+      tracer_.record(std::move(name_), category_, startNs_,
+                     tracer_.nowNs() - startNs_);
+    }
+  }
+
+ private:
+  Tracer& tracer_;
+  std::string name_;
+  const char* category_;
+  std::uint64_t startNs_;
+  bool active_;
+};
+
+#else  // QCLAB_OBS_DISABLED
+
+/// No-op tracer: same API, records nothing, exports an empty trace.
+class Tracer {
+ public:
+  explicit Tracer(std::size_t = 0) {}
+  void enable() noexcept {}
+  void disable() noexcept {}
+  bool enabled() const noexcept { return false; }
+  void clear() {}
+  std::uint64_t nowNs() const { return 0; }
+  void record(std::string, const char*, std::uint64_t, std::uint64_t) {}
+  std::vector<TraceEvent> events() const { return {}; }
+  std::size_t nbEvents() const { return 0; }
+  std::uint64_t dropped() const { return 0; }
+  std::string chromeTraceJson() const {
+    return "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}";
+  }
+  bool writeChromeTrace(const std::string&) const { return false; }
+};
+
+inline Tracer& tracer() {
+  static Tracer instance;
+  return instance;
+}
+
+/// No-op span.
+class Span {
+ public:
+  Span(Tracer&, std::string, const char*) noexcept {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+};
+
+#endif  // QCLAB_OBS_DISABLED
+
+}  // namespace qclab::obs

@@ -20,6 +20,8 @@
 #include "qclab/barrier.hpp"
 #include "qclab/io/layout.hpp"
 #include "qclab/measurement.hpp"
+#include "qclab/obs/metrics.hpp"
+#include "qclab/obs/trace.hpp"
 #include "qclab/qgates/qgates.hpp"
 #include "qclab/reset.hpp"
 #include "qclab/sim/backend.hpp"
@@ -250,6 +252,10 @@ class QCircuit final : public QObject<T> {
       const T scale = T(1) / norm;
       for (auto& amplitude : state) amplitude *= scale;
     }
+    obs::metrics().countCircuitSimulation();
+    const obs::Span span(obs::tracer(),
+                         "simulate(n=" + std::to_string(nbQubits_) + ")",
+                         "circuit");
     Simulation<T> simulation(nbQubits_, std::move(state));
     applyTo(simulation, 0, backend);
     return simulation;
@@ -341,18 +347,12 @@ class QCircuit final : public QObject<T> {
         case ObjectType::kBarrier:
           ++counts["barrier"];
           break;
-        case ObjectType::kGate: {
-          // Key by the first draw label (gate mnemonic incl. controls).
-          std::vector<io::DrawItem> items;
-          object->appendDrawItems(items, 0);
-          std::string key = items.empty() ? "gate" : items[0].label;
-          if (!items.empty() &&
-              (!items[0].controls1.empty() || !items[0].controls0.empty())) {
-            key = "c" + key;
-          }
-          ++counts[key];
+        case ObjectType::kGate:
+          // Key by the shared label scheme (gate mnemonic incl. controls),
+          // so these static counts match obs-metered application counts.
+          ++counts[qgates::gateKindLabel(
+              static_cast<const qgates::QGate<T>&>(*object))];
           break;
-        }
       }
     }
   }
@@ -460,6 +460,11 @@ class QCircuit final : public QObject<T> {
       const T p1 = T(1) - p0;
       const T probabilities[2] = {p0, p1};
       const bool both = p0 > kDropTol && p1 > kDropTol;
+      if (both) {
+        obs::metrics().countBranchSpawn();
+      } else {
+        obs::metrics().countBranchPrune();
+      }
       for (int outcome = 0; outcome < 2; ++outcome) {
         const T p = probabilities[outcome];
         if (p <= kDropTol) continue;
@@ -499,6 +504,11 @@ class QCircuit final : public QObject<T> {
       const T p1 = T(1) - p0;
       const T probabilities[2] = {p0, p1};
       const bool both = p0 > kDropTol && p1 > kDropTol;
+      if (both) {
+        obs::metrics().countBranchSpawn();
+      } else {
+        obs::metrics().countBranchPrune();
+      }
       for (int outcome = 0; outcome < 2; ++outcome) {
         const T p = probabilities[outcome];
         if (p <= kDropTol) continue;

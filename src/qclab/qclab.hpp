@@ -19,6 +19,7 @@
 #include "qclab/io/state_format.hpp"
 #include "qclab/measurement.hpp"
 #include "qclab/noise/noise.hpp"
+#include "qclab/obs/obs.hpp"
 #include "qclab/observable.hpp"
 #include "qclab/qcircuit.hpp"
 #include "qclab/qgates/qgates.hpp"

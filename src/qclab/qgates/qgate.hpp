@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "qclab/dense/matrix.hpp"
@@ -119,5 +120,21 @@ class QGate : public QObject<T> {
 
   std::unique_ptr<QObject<T>> clone() const final { return cloneGate(); }
 };
+
+/// Histogram key of a gate: its first diagram label, prefixed with "c"
+/// when the drawn item carries controls.  Shared by QCircuit::gateCounts
+/// and the observability layer so static circuit counts and dynamic
+/// application counts agree key-for-key.
+template <typename T>
+std::string gateKindLabel(const QGate<T>& gate) {
+  std::vector<io::DrawItem> items;
+  gate.appendDrawItems(items, 0);
+  std::string key = items.empty() ? "gate" : items[0].label;
+  if (!items.empty() &&
+      (!items[0].controls1.empty() || !items[0].controls0.empty())) {
+    key = "c" + key;
+  }
+  return key;
+}
 
 }  // namespace qclab::qgates

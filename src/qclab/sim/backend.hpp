@@ -16,10 +16,32 @@
 #include <vector>
 
 #include "qclab/qgates/qgates.hpp"
+#include "qclab/sim/kernel_path.hpp"
 #include "qclab/sim/kernels.hpp"
 #include "qclab/sparse/csr.hpp"
 
 namespace qclab::sim {
+
+/// The kernel fast path the in-place engine selects for `gate` — the
+/// single source of truth for KernelBackend's dispatch, exposed so that
+/// decorators (obs::InstrumentedBackend) can tag applications with the
+/// path actually taken without re-implementing the dispatch rules.
+template <typename T>
+KernelPath classifyKernelPath(const qgates::QGate<T>& gate) {
+  if (dynamic_cast<const qgates::SWAP<T>*>(&gate) != nullptr) {
+    return KernelPath::kSwap;
+  }
+  if (!gate.controls().empty() && gate.targets().size() == 1) {
+    return KernelPath::kControlled1;
+  }
+  if (gate.nbQubits() == 1) {
+    return gate.isDiagonal() ? KernelPath::kDiagonal1 : KernelPath::kDense1;
+  }
+  if (gate.controls().empty() && gate.isDiagonal()) {
+    return KernelPath::kDiagonalK;
+  }
+  return KernelPath::kDenseK;
+}
 
 /// Abstract gate-application strategy.
 template <typename T>
@@ -32,6 +54,13 @@ class Backend {
   virtual void applyGate(std::vector<std::complex<T>>& state, int nbQubits,
                          const qgates::QGate<T>& gate, int offset = 0) const = 0;
 
+  /// The kernel path this backend would dispatch `gate` to.  Defaults to
+  /// the in-place kernel classification; matrix-multiply style backends
+  /// override it.
+  virtual KernelPath dispatchPath(const qgates::QGate<T>& gate) const {
+    return classifyKernelPath(gate);
+  }
+
   /// Human-readable backend name (for benches and logs).
   virtual const char* name() const noexcept = 0;
 };
@@ -42,51 +71,52 @@ class KernelBackend final : public Backend<T> {
  public:
   void applyGate(std::vector<std::complex<T>>& state, int nbQubits,
                  const qgates::QGate<T>& gate, int offset = 0) const override {
-    // SWAP: pure permutation.
-    if (const auto* swap = dynamic_cast<const qgates::SWAP<T>*>(&gate)) {
-      applySwap(state, nbQubits, swap->qubit0() + offset,
-                swap->qubit1() + offset);
-      return;
-    }
-
-    const auto controls = gate.controls();
-    const auto targets = gate.targets();
-
-    // Controlled gate with a single target: touch only the active subspace.
-    if (!controls.empty() && targets.size() == 1) {
-      std::vector<int> shiftedControls(controls);
-      for (int& c : shiftedControls) c += offset;
-      applyControlled1(state, nbQubits, shiftedControls, gate.controlStates(),
-                       targets[0] + offset, gate.targetMatrix());
-      return;
-    }
-
-    // Uncontrolled single-qubit gate.
-    if (gate.nbQubits() == 1) {
-      const auto u = gate.matrix();
-      if (gate.isDiagonal()) {
+    switch (classifyKernelPath(gate)) {
+      case KernelPath::kSwap: {
+        // SWAP: pure permutation.
+        const auto& swap = static_cast<const qgates::SWAP<T>&>(gate);
+        applySwap(state, nbQubits, swap.qubit0() + offset,
+                  swap.qubit1() + offset);
+        return;
+      }
+      case KernelPath::kControlled1: {
+        // Controlled gate, single target: touch only the active subspace.
+        std::vector<int> shiftedControls(gate.controls());
+        for (int& c : shiftedControls) c += offset;
+        applyControlled1(state, nbQubits, shiftedControls,
+                         gate.controlStates(), gate.targets()[0] + offset,
+                         gate.targetMatrix());
+        return;
+      }
+      case KernelPath::kDiagonal1: {
+        const auto u = gate.matrix();
         applyDiagonal1(state, nbQubits, gate.qubits()[0] + offset, u(0, 0),
                        u(1, 1));
-      } else {
-        apply1(state, nbQubits, gate.qubits()[0] + offset, u);
+        return;
       }
-      return;
+      case KernelPath::kDense1: {
+        apply1(state, nbQubits, gate.qubits()[0] + offset, gate.matrix());
+        return;
+      }
+      case KernelPath::kDiagonalK: {
+        // Multi-qubit diagonal gate (RZZ, ...): one multiply per amplitude.
+        std::vector<int> qubits = gate.qubits();
+        for (int& q : qubits) q += offset;
+        const auto u = gate.matrix();
+        std::vector<std::complex<T>> diagonal(u.rows());
+        for (std::size_t i = 0; i < u.rows(); ++i) diagonal[i] = u(i, i);
+        applyDiagonalK(state, nbQubits, qubits, diagonal);
+        return;
+      }
+      case KernelPath::kDenseK:
+      default: {
+        // General k-qubit gate.
+        std::vector<int> qubits = gate.qubits();
+        for (int& q : qubits) q += offset;
+        applyK(state, nbQubits, qubits, gate.matrix());
+        return;
+      }
     }
-
-    std::vector<int> qubits = gate.qubits();
-    for (int& q : qubits) q += offset;
-
-    // Multi-qubit diagonal gate (RZZ, ...): one multiply per amplitude.
-    if (controls.empty() && gate.isDiagonal()) {
-      const auto u = gate.matrix();
-      std::vector<std::complex<T>> diagonal(u.rows());
-      for (std::size_t i = 0; i < u.rows(); ++i) diagonal[i] = u(i, i);
-      applyDiagonalK(state, nbQubits, qubits, diagonal);
-      return;
-    }
-
-    // General k-qubit gate.
-    applyK(state, nbQubits, qubits, gate.matrix());
   }
 
   const char* name() const noexcept override { return "kernel"; }
@@ -176,6 +206,10 @@ class SparseKronBackend final : public Backend<T> {
   void applyGate(std::vector<std::complex<T>>& state, int nbQubits,
                  const qgates::QGate<T>& gate, int offset = 0) const override {
     state = extendedUnitary(nbQubits, gate, offset).apply(state);
+  }
+
+  KernelPath dispatchPath(const qgates::QGate<T>&) const override {
+    return KernelPath::kSparseKron;
   }
 
   const char* name() const noexcept override { return "sparse-kron"; }

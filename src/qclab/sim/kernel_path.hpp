@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file kernel_path.hpp
+/// \brief The closed set of gate-application strategies a backend can
+/// dispatch to.
+///
+/// Kept in its own dependency-free header so that both the simulation
+/// backends (which dispatch on it) and the observability layer (which
+/// counts by it) can name the paths without pulling in each other.
+
+namespace qclab::sim {
+
+/// Which specialized routine a backend uses for a given gate.
+enum class KernelPath : int {
+  kSwap = 0,     ///< SWAP: pure index permutation
+  kControlled1,  ///< controlled gate, single target: active subspace only
+  kDiagonal1,    ///< uncontrolled single-qubit diagonal: one multiply/amp
+  kDense1,       ///< uncontrolled single-qubit dense 2x2 apply
+  kDiagonalK,    ///< multi-qubit diagonal (RZZ, ...): one multiply/amp
+  kDenseK,       ///< general k-qubit dense apply
+  kSparseKron,   ///< sparse extended unitary I (x) U (x) I times state
+};
+
+/// Number of enumerators in KernelPath (for counter arrays).
+inline constexpr int kKernelPathCount = 7;
+
+/// Stable short name of a kernel path (used in reports and traces).
+inline const char* kernelPathName(KernelPath path) noexcept {
+  switch (path) {
+    case KernelPath::kSwap:        return "swap";
+    case KernelPath::kControlled1: return "controlled1";
+    case KernelPath::kDiagonal1:   return "diagonal1";
+    case KernelPath::kDense1:      return "dense1";
+    case KernelPath::kDiagonalK:   return "diagonal-k";
+    case KernelPath::kDenseK:      return "dense-k";
+    case KernelPath::kSparseKron:  return "sparse-kron";
+  }
+  return "unknown";
+}
+
+}  // namespace qclab::sim

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "qclab/dense/ops.hpp"
+#include "qclab/obs/metrics.hpp"
 #include "qclab/random/rng.hpp"
 #include "qclab/sim/kernels.hpp"
 #include "qclab/util/bitstring.hpp"
@@ -117,6 +118,7 @@ std::vector<std::uint64_t> sampleStateCounts(
     positions[static_cast<std::size_t>(b)] =
         util::bitPosition(qubits[static_cast<std::size_t>(b)], nbQubits);
   }
+  obs::metrics().countShots(shots);
   // Marginal outcome distribution.
   std::vector<double> weights(std::size_t{1} << m, 0.0);
   for (std::size_t i = 0; i < state.size(); ++i) {
@@ -229,6 +231,7 @@ class Simulation {
       util::require(b.result.size() == m,
                     "branches disagree on measurement count");
     }
+    obs::metrics().countShots(shots);
     if (m == 0) {
       // No measurements: every shot yields the trivial outcome.
       return {shots};
@@ -253,6 +256,7 @@ class Simulation {
   /// appear.
   std::map<std::string, std::uint64_t> countsMap(std::uint64_t shots,
                                                  random::Rng& rng) const {
+    obs::metrics().countShots(shots);
     std::vector<double> weights;
     weights.reserve(branches_.size());
     for (const auto& b : branches_) weights.push_back(b.probability);

@@ -6,4 +6,38 @@ Version version() noexcept { return Version{1, 0, 0}; }
 
 const char* versionString() noexcept { return "1.0.0"; }
 
+bool builtWithOpenMP() noexcept {
+#ifdef QCLAB_HAS_OPENMP
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool builtWithObs() noexcept {
+#ifdef QCLAB_OBS_DISABLED
+  return false;
+#else
+  return true;
+#endif
+}
+
+const char* scalarTypes() noexcept { return "float,double"; }
+
+const char* buildInfo() noexcept {
+#ifdef QCLAB_HAS_OPENMP
+#ifdef QCLAB_OBS_DISABLED
+  return "qclab 1.0.0 (openmp=on, obs=off, scalars=float,double)";
+#else
+  return "qclab 1.0.0 (openmp=on, obs=on, scalars=float,double)";
+#endif
+#else
+#ifdef QCLAB_OBS_DISABLED
+  return "qclab 1.0.0 (openmp=off, obs=off, scalars=float,double)";
+#else
+  return "qclab 1.0.0 (openmp=off, obs=on, scalars=float,double)";
+#endif
+#endif
+}
+
 }  // namespace qclab

@@ -1,7 +1,7 @@
 #pragma once
 
 /// \file version.hpp
-/// \brief Library version information.
+/// \brief Library version and compile-time build configuration.
 
 namespace qclab {
 
@@ -17,5 +17,22 @@ Version version() noexcept;
 
 /// Returns the version as a "major.minor.patch" string.
 const char* versionString() noexcept;
+
+/// True if the library was compiled with OpenMP parallel kernels.
+bool builtWithOpenMP() noexcept;
+
+/// True if the library was compiled with the observability layer
+/// (i.e. without QCLAB_OBS_DISABLED).
+bool builtWithObs() noexcept;
+
+/// Comma-separated list of the real scalar types the templates are
+/// intended for ("float,double").
+const char* scalarTypes() noexcept;
+
+/// One-line self-describing build string, e.g.
+/// "qclab 1.0.0 (openmp=on, obs=on, scalars=float,double)".
+/// Embedded in reports and traces so exported numbers carry their build
+/// configuration.
+const char* buildInfo() noexcept;
 
 }  // namespace qclab

@@ -1,0 +1,465 @@
+/// \file test_obs.cpp
+/// \brief Tests of the qclab::obs observability layer: counter totals vs
+/// circuit gate counts, kernel-path tagging on both backends, Chrome
+/// trace_event export, report JSON shape, and no-op behaviour of the
+/// QCLAB_OBS_DISABLED build (which compiles this same file).
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "qclab/qclab.hpp"
+
+namespace {
+
+using T = double;
+using qclab::sim::KernelPath;
+
+// ---- minimal JSON syntax checker -------------------------------------
+// Validates JSON well-formedness (objects, arrays, strings, numbers,
+// literals) so the exported trace/report files are guaranteed loadable.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string text) : text_(std::move(text)) {}
+
+  bool valid() {
+    pos_ = 0;
+    skipSpace();
+    if (!value()) return false;
+    skipSpace();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default:  return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skipSpace();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skipSpace();
+      if (!string()) return false;
+      skipSpace();
+      if (peek() != ':') return false;
+      ++pos_;
+      skipSpace();
+      if (!value()) return false;
+      skipSpace();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skipSpace();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skipSpace();
+      if (!value()) return false;
+      skipSpace();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing '"'
+    return true;
+  }
+
+  bool number() {
+    const std::size_t begin = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > begin;
+  }
+
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (text_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+/// gateCounts() restricted to actual gates (the obs layer never sees
+/// measurements, resets, or barriers).
+std::map<std::string, std::size_t> gateOnlyCounts(
+    const qclab::QCircuit<T>& circuit) {
+  auto counts = circuit.gateCounts();
+  counts.erase("measure");
+  counts.erase("reset");
+  counts.erase("barrier");
+  return counts;
+}
+
+// ---- kernel-path classification (works in all builds) -----------------
+
+TEST(ObsKernelPath, ClassificationPerGateClass) {
+  const qclab::sim::KernelBackend<T> kernel;
+  const qclab::sim::SparseKronBackend<T> sparse;
+
+  const qclab::qgates::SWAP<T> swap(0, 1);
+  const qclab::qgates::CX<T> cnot(0, 1);
+  const qclab::qgates::PauliZ<T> pauliZ(0);
+  const qclab::qgates::RotationZ<T> rz(0, 0.3);
+  const qclab::qgates::Hadamard<T> hadamard(0);
+  const qclab::qgates::RotationZZ<T> rzz(0, 1, 0.7);
+  const qclab::qgates::iSWAP<T> iswap(0, 1);
+
+  EXPECT_EQ(kernel.dispatchPath(swap), KernelPath::kSwap);
+  EXPECT_EQ(kernel.dispatchPath(cnot), KernelPath::kControlled1);
+  EXPECT_EQ(kernel.dispatchPath(pauliZ), KernelPath::kDiagonal1);
+  EXPECT_EQ(kernel.dispatchPath(rz), KernelPath::kDiagonal1);
+  EXPECT_EQ(kernel.dispatchPath(hadamard), KernelPath::kDense1);
+  EXPECT_EQ(kernel.dispatchPath(rzz), KernelPath::kDiagonalK);
+  EXPECT_EQ(kernel.dispatchPath(iswap), KernelPath::kDenseK);
+
+  EXPECT_EQ(sparse.dispatchPath(swap), KernelPath::kSparseKron);
+  EXPECT_EQ(sparse.dispatchPath(hadamard), KernelPath::kSparseKron);
+
+  // The decorator reports the path of whatever it wraps.
+  const qclab::obs::InstrumentedBackend<T> overKernel(kernel);
+  const qclab::obs::InstrumentedBackend<T> overSparse(sparse);
+  EXPECT_EQ(overKernel.dispatchPath(cnot), KernelPath::kControlled1);
+  EXPECT_EQ(overKernel.dispatchPath(swap), KernelPath::kSwap);
+  EXPECT_EQ(overSparse.dispatchPath(cnot), KernelPath::kSparseKron);
+}
+
+TEST(ObsKernelPath, NamesAreStable) {
+  EXPECT_STREQ(qclab::sim::kernelPathName(KernelPath::kSwap), "swap");
+  EXPECT_STREQ(qclab::sim::kernelPathName(KernelPath::kControlled1),
+               "controlled1");
+  EXPECT_STREQ(qclab::sim::kernelPathName(KernelPath::kDiagonal1),
+               "diagonal1");
+  EXPECT_STREQ(qclab::sim::kernelPathName(KernelPath::kDense1), "dense1");
+  EXPECT_STREQ(qclab::sim::kernelPathName(KernelPath::kSparseKron),
+               "sparse-kron");
+}
+
+// ---- instrumented simulation equals plain simulation (all builds) -----
+
+TEST(ObsInstrumented, SimulatesIdenticallyToBareBackend) {
+  const auto circuit = qclab::algorithms::grover<T>(
+      "111", qclab::algorithms::groverIterations(3));
+  const qclab::sim::KernelBackend<T> bare;
+  const qclab::obs::InstrumentedBackend<T> instrumented(bare);
+
+  const auto plain = circuit.simulate("000", bare);
+  const auto metered = circuit.simulate("000", instrumented);
+
+  ASSERT_EQ(plain.nbBranches(), metered.nbBranches());
+  for (std::size_t b = 0; b < plain.nbBranches(); ++b) {
+    EXPECT_EQ(plain.result(b), metered.result(b));
+    EXPECT_EQ(plain.probability(b), metered.probability(b));
+    ASSERT_EQ(plain.state(b).size(), metered.state(b).size());
+    for (std::size_t i = 0; i < plain.state(b).size(); ++i) {
+      // Bit-identical: the decorator must not alter the arithmetic.
+      EXPECT_EQ(plain.state(b)[i], metered.state(b)[i]);
+    }
+  }
+}
+
+// ---- build info (all builds) ------------------------------------------
+
+TEST(ObsBuildInfo, SelfDescribing) {
+  const std::string info = qclab::buildInfo();
+  EXPECT_NE(info.find("qclab 1.0.0"), std::string::npos);
+  EXPECT_NE(info.find(qclab::builtWithOpenMP() ? "openmp=on" : "openmp=off"),
+            std::string::npos);
+  EXPECT_NE(info.find(qclab::builtWithObs() ? "obs=on" : "obs=off"),
+            std::string::npos);
+  EXPECT_NE(info.find("scalars=float,double"), std::string::npos);
+  EXPECT_EQ(qclab::builtWithObs(), qclab::obs::kEnabled);
+}
+
+// ---- report JSON shape (all builds) -----------------------------------
+
+TEST(ObsReport, JsonIsWellFormedAndStamped) {
+  qclab::obs::metrics().reset();
+  qclab::obs::Report report("unit_test");
+  report.add("kernel/h/n=4", 123.5, "ns/op");
+  const std::string json = report.json();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\"schema\": \"qclab-obs-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find(qclab::obs::kEnabled ? "\"obs\": true"
+                                           : "\"obs\": false"),
+            std::string::npos);
+  EXPECT_NE(json.find("kernel/h/n=4"), std::string::npos);
+
+  const std::string text = report.text();
+  EXPECT_NE(text.find("unit_test"), std::string::npos);
+  EXPECT_NE(text.find("gate applications"), std::string::npos);
+}
+
+#ifndef QCLAB_OBS_DISABLED
+
+// ---- counters (enabled builds only) -----------------------------------
+
+TEST(ObsMetrics, CounterTotalsMatchGateCounts) {
+  auto& metrics = qclab::obs::metrics();
+  metrics.reset();
+
+  // A known mixed circuit: 2x H, CX, SWAP, RZ, RZZ, iSWAP.
+  qclab::QCircuit<T> circuit(3);
+  circuit.push_back(qclab::qgates::Hadamard<T>(0));
+  circuit.push_back(qclab::qgates::Hadamard<T>(1));
+  circuit.push_back(qclab::qgates::CX<T>(0, 1));
+  circuit.push_back(qclab::qgates::SWAP<T>(1, 2));
+  circuit.push_back(qclab::qgates::RotationZ<T>(2, 0.4));
+  circuit.push_back(qclab::qgates::RotationZZ<T>(0, 2, 0.7));
+  circuit.push_back(qclab::qgates::iSWAP<T>(0, 1));
+
+  const qclab::obs::InstrumentedBackend<T> backend;
+  circuit.simulate("000", backend);
+
+  const auto expected = gateOnlyCounts(circuit);
+  std::size_t expectedTotal = 0;
+  for (const auto& [kind, count] : expected) expectedTotal += count;
+
+  const auto observed = metrics.gateKinds();
+  EXPECT_EQ(observed.size(), expected.size());
+  for (const auto& [kind, count] : expected) {
+    ASSERT_TRUE(observed.count(kind)) << "missing kind " << kind;
+    EXPECT_EQ(observed.at(kind), count) << "kind " << kind;
+  }
+  EXPECT_EQ(metrics.gateApplications(), expectedTotal);
+
+  // Path split: H,H dense1; CX controlled1; SWAP swap; RZ diagonal1;
+  // RZZ diagonal-k; iSWAP dense-k.
+  EXPECT_EQ(metrics.gateApplications(KernelPath::kDense1), 2u);
+  EXPECT_EQ(metrics.gateApplications(KernelPath::kControlled1), 1u);
+  EXPECT_EQ(metrics.gateApplications(KernelPath::kSwap), 1u);
+  EXPECT_EQ(metrics.gateApplications(KernelPath::kDiagonal1), 1u);
+  EXPECT_EQ(metrics.gateApplications(KernelPath::kDiagonalK), 1u);
+  EXPECT_EQ(metrics.gateApplications(KernelPath::kDenseK), 1u);
+  EXPECT_GT(metrics.bytesTouched(), 0u);
+  EXPECT_EQ(metrics.circuitSimulations(), 1u);
+}
+
+TEST(ObsMetrics, GroverCountsMatchAcrossNestedBlocks) {
+  auto& metrics = qclab::obs::metrics();
+  metrics.reset();
+
+  // Grover uses nested oracle/diffuser sub-circuits: the dynamic per-kind
+  // counts must still equal the recursive static counts.
+  const auto circuit = qclab::algorithms::grover<T>(
+      "1111", qclab::algorithms::groverIterations(4));
+  const qclab::obs::InstrumentedBackend<T> backend;
+  circuit.simulate("0000", backend);
+
+  EXPECT_EQ(metrics.gateKinds(), gateOnlyCounts(circuit));
+}
+
+TEST(ObsMetrics, SparseBackendCountsSparseKronPath) {
+  auto& metrics = qclab::obs::metrics();
+  metrics.reset();
+
+  qclab::QCircuit<T> circuit(2);
+  circuit.push_back(qclab::qgates::Hadamard<T>(0));
+  circuit.push_back(qclab::qgates::CX<T>(0, 1));
+
+  const qclab::sim::SparseKronBackend<T> sparse;
+  const qclab::obs::InstrumentedBackend<T> backend(sparse);
+  circuit.simulate("00", backend);
+
+  EXPECT_EQ(metrics.gateApplications(KernelPath::kSparseKron), 2u);
+  EXPECT_EQ(metrics.gateApplications(), 2u);
+}
+
+TEST(ObsMetrics, BranchSpawnAndPruneCounters) {
+  auto& metrics = qclab::obs::metrics();
+  metrics.reset();
+
+  // Bell pair, both qubits measured: the first measurement forks (one
+  // spawn), the second is deterministic per branch (two prunes).
+  qclab::QCircuit<T> circuit(2);
+  circuit.push_back(qclab::qgates::Hadamard<T>(0));
+  circuit.push_back(qclab::qgates::CX<T>(0, 1));
+  circuit.push_back(qclab::Measurement<T>(0));
+  circuit.push_back(qclab::Measurement<T>(1));
+  circuit.simulate("00");
+
+  EXPECT_EQ(metrics.branchSpawns(), 1u);
+  EXPECT_EQ(metrics.branchPrunes(), 2u);
+}
+
+TEST(ObsMetrics, ShotsSampledCounter) {
+  auto& metrics = qclab::obs::metrics();
+  metrics.reset();
+
+  qclab::QCircuit<T> circuit(1);
+  circuit.push_back(qclab::qgates::Hadamard<T>(0));
+  circuit.push_back(qclab::Measurement<T>(0));
+  const auto simulation = circuit.simulate("0");
+  simulation.counts(1000, /*seed=*/3);
+  simulation.countsMap(500, /*seed=*/3);
+
+  EXPECT_EQ(metrics.shotsSampled(), 1500u);
+}
+
+TEST(ObsMetrics, NoiseChannelCounter) {
+  auto& metrics = qclab::obs::metrics();
+  metrics.reset();
+
+  qclab::QCircuit<T> circuit(2);
+  circuit.push_back(qclab::qgates::Hadamard<T>(0));
+  circuit.push_back(qclab::qgates::CX<T>(0, 1));
+  const auto model = qclab::noise::NoiseModel<T>::depolarizing(T(0.01));
+  qclab::noise::simulateDensity(circuit, "00", model);
+
+  // H touches 1 qubit, CX touches 2 — one channel application each.
+  EXPECT_EQ(metrics.noiseChannelApplications(), 3u);
+}
+
+// ---- tracing (enabled builds only) ------------------------------------
+
+TEST(ObsTrace, ChromeTraceParsesAndNests) {
+  auto& tracer = qclab::obs::tracer();
+  qclab::obs::metrics().reset();
+  tracer.clear();
+  tracer.enable();
+
+  qclab::QCircuit<T> circuit(2);
+  circuit.push_back(qclab::qgates::Hadamard<T>(0));
+  circuit.push_back(qclab::qgates::CX<T>(0, 1));
+  const qclab::obs::InstrumentedBackend<T> backend;
+  circuit.simulate("00", backend);
+  tracer.disable();
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);  // 2 gate spans + 1 circuit span
+
+  const qclab::obs::TraceEvent* simulateSpan = nullptr;
+  std::vector<const qclab::obs::TraceEvent*> gateSpans;
+  for (const auto& event : events) {
+    if (std::string(event.category) == "circuit") {
+      simulateSpan = &event;
+    } else if (std::string(event.category) == "gate") {
+      gateSpans.push_back(&event);
+    }
+  }
+  ASSERT_NE(simulateSpan, nullptr);
+  EXPECT_EQ(simulateSpan->name, "simulate(n=2)");
+  ASSERT_EQ(gateSpans.size(), 2u);
+  EXPECT_EQ(gateSpans[0]->name, "H");
+  EXPECT_EQ(gateSpans[1]->name, "cX");
+
+  // Gate spans nest inside the circuit span.
+  for (const auto* gate : gateSpans) {
+    EXPECT_GE(gate->startNs, simulateSpan->startNs);
+    EXPECT_LE(gate->startNs + gate->durationNs,
+              simulateSpan->startNs + simulateSpan->durationNs);
+  }
+
+  const std::string json = tracer.chromeTraceJson();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("simulate(n=2)"), std::string::npos);
+  tracer.clear();
+}
+
+TEST(ObsTrace, RingBufferEvictsOldestAndCountsDropped) {
+  qclab::obs::Tracer tracer(4);
+  tracer.enable();
+  for (int i = 0; i < 10; ++i) {
+    tracer.record("span" + std::to_string(i), "test",
+                  static_cast<std::uint64_t>(i), 1);
+  }
+  EXPECT_EQ(tracer.nbEvents(), 4u);
+  EXPECT_EQ(tracer.dropped(), 6u);
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events.front().name, "span6");  // oldest retained
+  EXPECT_EQ(events.back().name, "span9");   // newest
+}
+
+TEST(ObsTrace, DisabledTracerRecordsNothing) {
+  qclab::obs::Tracer tracer;  // enabled() defaults to false
+  tracer.record("ignored", "test", 0, 1);
+  EXPECT_EQ(tracer.nbEvents(), 0u);
+  JsonChecker checker(tracer.chromeTraceJson());
+  EXPECT_TRUE(checker.valid());
+}
+
+#else  // QCLAB_OBS_DISABLED
+
+// ---- no-op build (disabled builds only) -------------------------------
+
+TEST(ObsDisabled, CountersStayZeroAndTraceStaysEmpty) {
+  auto& metrics = qclab::obs::metrics();
+  metrics.reset();
+  auto& tracer = qclab::obs::tracer();
+  tracer.enable();  // must be a no-op
+
+  qclab::QCircuit<T> circuit(2);
+  circuit.push_back(qclab::qgates::Hadamard<T>(0));
+  circuit.push_back(qclab::qgates::CX<T>(0, 1));
+  circuit.push_back(qclab::Measurement<T>(0));
+  const qclab::obs::InstrumentedBackend<T> backend;
+  const auto simulation = circuit.simulate("00", backend);
+  simulation.counts(100, /*seed=*/1);
+
+  EXPECT_EQ(metrics.gateApplications(), 0u);
+  EXPECT_TRUE(metrics.gateKinds().empty());
+  EXPECT_EQ(metrics.branchSpawns(), 0u);
+  EXPECT_EQ(metrics.shotsSampled(), 0u);
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_EQ(tracer.nbEvents(), 0u);
+
+  JsonChecker trace(tracer.chromeTraceJson());
+  EXPECT_TRUE(trace.valid());
+}
+
+#endif  // QCLAB_OBS_DISABLED
+
+}  // namespace
