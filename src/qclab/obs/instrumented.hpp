@@ -41,6 +41,7 @@ std::uint64_t bytesTouchedEstimate(sim::KernelPath path, std::size_t dim,
     case sim::KernelPath::kSwap:
       return dim * amp;
     case sim::KernelPath::kControlled1:
+    case sim::KernelPath::kControlledDiagonal1:
       return 2 * (static_cast<std::uint64_t>(dim) >> gate.controls().size()) *
              amp;
     case sim::KernelPath::kSparseKron:

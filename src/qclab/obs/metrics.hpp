@@ -78,6 +78,15 @@ class Metrics {
     noiseChannels_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Records one fusion-plan application: `gatesIn` gates were merged into
+  /// `blocks` fused blocks, avoiding `sweepsSaved` full-state sweeps.
+  void countFusion(std::uint64_t gatesIn, std::uint64_t blocks,
+                   std::uint64_t sweepsSaved) {
+    fusionGatesIn_.fetch_add(gatesIn, std::memory_order_relaxed);
+    fusionBlocks_.fetch_add(blocks, std::memory_order_relaxed);
+    fusionSweepsSaved_.fetch_add(sweepsSaved, std::memory_order_relaxed);
+  }
+
   /// Zeroes every counter (start of a measured region / test).
   void reset() {
     gateTotal_.store(0, std::memory_order_relaxed);
@@ -90,6 +99,9 @@ class Metrics {
     shotsSampled_.store(0, std::memory_order_relaxed);
     circuitSimulations_.store(0, std::memory_order_relaxed);
     noiseChannels_.store(0, std::memory_order_relaxed);
+    fusionGatesIn_.store(0, std::memory_order_relaxed);
+    fusionBlocks_.store(0, std::memory_order_relaxed);
+    fusionSweepsSaved_.store(0, std::memory_order_relaxed);
     const std::lock_guard<std::mutex> lock(kindMutex_);
     gateByKind_.clear();
   }
@@ -138,6 +150,21 @@ class Metrics {
     return noiseChannels_.load(std::memory_order_relaxed);
   }
 
+  /// Gates consumed by fusion scheduling (per plan application).
+  std::uint64_t fusionGatesIn() const {
+    return fusionGatesIn_.load(std::memory_order_relaxed);
+  }
+
+  /// Fused blocks applied.
+  std::uint64_t fusionBlocks() const {
+    return fusionBlocks_.load(std::memory_order_relaxed);
+  }
+
+  /// Full-state sweeps avoided by fusion (gates in - blocks out).
+  std::uint64_t fusionSweepsSaved() const {
+    return fusionSweepsSaved_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<std::uint64_t> gateTotal_{0};
   std::atomic<std::uint64_t> gateByPath_[sim::kKernelPathCount] = {};
@@ -147,6 +174,9 @@ class Metrics {
   std::atomic<std::uint64_t> shotsSampled_{0};
   std::atomic<std::uint64_t> circuitSimulations_{0};
   std::atomic<std::uint64_t> noiseChannels_{0};
+  std::atomic<std::uint64_t> fusionGatesIn_{0};
+  std::atomic<std::uint64_t> fusionBlocks_{0};
+  std::atomic<std::uint64_t> fusionSweepsSaved_{0};
   mutable std::mutex kindMutex_;
   std::map<std::string, std::uint64_t> gateByKind_;
 };
@@ -181,6 +211,7 @@ class Metrics {
   void countShots(std::uint64_t) {}
   void countCircuitSimulation() {}
   void countNoiseChannel() {}
+  void countFusion(std::uint64_t, std::uint64_t, std::uint64_t) {}
   void reset() {}
 
   std::uint64_t gateApplications() const { return 0; }
@@ -192,6 +223,9 @@ class Metrics {
   std::uint64_t shotsSampled() const { return 0; }
   std::uint64_t circuitSimulations() const { return 0; }
   std::uint64_t noiseChannelApplications() const { return 0; }
+  std::uint64_t fusionGatesIn() const { return 0; }
+  std::uint64_t fusionBlocks() const { return 0; }
+  std::uint64_t fusionSweepsSaved() const { return 0; }
 };
 
 inline Metrics& metrics() {

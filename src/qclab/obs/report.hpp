@@ -78,6 +78,11 @@ class Report {
     out << "circuit simulations: " << m.circuitSimulations() << "\n";
     out << "noise channel applications: " << m.noiseChannelApplications()
         << "\n";
+    if (m.fusionGatesIn() != 0) {
+      out << "fusion: " << m.fusionGatesIn() << " gates -> "
+          << m.fusionBlocks() << " blocks (" << m.fusionSweepsSaved()
+          << " sweeps saved)\n";
+    }
     out << "trace: " << tracer().nbEvents() << " spans retained, "
         << tracer().dropped() << " dropped\n";
     if (!results_.empty()) {
@@ -135,7 +140,10 @@ class Report {
     out << "    \"circuit_simulations\": " << m.circuitSimulations()
         << ",\n";
     out << "    \"noise_channel_applications\": "
-        << m.noiseChannelApplications() << "\n";
+        << m.noiseChannelApplications() << ",\n";
+    out << "    \"fusion_gates_in\": " << m.fusionGatesIn() << ",\n";
+    out << "    \"fusion_blocks_out\": " << m.fusionBlocks() << ",\n";
+    out << "    \"fusion_sweeps_saved\": " << m.fusionSweepsSaved() << "\n";
     out << "  },\n";
     out << "  \"trace\": {\"events\": " << tracer().nbEvents()
         << ", \"dropped\": " << tracer().dropped() << "},\n";

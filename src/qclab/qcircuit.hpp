@@ -29,6 +29,17 @@
 
 namespace qclab {
 
+/// Simulation-time options of QCircuit::simulate.
+struct SimulateOptions {
+  /// Fuse runs of adjacent gates into <= fusionOptions.maxQubits blocks
+  /// applied with one state sweep each (sim/fusion.hpp).  Measurements,
+  /// resets, and barriers flush the open run; results are identical to an
+  /// unfused run up to rounding.
+  bool fusion = false;
+  /// Scheduler knobs used when `fusion` is on.
+  sim::FusionOptions fusionOptions{};
+};
+
 template <typename T>
 class QCircuit final : public QObject<T> {
  public:
@@ -233,15 +244,32 @@ class QCircuit final : public QObject<T> {
   Simulation<T> simulate(
       const std::string& bits,
       const sim::Backend<T>& backend = sim::defaultBackend<T>()) const {
-    util::require(static_cast<int>(bits.size()) == nbQubits_,
-                  "initial bitstring length must equal nbQubits");
-    return simulate(basisState<T>(bits), backend);
+    return simulate(bits, SimulateOptions{}, backend);
   }
 
   /// Simulates from an arbitrary initial state vector (normalized within
   /// 1e-6 relative; renormalized exactly before the run).
   Simulation<T> simulate(
       std::vector<std::complex<T>> state,
+      const sim::Backend<T>& backend = sim::defaultBackend<T>()) const {
+    return simulate(std::move(state), SimulateOptions{}, backend);
+  }
+
+  /// Simulates from the basis state given by `bits` with explicit options.
+  Simulation<T> simulate(
+      const std::string& bits, const SimulateOptions& options,
+      const sim::Backend<T>& backend = sim::defaultBackend<T>()) const {
+    util::require(static_cast<int>(bits.size()) == nbQubits_,
+                  "initial bitstring length must equal nbQubits");
+    return simulate(basisState<T>(bits), options, backend);
+  }
+
+  /// Simulates from an arbitrary initial state with explicit options.
+  /// With options.fusion the unitary gate runs between measurement / reset
+  /// / barrier boundaries are fused into blocks (plan built once, applied
+  /// to every branch); non-gate objects still go through `backend`.
+  Simulation<T> simulate(
+      std::vector<std::complex<T>> state, const SimulateOptions& options,
       const sim::Backend<T>& backend = sim::defaultBackend<T>()) const {
     util::require(state.size() == (std::size_t{1} << nbQubits_),
                   "initial state dimension must be 2^nbQubits");
@@ -257,7 +285,13 @@ class QCircuit final : public QObject<T> {
                          "simulate(n=" + std::to_string(nbQubits_) + ")",
                          "circuit");
     Simulation<T> simulation(nbQubits_, std::move(state));
-    applyTo(simulation, 0, backend);
+    if (options.fusion) {
+      std::vector<sim::GateRef<T>> run;
+      applyToFused(simulation, 0, options, backend, run);
+      flushFusedRun(simulation, options.fusionOptions, run);
+    } else {
+      applyTo(simulation, 0, backend);
+    }
     return simulation;
   }
 
@@ -412,6 +446,50 @@ class QCircuit final : public QObject<T> {
               "circuit with measurements or resets has no unitary matrix");
       }
     }
+  }
+
+  /// Fusion-mode walk: gates accumulate into `run` (with their absolute
+  /// offsets), sub-circuits recurse, and anything that is not a unitary
+  /// gate flushes the run first.  Barriers are semantically neutral but
+  /// double as explicit fusion boundaries.
+  void applyToFused(Simulation<T>& simulation, int offset,
+                    const SimulateOptions& options,
+                    const sim::Backend<T>& backend,
+                    std::vector<sim::GateRef<T>>& run) const {
+    const int total = offset + offset_;
+    for (const auto& object : objects_) {
+      switch (object->objectType()) {
+        case ObjectType::kGate:
+          run.push_back(
+              {static_cast<const qgates::QGate<T>*>(object.get()), total});
+          break;
+        case ObjectType::kCircuit:
+          static_cast<const QCircuit<T>&>(*object).applyToFused(
+              simulation, total, options, backend, run);
+          break;
+        case ObjectType::kBarrier:
+          flushFusedRun(simulation, options.fusionOptions, run);
+          break;
+        default:
+          flushFusedRun(simulation, options.fusionOptions, run);
+          applyObject(simulation, *object, total, backend);
+          break;
+      }
+    }
+  }
+
+  /// Fuses the accumulated gate run (plan built once) and applies it to
+  /// every simulation branch, then clears the run.
+  static void flushFusedRun(Simulation<T>& simulation,
+                            const sim::FusionOptions& options,
+                            std::vector<sim::GateRef<T>>& run) {
+    if (run.empty()) return;
+    const sim::FusionPlan<T> plan =
+        sim::fuseGates(run, simulation.nbQubits(), options);
+    for (auto& branch : simulation.branches()) {
+      sim::applyFusionPlan(branch.state, simulation.nbQubits(), plan);
+    }
+    run.clear();
   }
 
   static void applyObject(Simulation<T>& simulation, const QObject<T>& object,

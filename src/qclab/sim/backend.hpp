@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "qclab/qgates/qgates.hpp"
+#include "qclab/sim/fusion.hpp"
 #include "qclab/sim/kernel_path.hpp"
 #include "qclab/sim/kernels.hpp"
 #include "qclab/sparse/csr.hpp"
@@ -32,7 +33,11 @@ KernelPath classifyKernelPath(const qgates::QGate<T>& gate) {
     return KernelPath::kSwap;
   }
   if (!gate.controls().empty() && gate.targets().size() == 1) {
-    return KernelPath::kControlled1;
+    // Controlled gates with a diagonal target (CZ, CPhase, CRZ, MCZ, ...)
+    // need only one multiply per active-subspace amplitude; the dense
+    // 2x2 pair update of kControlled1 would double the work.
+    return gate.isDiagonal() ? KernelPath::kControlledDiagonal1
+                             : KernelPath::kControlled1;
   }
   if (gate.nbQubits() == 1) {
     return gate.isDiagonal() ? KernelPath::kDiagonal1 : KernelPath::kDense1;
@@ -88,6 +93,16 @@ class KernelBackend final : public Backend<T> {
                          gate.targetMatrix());
         return;
       }
+      case KernelPath::kControlledDiagonal1: {
+        // Controlled diagonal gate: one multiply on the active subspace.
+        std::vector<int> shiftedControls(gate.controls());
+        for (int& c : shiftedControls) c += offset;
+        const auto u = gate.targetMatrix();
+        applyControlledDiagonal1(state, nbQubits, shiftedControls,
+                                 gate.controlStates(),
+                                 gate.targets()[0] + offset, u(0, 0), u(1, 1));
+        return;
+      }
       case KernelPath::kDiagonal1: {
         const auto u = gate.matrix();
         applyDiagonal1(state, nbQubits, gate.qubits()[0] + offset, u(0, 0),
@@ -120,6 +135,45 @@ class KernelBackend final : public Backend<T> {
   }
 
   const char* name() const noexcept override { return "kernel"; }
+};
+
+/// Gate-fusion strategy: fuses maximal runs of adjacent gates whose
+/// combined support fits a <= maxQubits window into one dense (or
+/// diagonal) block and applies each block with a single state sweep
+/// (sim/fusion.hpp).  Fusion needs lookahead over a gate run, so the
+/// per-gate applyGate falls back to the plain kernels; the run-level
+/// entry points (fusePlan/applyFused) are driven by QCircuit::simulate
+/// behind SimulateOptions::fusion.
+template <typename T>
+class FusionBackend final : public Backend<T> {
+ public:
+  explicit FusionBackend(FusionOptions options = {}) : options_(options) {}
+
+  /// Single-gate call: no lookahead is possible, apply via the kernels.
+  void applyGate(std::vector<std::complex<T>>& state, int nbQubits,
+                 const qgates::QGate<T>& gate, int offset = 0) const override {
+    kernel_.applyGate(state, nbQubits, gate, offset);
+  }
+
+  /// Schedules `gates` into fused blocks (build once, apply per branch).
+  FusionPlan<T> fusePlan(const std::vector<GateRef<T>>& gates,
+                         int nbQubits) const {
+    return fuseGates(gates, nbQubits, options_);
+  }
+
+  /// Fuses `gates` and applies the resulting plan in one go.
+  void applyFused(std::vector<std::complex<T>>& state, int nbQubits,
+                  const std::vector<GateRef<T>>& gates) const {
+    applyFusionPlan(state, nbQubits, fusePlan(gates, nbQubits));
+  }
+
+  const FusionOptions& options() const noexcept { return options_; }
+
+  const char* name() const noexcept override { return "fusion"; }
+
+ private:
+  FusionOptions options_;
+  KernelBackend<T> kernel_;
 };
 
 /// Builds the sparse extended unitary I_l (x) U_range (x) I_r of `gate`

@@ -1,0 +1,246 @@
+#pragma once
+
+/// \file fusion.hpp
+/// \brief Simulation-time gate fusion (the Qulacs-style CPU optimization).
+///
+/// Applying one gate per pass over the 2^n-amplitude state makes deep
+/// circuits memory-bandwidth bound: every gate streams the whole state
+/// through the cache hierarchy.  The fusion scheduler greedily merges
+/// maximal runs of adjacent gates whose combined qubit support fits a
+/// <= maxQubits window (default 4) into one dense block, so dozens of
+/// full-state sweeps collapse into a single applyK sweep per block.
+/// Runs in which every merged gate is diagonal keep a diagonal block and
+/// go through the cheaper applyDiagonalK sweep instead.
+///
+/// The scheduler is a pure function over gate sequences (fuseGates), so a
+/// plan is built once per circuit run and applied to every simulation
+/// branch; QCircuit::simulate drives it behind SimulateOptions::fusion.
+
+#include <algorithm>
+#include <complex>
+#include <cstdint>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "qclab/dense/matrix.hpp"
+#include "qclab/obs/metrics.hpp"
+#include "qclab/qgates/qgate.hpp"
+#include "qclab/sim/kernel_path.hpp"
+#include "qclab/sim/kernels.hpp"
+#include "qclab/util/bits.hpp"
+#include "qclab/util/errors.hpp"
+
+namespace qclab::sim {
+
+/// Tuning knobs of the fusion scheduler.
+struct FusionOptions {
+  /// Largest fused-block support; blocks hold 2^maxQubits x 2^maxQubits
+  /// dense matrices, so values beyond ~6 trade sweep savings for per-block
+  /// arithmetic.  Gates wider than the window pass through unfused.
+  int maxQubits = 4;
+};
+
+/// A gate reference inside a fusion run: the gate plus the accumulated
+/// qubit offset of the (sub-)circuit it came from.
+template <typename T>
+struct GateRef {
+  const qgates::QGate<T>* gate = nullptr;
+  int offset = 0;
+};
+
+/// One scheduled block: the product of a run of gates over a common
+/// ascending qubit window (MSB-first, like every gate matrix).
+template <typename T>
+struct FusedBlock {
+  std::vector<int> qubits;   ///< ascending absolute qubit indices
+  dense::Matrix<T> matrix;   ///< 2^k x 2^k product of the merged gates
+  bool diagonal = false;     ///< every merged gate was diagonal
+  std::size_t gatesIn = 0;   ///< number of gates merged into this block
+};
+
+/// Aggregate scheduling outcome (the obs fusion counters use the same
+/// three numbers).
+struct FusionStats {
+  std::uint64_t gatesIn = 0;      ///< gates consumed by the scheduler
+  std::uint64_t blocksOut = 0;    ///< blocks emitted
+  std::uint64_t sweepsSaved = 0;  ///< full-state sweeps avoided (in - out)
+};
+
+/// An ordered list of fused blocks, applied left to right.
+template <typename T>
+struct FusionPlan {
+  std::vector<FusedBlock<T>> blocks;
+
+  FusionStats stats() const noexcept {
+    FusionStats s;
+    for (const auto& block : blocks) {
+      s.gatesIn += block.gatesIn;
+      ++s.blocksOut;
+    }
+    s.sweepsSaved = s.gatesIn - s.blocksOut;
+    return s;
+  }
+};
+
+namespace detail {
+
+/// Embeds a matrix over the ascending qubit list `from` into the superset
+/// window `to` (identity on window qubits the gate does not touch), keeping
+/// the MSB-first qubit ordering of both lists.
+template <typename T>
+dense::Matrix<T> embedInWindow(const dense::Matrix<T>& u,
+                               const std::vector<int>& from,
+                               const std::vector<int>& to) {
+  if (from == to) return u;
+  const int k = static_cast<int>(from.size());
+  const int m = static_cast<int>(to.size());
+
+  // Bit position of each `from` qubit within a window index.
+  std::vector<int> positions(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const auto it = std::lower_bound(to.begin(), to.end(),
+                                     from[static_cast<std::size_t>(i)]);
+    util::require(it != to.end() && *it == from[static_cast<std::size_t>(i)],
+                  "fusion window does not cover the gate qubits");
+    positions[static_cast<std::size_t>(i)] =
+        util::bitPosition(static_cast<int>(it - to.begin()), m);
+  }
+
+  const std::size_t dim = std::size_t{1} << m;
+  dense::Matrix<T> full(dim, dim);
+  for (util::index_t row = 0; row < dim; ++row) {
+    util::index_t gateRow = 0;
+    for (int i = 0; i < k; ++i) {
+      gateRow = (gateRow << 1) |
+                util::getBit(row, positions[static_cast<std::size_t>(i)]);
+    }
+    for (util::index_t gateCol = 0; gateCol < (util::index_t{1} << k);
+         ++gateCol) {
+      const std::complex<T> value = u(gateRow, gateCol);
+      if (value == std::complex<T>(0)) continue;
+      util::index_t col = row;
+      for (int i = 0; i < k; ++i) {
+        const int pos = positions[static_cast<std::size_t>(i)];
+        col = util::getBit(gateCol, util::bitPosition(i, k))
+                  ? util::setBit(col, pos)
+                  : util::clearBit(col, pos);
+      }
+      full(row, col) = value;
+    }
+  }
+  return full;
+}
+
+}  // namespace detail
+
+/// Greedily schedules `gates` (applied left to right) into fused blocks:
+/// each gate joins the open block while the union of supports still fits
+/// the window; otherwise the block is flushed and a new one starts.  Gates
+/// wider than the window pass through as single-gate blocks.
+template <typename T>
+FusionPlan<T> fuseGates(const std::vector<GateRef<T>>& gates, int nbQubits,
+                        const FusionOptions& options = {}) {
+  util::require(options.maxQubits >= 1,
+                "fusion window must span at least one qubit");
+  const int window = std::min(options.maxQubits, nbQubits);
+
+  FusionPlan<T> plan;
+  std::vector<int> support;  // ascending qubits of the open block
+  dense::Matrix<T> matrix;   // product over `support`
+  bool diagonal = true;
+  std::size_t gatesIn = 0;
+
+  const auto flush = [&]() {
+    if (gatesIn == 0) return;
+    FusedBlock<T> block;
+    block.qubits = std::move(support);
+    block.matrix = std::move(matrix);
+    block.diagonal = diagonal;
+    block.gatesIn = gatesIn;
+    plan.blocks.push_back(std::move(block));
+    support.clear();
+    diagonal = true;
+    gatesIn = 0;
+  };
+
+  for (const auto& ref : gates) {
+    util::require(ref.gate != nullptr, "fuseGates: null gate reference");
+    std::vector<int> qubits = ref.gate->qubits();
+    for (int& q : qubits) q += ref.offset;
+    util::checkQubit(qubits.front(), nbQubits);
+    util::checkQubit(qubits.back(), nbQubits);
+
+    if (static_cast<int>(qubits.size()) > window) {
+      // Wider than the window: emit unfused as its own block.
+      flush();
+      FusedBlock<T> block;
+      block.qubits = std::move(qubits);
+      block.matrix = ref.gate->matrix();
+      block.diagonal = ref.gate->isDiagonal();
+      block.gatesIn = 1;
+      plan.blocks.push_back(std::move(block));
+      continue;
+    }
+
+    std::vector<int> merged;
+    merged.reserve(support.size() + qubits.size());
+    std::set_union(support.begin(), support.end(), qubits.begin(),
+                   qubits.end(), std::back_inserter(merged));
+    if (static_cast<int>(merged.size()) > window) {
+      flush();
+      merged = qubits;
+    }
+
+    if (gatesIn == 0) {
+      support = std::move(merged);
+      matrix = detail::embedInWindow(ref.gate->matrix(), qubits, support);
+      diagonal = ref.gate->isDiagonal();
+      gatesIn = 1;
+    } else {
+      if (merged != support) {
+        matrix = detail::embedInWindow(matrix, support, merged);
+        support = std::move(merged);
+      }
+      matrix = detail::embedInWindow(ref.gate->matrix(), qubits, support) *
+               matrix;
+      diagonal = diagonal && ref.gate->isDiagonal();
+      ++gatesIn;
+    }
+  }
+  flush();
+  return plan;
+}
+
+/// Applies a fusion plan to the state, one sweep per block: diagonal
+/// blocks go through applyDiagonalK, dense blocks through apply1/applyK.
+/// Block applications and the plan's fusion stats are recorded in
+/// obs::metrics() (by kernel path only; the per-kind histogram stays an
+/// InstrumentedBackend concern).
+template <typename T>
+void applyFusionPlan(std::vector<std::complex<T>>& state, int nbQubits,
+                     const FusionPlan<T>& plan) {
+  const std::uint64_t bytes =
+      2 * static_cast<std::uint64_t>(state.size()) * sizeof(std::complex<T>);
+  for (const auto& block : plan.blocks) {
+    if (block.diagonal) {
+      std::vector<std::complex<T>> diag(block.matrix.rows());
+      for (std::size_t i = 0; i < diag.size(); ++i) {
+        diag[i] = block.matrix(i, i);
+      }
+      applyDiagonalK(state, nbQubits, block.qubits, diag);
+      obs::metrics().countGate(KernelPath::kFusedDiagonalK, nullptr, bytes);
+    } else if (block.qubits.size() == 1) {
+      apply1(state, nbQubits, block.qubits.front(), block.matrix);
+      obs::metrics().countGate(KernelPath::kFusedDenseK, nullptr, bytes);
+    } else {
+      applyK(state, nbQubits, block.qubits, block.matrix);
+      obs::metrics().countGate(KernelPath::kFusedDenseK, nullptr, bytes);
+    }
+  }
+  const FusionStats stats = plan.stats();
+  obs::metrics().countFusion(stats.gatesIn, stats.blocksOut,
+                             stats.sweepsSaved);
+}
+
+}  // namespace qclab::sim

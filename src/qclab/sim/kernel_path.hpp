@@ -12,28 +12,35 @@ namespace qclab::sim {
 
 /// Which specialized routine a backend uses for a given gate.
 enum class KernelPath : int {
-  kSwap = 0,     ///< SWAP: pure index permutation
-  kControlled1,  ///< controlled gate, single target: active subspace only
-  kDiagonal1,    ///< uncontrolled single-qubit diagonal: one multiply/amp
-  kDense1,       ///< uncontrolled single-qubit dense 2x2 apply
-  kDiagonalK,    ///< multi-qubit diagonal (RZZ, ...): one multiply/amp
-  kDenseK,       ///< general k-qubit dense apply
-  kSparseKron,   ///< sparse extended unitary I (x) U (x) I times state
+  kSwap = 0,             ///< SWAP: pure index permutation
+  kControlled1,          ///< controlled gate, single target: active subspace only
+  kDiagonal1,            ///< uncontrolled single-qubit diagonal: one multiply/amp
+  kDense1,               ///< uncontrolled single-qubit dense 2x2 apply
+  kDiagonalK,            ///< multi-qubit diagonal (RZZ, ...): one multiply/amp
+  kDenseK,               ///< general k-qubit dense apply
+  kSparseKron,           ///< sparse extended unitary I (x) U (x) I times state
+  kControlledDiagonal1,  ///< controlled diagonal target (CZ, CPhase, CRZ):
+                         ///< one multiply per active-subspace amplitude
+  kFusedDenseK,          ///< fusion engine: dense block of merged gates
+  kFusedDiagonalK,       ///< fusion engine: diagonal-only block of merged gates
 };
 
 /// Number of enumerators in KernelPath (for counter arrays).
-inline constexpr int kKernelPathCount = 7;
+inline constexpr int kKernelPathCount = 10;
 
 /// Stable short name of a kernel path (used in reports and traces).
 inline const char* kernelPathName(KernelPath path) noexcept {
   switch (path) {
-    case KernelPath::kSwap:        return "swap";
-    case KernelPath::kControlled1: return "controlled1";
-    case KernelPath::kDiagonal1:   return "diagonal1";
-    case KernelPath::kDense1:      return "dense1";
-    case KernelPath::kDiagonalK:   return "diagonal-k";
-    case KernelPath::kDenseK:      return "dense-k";
-    case KernelPath::kSparseKron:  return "sparse-kron";
+    case KernelPath::kSwap:                return "swap";
+    case KernelPath::kControlled1:         return "controlled1";
+    case KernelPath::kDiagonal1:           return "diagonal1";
+    case KernelPath::kDense1:              return "dense1";
+    case KernelPath::kDiagonalK:           return "diagonal-k";
+    case KernelPath::kDenseK:              return "dense-k";
+    case KernelPath::kSparseKron:          return "sparse-kron";
+    case KernelPath::kControlledDiagonal1: return "controlled-diagonal1";
+    case KernelPath::kFusedDenseK:         return "fused-k";
+    case KernelPath::kFusedDiagonalK:      return "fused-diagonal-k";
   }
   return "unknown";
 }

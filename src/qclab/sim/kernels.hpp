@@ -112,6 +112,50 @@ void applyControlled1(std::vector<std::complex<T>>& state, int nbQubits,
   }
 }
 
+/// Applies a diagonal 2x2 gate diag(d0, d1) to `target`, controlled on
+/// `controls` being in the per-control `controlStates`, in place.  Only the
+/// active subspace (2^{n - nc} amplitudes) is touched, with one multiply
+/// per amplitude — the fast path for CZ / CPhase / CRZ-like gates that the
+/// dense pair-update of applyControlled1 would overwork.
+template <typename T>
+void applyControlledDiagonal1(std::vector<std::complex<T>>& state,
+                              int nbQubits, const std::vector<int>& controls,
+                              const std::vector<int>& controlStates,
+                              int target, std::complex<T> d0,
+                              std::complex<T> d1) {
+  util::checkQubit(target, nbQubits);
+  util::require(controls.size() == controlStates.size(),
+                "controls/controlStates length mismatch");
+
+  // Fixed bit positions (controls + target), ascending, with their values.
+  std::vector<std::pair<int, util::index_t>> fixed;
+  fixed.reserve(controls.size() + 1);
+  for (std::size_t i = 0; i < controls.size(); ++i) {
+    util::checkQubit(controls[i], nbQubits);
+    util::require(controls[i] != target, "control equals target");
+    fixed.emplace_back(util::bitPosition(controls[i], nbQubits),
+                       static_cast<util::index_t>(controlStates[i]));
+  }
+  const int targetPos = util::bitPosition(target, nbQubits);
+  fixed.emplace_back(targetPos, 0);
+  std::sort(fixed.begin(), fixed.end());
+
+  const int nbFixed = static_cast<int>(fixed.size());
+  const std::int64_t count = std::int64_t{1} << (nbQubits - nbFixed);
+#ifdef QCLAB_HAS_OPENMP
+#pragma omp parallel for schedule(static) if (count >= kOmpThreshold)
+#endif
+  for (std::int64_t base = 0; base < count; ++base) {
+    util::index_t i0 = static_cast<util::index_t>(base);
+    for (const auto& [pos, value] : fixed) {
+      i0 = util::insertBit(i0, pos, value);
+    }
+    const util::index_t i1 = util::setBit(i0, targetPos);
+    state[i0] *= d0;
+    state[i1] *= d1;
+  }
+}
+
 /// Swaps qubits q0 and q1, in place (permutation only, no arithmetic).
 template <typename T>
 void applySwap(std::vector<std::complex<T>>& state, int nbQubits, int qubit0,
@@ -212,6 +256,11 @@ void applyDiagonalK(std::vector<std::complex<T>>& state, int nbQubits,
   std::vector<int> positions(static_cast<std::size_t>(k));
   for (int i = 0; i < k; ++i) {
     util::checkQubit(qubits[static_cast<std::size_t>(i)], nbQubits);
+    if (i > 0) {
+      util::require(qubits[static_cast<std::size_t>(i)] >
+                        qubits[static_cast<std::size_t>(i - 1)],
+                    "applyDiagonalK qubits must be strictly ascending");
+    }
     positions[static_cast<std::size_t>(i)] =
         util::bitPosition(qubits[static_cast<std::size_t>(i)], nbQubits);
   }

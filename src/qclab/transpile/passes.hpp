@@ -299,8 +299,10 @@ QCircuit<T> mergeSingleQubitGates(const QCircuit<T>& circuit,
   return out;
 }
 
-/// Standard pipeline: flatten, fuse rotations, cancel inverse pairs, and
-/// remove trivial gates, iterated to a fixpoint (bounded rounds).
+/// Standard pipeline: flatten, fuse rotations, cancel inverse pairs,
+/// remove trivial gates, and merge single-qubit runs, iterated to a
+/// fixpoint (bounded rounds).  Rotation fusion runs first so same-axis
+/// runs stay parameterized rotations instead of opaque MatrixGate1s.
 template <typename T>
 QCircuit<T> optimize(const QCircuit<T>& circuit,
                      T tol = T(1e3) * std::numeric_limits<T>::epsilon()) {
@@ -310,6 +312,7 @@ QCircuit<T> optimize(const QCircuit<T>& circuit,
     current = fuseRotations(current, tol);
     current = cancelInversePairs(current, tol);
     current = removeTrivialGates(current, tol);
+    current = mergeSingleQubitGates(current, tol);
     if (current.nbObjectsRecursive() >= before) break;
   }
   return current;

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "qclab/util/errors.hpp"
+
 namespace qclab::util {
 
 /// Index type for state-vector positions (supports up to 63 qubits).
@@ -44,16 +46,25 @@ constexpr index_t flipBit(index_t i, int pos) noexcept {
 
 /// Inserts a 0 bit at position `pos`: bits of `i` at positions >= pos are
 /// shifted one place up, lower bits are kept.  The result has one more
-/// significant bit than `i`.
+/// significant bit than `i`.  At pos == 63 the shifted-up bits fall off the
+/// top of the 64-bit index (only the low 63 bits of `i` survive); at
+/// pos >= 64 the insertion happens above every representable bit and `i`
+/// is returned unchanged — both edges are well-defined here instead of the
+/// undefined behaviour a shift by pos + 1 >= 64 would invoke.
 constexpr index_t insertZeroBit(index_t i, int pos) noexcept {
+  if (pos >= 63) {
+    return pos >= 64 ? i : i & ((index_t{1} << 63) - 1);
+  }
   const index_t low = i & ((index_t{1} << pos) - 1);
   const index_t high = (i >> pos) << (pos + 1);
   return high | low;
 }
 
-/// Inserts the bit `value` at position `pos` (see insertZeroBit).
+/// Inserts the bit `value` at position `pos` (see insertZeroBit; the same
+/// 64-bit edge rules apply, and a value inserted at pos >= 64 is dropped).
 constexpr index_t insertBit(index_t i, int pos, index_t value) noexcept {
-  return insertZeroBit(i, pos) | (value << pos);
+  const index_t inserted = insertZeroBit(i, pos);
+  return pos >= 64 ? inserted : inserted | (value << pos);
 }
 
 /// Inserts 0 bits at every position in `positions`.  Positions refer to the
@@ -63,8 +74,14 @@ inline index_t insertZeroBits(index_t i, const std::vector<int>& positions) noex
   return i;
 }
 
-/// Removes the bit at position `pos`, shifting higher bits down.
+/// Removes the bit at position `pos`, shifting higher bits down.  At
+/// pos == 63 the removed bit is the topmost one, so only the low 63 bits
+/// survive; at pos >= 64 there is no representable bit to remove and `i`
+/// is returned unchanged (avoiding the undefined shift by pos + 1 >= 64).
 constexpr index_t removeBit(index_t i, int pos) noexcept {
+  if (pos >= 63) {
+    return pos >= 64 ? i : i & ((index_t{1} << 63) - 1);
+  }
   const index_t low = i & ((index_t{1} << pos) - 1);
   const index_t high = (i >> (pos + 1)) << pos;
   return high | low;
@@ -75,8 +92,13 @@ constexpr bool isPowerOfTwo(index_t value) noexcept {
   return value != 0 && (value & (value - 1)) == 0;
 }
 
-/// Base-2 logarithm of a power of two.
-constexpr int log2PowerOfTwo(index_t value) noexcept {
+/// Base-2 logarithm of a power of two.  Throws InvalidArgumentError on 0,
+/// which has no logarithm (the old behaviour silently returned 0, aliasing
+/// an empty register with a single-amplitude one).
+constexpr int log2PowerOfTwo(index_t value) {
+  if (value == 0) {
+    throw InvalidArgumentError("log2PowerOfTwo(0) is undefined");
+  }
   int log = 0;
   while (value > 1) {
     value >>= 1;

@@ -75,6 +75,36 @@ TEST(Bits, InsertZeroBitEnumeratesComplement) {
   }
 }
 
+TEST(Bits, InsertZeroBitTopEdges) {
+  // pos == 63: the shifted-up bits fall off the 64-bit top; only the low
+  // 63 bits of the input survive (previously UB via a shift by 64).
+  const index_t low63 = (index_t{1} << 63) - 1;
+  EXPECT_EQ(insertZeroBit(~index_t{0}, 63), low63);
+  EXPECT_EQ(insertZeroBit(low63, 63), low63);
+  EXPECT_EQ(insertZeroBit(index_t{1} << 63, 63), 0u);
+  // pos >= 64: insertion above every representable bit is a no-op.
+  EXPECT_EQ(insertZeroBit(~index_t{0}, 64), ~index_t{0});
+  EXPECT_EQ(insertZeroBit(0b1010u, 100), 0b1010u);
+}
+
+TEST(Bits, InsertBitTopEdges) {
+  const index_t low63 = (index_t{1} << 63) - 1;
+  EXPECT_EQ(insertBit(0, 63, 1), index_t{1} << 63);
+  EXPECT_EQ(insertBit(low63, 63, 1), ~index_t{0});
+  // A value inserted at pos >= 64 is dropped.
+  EXPECT_EQ(insertBit(0b11u, 64, 1), 0b11u);
+}
+
+TEST(Bits, RemoveBitTopEdges) {
+  // pos == 63 removes the topmost bit; pos >= 64 removes nothing.
+  EXPECT_EQ(removeBit(~index_t{0}, 63), (index_t{1} << 63) - 1);
+  EXPECT_EQ(removeBit(index_t{1} << 63, 63), 0u);
+  EXPECT_EQ(removeBit(0b1010u, 64), 0b1010u);
+  // Round trip still holds at the top edge.
+  const index_t low63 = (index_t{1} << 63) - 1;
+  EXPECT_EQ(removeBit(insertZeroBit(low63, 63), 63), low63);
+}
+
 TEST(Bits, PowerOfTwo) {
   EXPECT_TRUE(isPowerOfTwo(1));
   EXPECT_TRUE(isPowerOfTwo(2));
@@ -85,6 +115,9 @@ TEST(Bits, PowerOfTwo) {
   EXPECT_EQ(log2PowerOfTwo(1), 0);
   EXPECT_EQ(log2PowerOfTwo(2), 1);
   EXPECT_EQ(log2PowerOfTwo(1024), 10);
+  EXPECT_EQ(log2PowerOfTwo(index_t{1} << 63), 63);
+  // 0 has no logarithm; the old code silently returned 0.
+  EXPECT_THROW(log2PowerOfTwo(0), InvalidArgumentError);
 }
 
 TEST(Bitstring, ToIndexMsbFirst) {

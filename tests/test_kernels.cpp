@@ -182,6 +182,71 @@ TEST(Kernels, ApplyKValidation) {
                InvalidArgumentError);
 }
 
+TEST(Kernels, ApplyDiagonalKMatchesApplyK) {
+  const int n = 5;
+  random::Rng rng(8);
+  // Random diagonal unitary on a non-contiguous qubit triple.
+  const std::vector<int> qubits = {0, 2, 4};
+  std::vector<C> diagonal(8);
+  M u(8, 8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    diagonal[i] = std::polar(1.0, rng.uniform(-M_PI, M_PI));
+    u(i, i) = diagonal[i];
+  }
+  auto state = qclab::test::randomState<double>(n, rng);
+  auto expected = state;
+  applyK(expected, n, qubits, u);
+  applyDiagonalK(state, n, qubits, diagonal);
+  qclab::test::expectStateNear(state, expected);
+}
+
+TEST(Kernels, ApplyDiagonalKValidation) {
+  std::vector<C> state(8);
+  const std::vector<C> diag2 = {C(1), C(1)};
+  const std::vector<C> diag4 = {C(1), C(1), C(1), C(1)};
+  // Out-of-order and duplicate qubit lists must throw, like applyK.
+  EXPECT_THROW(applyDiagonalK(state, 3, {1, 0}, diag4),
+               InvalidArgumentError);
+  EXPECT_THROW(applyDiagonalK(state, 3, {1, 1}, diag4),
+               InvalidArgumentError);
+  // Diagonal length must be 2^k.
+  EXPECT_THROW(applyDiagonalK(state, 3, {0, 1}, diag2),
+               InvalidArgumentError);
+  EXPECT_NO_THROW(applyDiagonalK(state, 3, {0, 1}, diag4));
+}
+
+TEST(Kernels, ApplyControlledDiagonal1MatchesApplyControlled1) {
+  const int n = 4;
+  random::Rng rng(9);
+  for (int control = 0; control < n; ++control) {
+    for (int target = 0; target < n; ++target) {
+      if (control == target) continue;
+      for (int controlState : {0, 1}) {
+        M u(2, 2);
+        u(0, 0) = std::polar(1.0, rng.uniform(-M_PI, M_PI));
+        u(1, 1) = std::polar(1.0, rng.uniform(-M_PI, M_PI));
+        auto state = qclab::test::randomState<double>(n, rng);
+        auto expected = state;
+        applyControlled1(expected, n, {control}, {controlState}, target, u);
+        applyControlledDiagonal1(state, n, {control}, {controlState}, target,
+                                 u(0, 0), u(1, 1));
+        qclab::test::expectStateNear(state, expected);
+      }
+    }
+  }
+}
+
+TEST(Kernels, ApplyControlledDiagonal1MultipleControls) {
+  const int n = 5;
+  random::Rng rng(10);
+  // Multi-controlled Z with mixed control states, against embedDense.
+  const qgates::MCZ<double> gate({0, 3}, 2, {1, 0});
+  auto state = qclab::test::randomState<double>(n, rng);
+  auto expected = embedDense(n, gate.qubits(), gate.matrix()).apply(state);
+  applyControlledDiagonal1(state, n, {0, 3}, {1, 0}, 2, C(1), C(-1));
+  qclab::test::expectStateNear(state, expected);
+}
+
 TEST(Kernels, MeasureProbability0) {
   // |psi> = sqrt(0.3)|0> + sqrt(0.7)|1> on one qubit.
   std::vector<C> state = {C(std::sqrt(0.3)), C(std::sqrt(0.7))};

@@ -151,6 +151,11 @@ TEST(ObsKernelPath, ClassificationPerGateClass) {
   const qclab::qgates::Hadamard<T> hadamard(0);
   const qclab::qgates::RotationZZ<T> rzz(0, 1, 0.7);
   const qclab::qgates::iSWAP<T> iswap(0, 1);
+  const qclab::qgates::CZ<T> cz(0, 1);
+  const qclab::qgates::CPhase<T> cphase(0, 1, 0.5);
+  const qclab::qgates::CRotationZ<T> crz(0, 1, 0.5);
+  const qclab::qgates::CRotationX<T> crx(0, 1, 0.5);
+  const qclab::qgates::MCZ<T> mcz({0, 1}, 2);
 
   EXPECT_EQ(kernel.dispatchPath(swap), KernelPath::kSwap);
   EXPECT_EQ(kernel.dispatchPath(cnot), KernelPath::kControlled1);
@@ -159,6 +164,14 @@ TEST(ObsKernelPath, ClassificationPerGateClass) {
   EXPECT_EQ(kernel.dispatchPath(hadamard), KernelPath::kDense1);
   EXPECT_EQ(kernel.dispatchPath(rzz), KernelPath::kDiagonalK);
   EXPECT_EQ(kernel.dispatchPath(iswap), KernelPath::kDenseK);
+
+  // Controlled gates with a diagonal target take the controlled-diagonal
+  // fast path; a non-diagonal target (CRX) stays on controlled1.
+  EXPECT_EQ(kernel.dispatchPath(cz), KernelPath::kControlledDiagonal1);
+  EXPECT_EQ(kernel.dispatchPath(cphase), KernelPath::kControlledDiagonal1);
+  EXPECT_EQ(kernel.dispatchPath(crz), KernelPath::kControlledDiagonal1);
+  EXPECT_EQ(kernel.dispatchPath(mcz), KernelPath::kControlledDiagonal1);
+  EXPECT_EQ(kernel.dispatchPath(crx), KernelPath::kControlled1);
 
   EXPECT_EQ(sparse.dispatchPath(swap), KernelPath::kSparseKron);
   EXPECT_EQ(sparse.dispatchPath(hadamard), KernelPath::kSparseKron);
@@ -180,6 +193,12 @@ TEST(ObsKernelPath, NamesAreStable) {
   EXPECT_STREQ(qclab::sim::kernelPathName(KernelPath::kDense1), "dense1");
   EXPECT_STREQ(qclab::sim::kernelPathName(KernelPath::kSparseKron),
                "sparse-kron");
+  EXPECT_STREQ(qclab::sim::kernelPathName(KernelPath::kControlledDiagonal1),
+               "controlled-diagonal1");
+  EXPECT_STREQ(qclab::sim::kernelPathName(KernelPath::kFusedDenseK),
+               "fused-k");
+  EXPECT_STREQ(qclab::sim::kernelPathName(KernelPath::kFusedDiagonalK),
+               "fused-diagonal-k");
 }
 
 // ---- instrumented simulation equals plain simulation (all builds) -----
@@ -282,6 +301,65 @@ TEST(ObsMetrics, CounterTotalsMatchGateCounts) {
   EXPECT_EQ(metrics.gateApplications(KernelPath::kDenseK), 1u);
   EXPECT_GT(metrics.bytesTouched(), 0u);
   EXPECT_EQ(metrics.circuitSimulations(), 1u);
+}
+
+TEST(ObsMetrics, ControlledDiagonalPathCounted) {
+  auto& metrics = qclab::obs::metrics();
+  metrics.reset();
+
+  qclab::QCircuit<T> circuit(2);
+  circuit.push_back(qclab::qgates::CZ<T>(0, 1));
+  circuit.push_back(qclab::qgates::CPhase<T>(0, 1, 0.4));
+  circuit.push_back(qclab::qgates::CRotationZ<T>(0, 1, 0.3));
+  circuit.push_back(qclab::qgates::CX<T>(0, 1));
+
+  const qclab::obs::InstrumentedBackend<T> backend;
+  circuit.simulate("00", backend);
+
+  EXPECT_EQ(metrics.gateApplications(KernelPath::kControlledDiagonal1), 3u);
+  EXPECT_EQ(metrics.gateApplications(KernelPath::kControlled1), 1u);
+  EXPECT_EQ(metrics.gateApplications(), 4u);
+}
+
+TEST(ObsMetrics, FusionCountersTrackPlanApplications) {
+  auto& metrics = qclab::obs::metrics();
+  metrics.reset();
+
+  // Four single-qubit gates on two qubits fuse into one dense block.
+  qclab::QCircuit<T> circuit(2);
+  circuit.push_back(qclab::qgates::Hadamard<T>(0));
+  circuit.push_back(qclab::qgates::Hadamard<T>(1));
+  circuit.push_back(qclab::qgates::TGate<T>(0));
+  circuit.push_back(qclab::qgates::PauliX<T>(1));
+
+  qclab::SimulateOptions options;
+  options.fusion = true;
+  circuit.simulate("00", options);
+
+  EXPECT_EQ(metrics.fusionGatesIn(), 4u);
+  EXPECT_EQ(metrics.fusionBlocks(), 1u);
+  EXPECT_EQ(metrics.fusionSweepsSaved(), 3u);
+  EXPECT_EQ(metrics.gateApplications(KernelPath::kFusedDenseK), 1u);
+  // The fused sweep is a bare-kernel call: no per-kind histogram entries.
+  EXPECT_TRUE(metrics.gateKinds().empty());
+
+  // A diagonal-only run keeps a diagonal block.
+  metrics.reset();
+  qclab::QCircuit<T> diagonalRun(2);
+  diagonalRun.push_back(qclab::qgates::RotationZ<T>(0, 0.3));
+  diagonalRun.push_back(qclab::qgates::CZ<T>(0, 1));
+  diagonalRun.push_back(qclab::qgates::PauliZ<T>(1));
+  diagonalRun.simulate("00", options);
+
+  EXPECT_EQ(metrics.fusionGatesIn(), 3u);
+  EXPECT_EQ(metrics.fusionBlocks(), 1u);
+  EXPECT_EQ(metrics.gateApplications(KernelPath::kFusedDiagonalK), 1u);
+
+  // The counters surface in the report JSON.
+  const std::string json = qclab::obs::Report("fusion_test").json();
+  EXPECT_NE(json.find("\"fusion_gates_in\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"fusion_blocks_out\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"fusion_sweeps_saved\": 2"), std::string::npos);
 }
 
 TEST(ObsMetrics, GroverCountsMatchAcrossNestedBlocks) {

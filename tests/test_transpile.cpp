@@ -197,6 +197,19 @@ TEST(Optimize, ShrinksRedundantCircuits) {
   EXPECT_EQ(optimize(circuit).nbObjectsRecursive(), 0u);
 }
 
+TEST(Optimize, MergesSingleQubitRuns) {
+  // H T S on one qubit have no same-axis fusions or inverse pairs; only
+  // the single-qubit merge pass can collapse them to one MatrixGate1.
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(TGate<double>(0));
+  circuit.push_back(SGate<double>(0));
+  circuit.push_back(CX<double>(0, 1));
+  const auto optimized = optimize(circuit);
+  EXPECT_EQ(optimized.nbObjects(), 2u);  // MatrixGate1 + CX
+  qclab::test::expectMatrixNear(optimized.matrix(), circuit.matrix(), 1e-12);
+}
+
 class OptimizePropertySweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(OptimizePropertySweep, PreservesUnitaryOnRandomCircuits) {
