@@ -7,9 +7,12 @@
 /// google-benchmark so the hand-rolled JSON benches can use it too.
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <utility>
+
+#include "qclab/obs/report.hpp"
 
 namespace qclab::benchutil {
 
@@ -30,6 +33,38 @@ inline std::string extractObsJsonPath(int& argc, char** argv) {
   }
   argc = out;
   return path;
+}
+
+/// Wall-clock nanoseconds since construction — the whole-run timing the
+/// repro binaries report as their gated trajectory result.
+class WallTimer {
+ public:
+  double elapsedNs() const {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - begin_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point begin_ =
+      std::chrono::steady_clock::now();
+};
+
+/// Shared tail of the repro binaries: when `--obs-json <path>` was given,
+/// exports the run's obs::Report (whole-run wall clock attached as
+/// "total/run") to `path`.  Returns the process exit code.
+inline int writeReproReport(const std::string& obsJsonPath,
+                            const char* reproName, const WallTimer& timer) {
+  if (obsJsonPath.empty()) return 0;
+  obs::Report report(reproName);
+  report.add("total/run", timer.elapsedNs(), "ns");
+  if (!report.writeJson(obsJsonPath)) {
+    std::fprintf(stderr, "error: cannot write obs JSON to %s\n",
+                 obsJsonPath.c_str());
+    return 1;
+  }
+  return 0;
 }
 
 /// Average wall-clock nanoseconds per call of `f`, self-calibrating the

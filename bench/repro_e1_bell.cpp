@@ -6,8 +6,14 @@
 #include <cstdio>
 
 #include "qclab/qclab.hpp"
+#include "obs_cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string obsJsonPath =
+      qclab::benchutil::extractObsJsonPath(argc, argv);
+  qclab::obs::metrics().reset();
+  const qclab::benchutil::WallTimer wallTimer;
+
   using T = double;
   using namespace qclab;
 
@@ -40,5 +46,6 @@ int main() {
     std::printf("%-28s %-20s %s  [backend: %s]\n", "probabilities",
                 "0.5 0.5", probabilities.c_str(), backend->name());
   }
-  return 0;
+  return qclab::benchutil::writeReproReport(obsJsonPath, "repro_e1_bell",
+                                            wallTimer);
 }

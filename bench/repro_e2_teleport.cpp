@@ -7,8 +7,14 @@
 #include <cstdio>
 
 #include "qclab/qclab.hpp"
+#include "obs_cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string obsJsonPath =
+      qclab::benchutil::extractObsJsonPath(argc, argv);
+  qclab::obs::metrics().reset();
+  const qclab::benchutil::WallTimer wallTimer;
+
   using T = double;
   using namespace qclab;
 
@@ -29,5 +35,6 @@ int main() {
                 simulation.probability(i), reduced[0].real(),
                 reduced[0].imag(), reduced[1].real(), reduced[1].imag());
   }
-  return 0;
+  return qclab::benchutil::writeReproReport(obsJsonPath, "repro_e2_teleport",
+                                            wallTimer);
 }

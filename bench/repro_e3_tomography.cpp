@@ -12,8 +12,14 @@
 #include <cstdio>
 
 #include "qclab/qclab.hpp"
+#include "obs_cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string obsJsonPath =
+      qclab::benchutil::extractObsJsonPath(argc, argv);
+  qclab::obs::metrics().reset();
+  const qclab::benchutil::WallTimer wallTimer;
+
   using T = double;
   using namespace qclab;
 
@@ -49,5 +55,6 @@ int main() {
     std::printf("  %8llu  %.5f\n", static_cast<unsigned long long>(shots),
                 density::traceDistance(trueRho, sweep.estimate));
   }
-  return 0;
+  return qclab::benchutil::writeReproReport(obsJsonPath, "repro_e3_tomography",
+                                            wallTimer);
 }

@@ -7,8 +7,14 @@
 #include <cstdio>
 
 #include "qclab/qclab.hpp"
+#include "obs_cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string obsJsonPath =
+      qclab::benchutil::extractObsJsonPath(argc, argv);
+  qclab::obs::metrics().reset();
+  const qclab::benchutil::WallTimer wallTimer;
+
   using T = double;
   using namespace qclab;
 
@@ -57,5 +63,6 @@ int main() {
     std::printf("%5d %10d %18.4f %12.4f\n", n, iterations, success,
                 algorithms::groverSuccessProbability(n, iterations));
   }
-  return 0;
+  return qclab::benchutil::writeReproReport(obsJsonPath, "repro_e4_grover",
+                                            wallTimer);
 }

@@ -7,8 +7,14 @@
 #include <cstdio>
 
 #include "qclab/qclab.hpp"
+#include "obs_cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string obsJsonPath =
+      qclab::benchutil::extractObsJsonPath(argc, argv);
+  qclab::obs::metrics().reset();
+  const qclab::benchutil::WallTimer wallTimer;
+
   using T = double;
   using namespace qclab;
 
@@ -46,5 +52,6 @@ int main() {
                 algorithms::expectedSyndrome(errorQubit).c_str(),
                 std::norm(overlap));
   }
-  return 0;
+  return qclab::benchutil::writeReproReport(obsJsonPath, "repro_e5_qec",
+                                            wallTimer);
 }

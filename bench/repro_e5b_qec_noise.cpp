@@ -7,8 +7,14 @@
 #include <cstdio>
 
 #include "qclab/qclab.hpp"
+#include "obs_cli.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string obsJsonPath =
+      qclab::benchutil::extractObsJsonPath(argc, argv);
+  qclab::obs::metrics().reset();
+  const qclab::benchutil::WallTimer wallTimer;
+
   using T = double;
   using namespace qclab;
   using namespace qclab::noise;
@@ -36,5 +42,6 @@ int main() {
     std::printf("%10.2f %16.6f %16.6f %16.6f %10s\n", p, p, logicalError,
                 analytic, logicalError < p - 1e-12 ? "yes" : "no");
   }
-  return 0;
+  return qclab::benchutil::writeReproReport(obsJsonPath, "repro_e5b_qec_noise",
+                                            wallTimer);
 }

@@ -12,6 +12,8 @@
 /// multi-controlled gates — paper §5.4 — act correctly on the dephased
 /// state).
 
+#include <complex>
+#include <cstdint>
 #include <optional>
 
 #include "qclab/noise/density_matrix.hpp"
@@ -101,6 +103,25 @@ void simulateDensity(const QCircuit<T>& circuit, DensityMatrix<T>& state,
   }
 }
 
+/// Attributes a density matrix's 4^n amplitudes to the obs live-memory
+/// accounting for the duration of a simulateDensity run.
+class ScopedDensityBytes {
+ public:
+  /// `nbQubits` register qubits with `ampBytes` bytes per amplitude.
+  ScopedDensityBytes(int nbQubits, std::uint64_t ampBytes) noexcept
+      : bytes_(obs::kEnabled
+                   ? (std::uint64_t{1} << (2 * nbQubits)) * ampBytes
+                   : 0) {
+    obs::metrics().addStateBytes(bytes_);
+  }
+  ScopedDensityBytes(const ScopedDensityBytes&) = delete;
+  ScopedDensityBytes& operator=(const ScopedDensityBytes&) = delete;
+  ~ScopedDensityBytes() { obs::metrics().releaseStateBytes(bytes_); }
+
+ private:
+  std::uint64_t bytes_;
+};
+
 /// Convenience: runs `circuit` from |bits> under `model` and returns the
 /// final density matrix.
 template <typename T>
@@ -113,6 +134,8 @@ DensityMatrix<T> simulateDensity(const QCircuit<T>& circuit,
       obs::tracer(),
       "simulateDensity(n=" + std::to_string(circuit.nbQubits()) + ")",
       "noise");
+  const ScopedDensityBytes memory(circuit.nbQubits(),
+                                  sizeof(std::complex<T>));
   DensityMatrix<T> state(bits);
   simulateDensity(circuit, state, model);
   return state;

@@ -1,0 +1,509 @@
+#pragma once
+
+/// \file benchjson.hpp
+/// \brief Parsing, merging, and baseline comparison of BENCH-shaped JSON.
+///
+/// The regression harness side of the observability layer: a minimal JSON
+/// reader (just enough for the qclab-obs report shape — objects, arrays,
+/// strings, numbers, bools, null), a trajectory merger that folds the
+/// per-bench reports of one run into a single BENCH_<label>.json, and a
+/// comparator that diffs a trajectory against a committed baseline with a
+/// configurable relative tolerance and classifies every timing as ok /
+/// improvement / regression.  tools/bench_trajectory.cpp and
+/// tools/bench_compare.cpp are thin CLIs over these functions, and the
+/// verdict logic is unit-tested in tests/test_bench_compare.cpp.
+///
+/// Everything here is plain data processing: it does not touch the global
+/// obs registries and is fully functional under QCLAB_OBS_DISABLED.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "qclab/obs/json.hpp"
+#include "qclab/util/errors.hpp"
+
+namespace qclab::obs::benchjson {
+
+/// Schema tag of merged trajectory files.
+inline constexpr const char* kTrajectorySchema = "qclab-bench-trajectory-v1";
+
+// ---- JSON value ---------------------------------------------------------
+
+/// A parsed JSON value (tagged union; object keys keep insertion order).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool isObject() const noexcept { return kind == Kind::kObject; }
+  bool isArray() const noexcept { return kind == Kind::kArray; }
+  bool isString() const noexcept { return kind == Kind::kString; }
+  bool isNumber() const noexcept { return kind == Kind::kNumber; }
+
+  /// First member named `key`, or nullptr (objects only).
+  const JsonValue* find(const std::string& key) const {
+    if (kind != Kind::kObject) return nullptr;
+    for (const auto& [name, value] : object) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+
+  /// String member `key`, or `fallback` when absent / not a string.
+  std::string stringOr(const std::string& key,
+                       const std::string& fallback) const {
+    const JsonValue* value = find(key);
+    return (value != nullptr && value->isString()) ? value->string
+                                                   : fallback;
+  }
+
+  static JsonValue makeString(std::string s) {
+    JsonValue v;
+    v.kind = Kind::kString;
+    v.string = std::move(s);
+    return v;
+  }
+
+  static JsonValue makeArray() {
+    JsonValue v;
+    v.kind = Kind::kArray;
+    return v;
+  }
+
+  static JsonValue makeObject() {
+    JsonValue v;
+    v.kind = Kind::kObject;
+    return v;
+  }
+};
+
+// ---- parser -------------------------------------------------------------
+
+/// Recursive-descent JSON parser.  Throws InvalidArgumentError (with byte
+/// offset) on malformed input.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    skipSpace();
+    JsonValue value = parseValue();
+    skipSpace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw InvalidArgumentError("JSON parse error at byte " +
+                               std::to_string(pos_) + ": " + what);
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  char take() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  JsonValue parseValue() {
+    switch (peek()) {
+      case '{': return parseObject();
+      case '[': return parseArray();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = parseString();
+        return v;
+      }
+      case 't': parseLiteral("true");  return boolValue(true);
+      case 'f': parseLiteral("false"); return boolValue(false);
+      case 'n': parseLiteral("null");  return JsonValue{};
+      default:  return parseNumber();
+    }
+  }
+
+  static JsonValue boolValue(bool b) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  void parseLiteral(const char* word) {
+    const std::string w(word);
+    if (text_.compare(pos_, w.size(), w) != 0) fail("invalid literal");
+    pos_ += w.size();
+  }
+
+  JsonValue parseObject() {
+    JsonValue v = JsonValue::makeObject();
+    expect('{');
+    skipSpace();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skipSpace();
+      std::string key = parseString();
+      skipSpace();
+      expect(':');
+      skipSpace();
+      v.object.emplace_back(std::move(key), parseValue());
+      skipSpace();
+      const char c = take();
+      if (c == ',') continue;
+      if (c == '}') return v;
+      --pos_;
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parseArray() {
+    JsonValue v = JsonValue::makeArray();
+    expect('[');
+    skipSpace();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skipSpace();
+      v.array.push_back(parseValue());
+      skipSpace();
+      const char c = take();
+      if (c == ',') continue;
+      if (c == ']') return v;
+      --pos_;
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = take();
+      switch (esc) {
+        case '"':  out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/':  out += '/'; break;
+        case 'b':  out += '\b'; break;
+        case 'f':  out += '\f'; break;
+        case 'n':  out += '\n'; break;
+        case 'r':  out += '\r'; break;
+        case 't':  out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("invalid \\u escape");
+          }
+          // Reports only emit \u00xx control escapes; encode as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  JsonValue parseNumber() {
+    const std::size_t begin = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == begin) fail("expected a JSON value");
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    try {
+      v.number = std::stod(text_.substr(begin, pos_ - begin));
+    } catch (const std::exception&) {
+      fail("invalid number");
+    }
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Parses `text` as one JSON value.  Throws InvalidArgumentError.
+inline JsonValue parseJson(const std::string& text) {
+  return JsonParser(text).parse();
+}
+
+// ---- serializer ---------------------------------------------------------
+
+inline void dumpTo(const JsonValue& value, std::string& out, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string padIn(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (value.kind) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      return;
+    case JsonValue::Kind::kBool:
+      out += value.boolean ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNumber: {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", value.number);
+      out += buffer;
+      return;
+    }
+    case JsonValue::Kind::kString:
+      out += '"';
+      out += jsonEscape(value.string);
+      out += '"';
+      return;
+    case JsonValue::Kind::kArray: {
+      if (value.array.empty()) {
+        out += "[]";
+        return;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < value.array.size(); ++i) {
+        out += padIn;
+        dumpTo(value.array[i], out, indent + 1);
+        if (i + 1 < value.array.size()) out += ',';
+        out += '\n';
+      }
+      out += pad;
+      out += ']';
+      return;
+    }
+    case JsonValue::Kind::kObject: {
+      if (value.object.empty()) {
+        out += "{}";
+        return;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < value.object.size(); ++i) {
+        out += padIn;
+        out += '"';
+        out += jsonEscape(value.object[i].first);
+        out += "\": ";
+        dumpTo(value.object[i].second, out, indent + 1);
+        if (i + 1 < value.object.size()) out += ',';
+        out += '\n';
+      }
+      out += pad;
+      out += '}';
+      return;
+    }
+  }
+}
+
+/// Pretty-prints `value` (2-space indent).
+inline std::string dumpJson(const JsonValue& value) {
+  std::string out;
+  dumpTo(value, out, 0);
+  return out;
+}
+
+// ---- trajectory merge ---------------------------------------------------
+
+/// Folds the per-bench obs reports of one run into a single trajectory
+/// object: {"schema": kTrajectorySchema, "label": label, "benches": [...]}.
+/// Each report must be a JSON object (the qclab-obs report shape).
+inline JsonValue mergeTrajectory(const std::string& label,
+                                 std::vector<JsonValue> reports) {
+  JsonValue trajectory = JsonValue::makeObject();
+  trajectory.object.emplace_back("schema",
+                                 JsonValue::makeString(kTrajectorySchema));
+  trajectory.object.emplace_back("label", JsonValue::makeString(label));
+  JsonValue benches = JsonValue::makeArray();
+  for (auto& report : reports) {
+    if (!report.isObject()) {
+      throw InvalidArgumentError("trajectory entries must be JSON objects");
+    }
+    benches.array.push_back(std::move(report));
+  }
+  trajectory.object.emplace_back("benches", std::move(benches));
+  return trajectory;
+}
+
+// ---- baseline comparison ------------------------------------------------
+
+/// Verdict on one timing shared by baseline and current trajectories.
+enum class Verdict {
+  kOk,           ///< within tolerance of the baseline
+  kImprovement,  ///< faster than baseline by more than the tolerance
+  kRegression,   ///< slower than baseline by more than the tolerance
+  kMissing,      ///< in the baseline, absent from the current run
+  kNew,          ///< in the current run, absent from the baseline
+};
+
+inline const char* verdictName(Verdict verdict) noexcept {
+  switch (verdict) {
+    case Verdict::kOk:          return "ok";
+    case Verdict::kImprovement: return "improvement";
+    case Verdict::kRegression:  return "REGRESSION";
+    case Verdict::kMissing:     return "MISSING";
+    case Verdict::kNew:         return "new";
+  }
+  return "unknown";
+}
+
+/// One compared timing: "<bench>/<result>" plus values and verdict.
+struct Comparison {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  double ratio = 0.0;  ///< current / baseline (0 when either side missing)
+  Verdict verdict = Verdict::kOk;
+};
+
+/// Result of diffing a current trajectory against a baseline.
+struct CompareOutcome {
+  std::vector<Comparison> rows;
+  int regressions = 0;
+  int improvements = 0;
+  int missing = 0;
+
+  /// True when the gate should fail (any regression or missing timing).
+  bool failed() const noexcept { return regressions > 0 || missing > 0; }
+};
+
+namespace detail {
+
+/// Collects the gated timings of a trajectory as (name, value) pairs:
+/// every result with a lower-is-better time unit ("ns/op", "ns", "ms",
+/// "s/op"), keyed "<bench name>/<result name>".  Counter-style results
+/// ("sweeps", "x", ...) are informational and not gated.
+inline std::vector<std::pair<std::string, double>> gatedTimings(
+    const JsonValue& trajectory) {
+  std::vector<std::pair<std::string, double>> timings;
+  const JsonValue* benches = trajectory.find("benches");
+  if (benches == nullptr || !benches->isArray()) {
+    throw InvalidArgumentError(
+        "not a trajectory file (missing \"benches\" array); expected "
+        "schema " + std::string(kTrajectorySchema));
+  }
+  for (const auto& bench : benches->array) {
+    const std::string benchName = bench.stringOr("name", "?");
+    const JsonValue* results = bench.find("results");
+    if (results == nullptr || !results->isArray()) continue;
+    for (const auto& result : results->array) {
+      const JsonValue* value = result.find("value");
+      if (value == nullptr || !value->isNumber()) continue;
+      const std::string unit = result.stringOr("unit", "");
+      const bool timing = unit == "ns/op" || unit == "ns" || unit == "us" ||
+                          unit == "ms" || unit == "s" || unit == "s/op";
+      if (!timing) continue;
+      timings.emplace_back(benchName + "/" + result.stringOr("name", "?"),
+                           value->number);
+    }
+  }
+  return timings;
+}
+
+}  // namespace detail
+
+/// Diffs `current` against `baseline` (both trajectory objects).  A timing
+/// regresses when current > baseline * (1 + tolerance) and improves when
+/// current < baseline / (1 + tolerance); zero-valued baselines are only
+/// checked for presence.  Baseline timings absent from the current run
+/// count as failures (kMissing); new timings are informational.
+inline CompareOutcome compareTrajectories(const JsonValue& baseline,
+                                          const JsonValue& current,
+                                          double tolerance) {
+  if (tolerance < 0.0) {
+    throw InvalidArgumentError("tolerance must be non-negative");
+  }
+  const auto baselineTimings = detail::gatedTimings(baseline);
+  const auto currentTimings = detail::gatedTimings(current);
+
+  CompareOutcome outcome;
+  for (const auto& [name, baselineValue] : baselineTimings) {
+    Comparison row;
+    row.name = name;
+    row.baseline = baselineValue;
+    const auto hit =
+        std::find_if(currentTimings.begin(), currentTimings.end(),
+                     [&name = name](const auto& t) { return t.first == name; });
+    if (hit == currentTimings.end()) {
+      row.verdict = Verdict::kMissing;
+      ++outcome.missing;
+      outcome.rows.push_back(std::move(row));
+      continue;
+    }
+    row.current = hit->second;
+    if (baselineValue > 0.0) {
+      row.ratio = row.current / baselineValue;
+      if (row.current > baselineValue * (1.0 + tolerance)) {
+        row.verdict = Verdict::kRegression;
+        ++outcome.regressions;
+      } else if (row.current < baselineValue / (1.0 + tolerance)) {
+        row.verdict = Verdict::kImprovement;
+        ++outcome.improvements;
+      }
+    }
+    outcome.rows.push_back(std::move(row));
+  }
+  for (const auto& [name, currentValue] : currentTimings) {
+    const auto hit =
+        std::find_if(baselineTimings.begin(), baselineTimings.end(),
+                     [&name = name](const auto& t) { return t.first == name; });
+    if (hit != baselineTimings.end()) continue;
+    Comparison row;
+    row.name = name;
+    row.current = currentValue;
+    row.verdict = Verdict::kNew;
+    outcome.rows.push_back(std::move(row));
+  }
+  return outcome;
+}
+
+}  // namespace qclab::obs::benchjson

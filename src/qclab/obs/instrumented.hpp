@@ -8,6 +8,9 @@
 ///    (Backend::dispatchPath — the decorator seam, see DESIGN.md),
 ///  - counts the application by path and by gate kind in obs::metrics(),
 ///    with an estimate of the state-vector bytes touched,
+///  - times the inner application into the per-path latency histogram
+///    (obs::latencyHistograms(), histogram.hpp), feeding the p50/p90/p99
+///    and effective-bandwidth figures of the v2 reports,
 ///  - records a trace span named after the gate when obs::tracer() is
 ///    enabled.
 ///
@@ -21,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "qclab/obs/histogram.hpp"
 #include "qclab/obs/metrics.hpp"
 #include "qclab/obs/trace.hpp"
 #include "qclab/sim/backend.hpp"
@@ -69,6 +73,7 @@ class InstrumentedBackend final : public sim::Backend<T> {
       std::string kind = qgates::gateKindLabel(gate);
       {
         const Span span(tracer(), kind, "gate");
+        const PathTimer timer(path);
         inner_.applyGate(state, nbQubits, gate, offset);
       }
       metrics().countGate(path, kind.c_str(),

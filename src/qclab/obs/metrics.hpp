@@ -5,24 +5,35 @@
 ///
 /// A single process-wide Metrics registry accumulates
 ///  - gate applications, split by kernel path and by gate kind,
-///  - an estimate of state-vector bytes touched by those applications,
+///  - an estimate of state-vector bytes touched, total and per path,
+///  - live and high-water state-vector memory (Simulation branch states
+///    and density matrices attribute their allocations here),
 ///  - simulation branch spawns (mid-circuit measurement forks) and prunes
 ///    (outcomes dropped as numerically impossible),
 ///  - shots sampled and circuit simulations started,
 ///  - noise-channel applications of the density-matrix simulator.
 ///
-/// Hot-path hooks are single relaxed atomic increments; the per-kind
-/// histogram (string keyed) is only fed by InstrumentedBackend, never by
-/// the bare kernels.  Compiling with QCLAB_OBS_DISABLED replaces the whole
-/// registry with an API-identical no-op so that instrumented call sites
-/// vanish and no obs state is linked into the binary.
+/// Hot-path hooks are relaxed atomic increments.  The per-kind gate
+/// counters (string keyed, fed only by InstrumentedBackend) are sharded
+/// per thread: each thread owns a shard and increments node-stable atomic
+/// cells through a thread-local index, so steady-state recording takes no
+/// mutex on any thread; shard mutexes are touched only when a thread sees
+/// a gate kind for the first time and when snapshots/resets merge the
+/// shards.  Compiling with QCLAB_OBS_DISABLED replaces the whole registry
+/// with an API-identical no-op so that instrumented call sites vanish and
+/// no obs state is linked into the binary.
 
 #ifndef QCLAB_OBS_DISABLED
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "qclab/sim/kernel_path.hpp"
 
@@ -30,6 +41,94 @@ namespace qclab::obs {
 
 /// True when the library was compiled with observability enabled.
 inline constexpr bool kEnabled = true;
+
+/// String-keyed counters sharded per thread.  Incrementing is mutex-free
+/// once a (thread, key) pair is warm: the owner thread resolves the key
+/// through its private index (no synchronization — only the owner touches
+/// it) and bumps a node-stable std::atomic cell.  A shard's mutex guards
+/// only cell creation and cross-thread reads (snapshot/reset), so the
+/// recording threads never contend with each other.
+class ShardedCounters {
+  struct Shard {
+    std::mutex mutex;  ///< guards `cells` growth and snapshot iteration
+    /// deque: grow-only, never invalidates references to existing cells.
+    std::deque<std::pair<std::string, std::atomic<std::uint64_t>>> cells;
+  };
+
+  /// Owner-thread-private view of one shard.
+  struct LocalShard {
+    std::shared_ptr<Shard> shard;
+    std::unordered_map<std::string, std::atomic<std::uint64_t>*> index;
+  };
+
+ public:
+  /// Adds `delta` to the counter named `key` (thread-safe, mutex-free for
+  /// keys this thread has already used).
+  void add(const std::string& key, std::uint64_t delta) {
+    LocalShard& local = localShard();
+    const auto hit = local.index.find(key);
+    if (hit != local.index.end()) {
+      hit->second->fetch_add(delta, std::memory_order_relaxed);
+      return;
+    }
+    std::atomic<std::uint64_t>* cell;
+    {
+      const std::lock_guard<std::mutex> lock(local.shard->mutex);
+      cell = &local.shard->cells.emplace_back(key, 0).second;
+    }
+    local.index.emplace(key, cell);
+    cell->fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Merged totals over all shards, zero-valued keys omitted (so a reset
+  /// registry snapshots as empty even though cells persist).
+  std::map<std::string, std::uint64_t> snapshot() const {
+    std::map<std::string, std::uint64_t> merged;
+    for (const auto& shard : shardList()) {
+      const std::lock_guard<std::mutex> lock(shard->mutex);
+      for (const auto& [key, cell] : shard->cells) {
+        const std::uint64_t value = cell.load(std::memory_order_relaxed);
+        if (value != 0) merged[key] += value;
+      }
+    }
+    return merged;
+  }
+
+  /// Zeroes every cell in every shard (cells stay registered: the owning
+  /// threads keep their mutex-free fast path).
+  void reset() {
+    for (const auto& shard : shardList()) {
+      const std::lock_guard<std::mutex> lock(shard->mutex);
+      for (auto& [key, cell] : shard->cells) {
+        cell.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  /// This thread's shard for this registry instance, created and
+  /// registered on first use.  Shards are shared_ptr-owned by both the
+  /// registry and the thread-local map, so they survive either's exit.
+  LocalShard& localShard() {
+    thread_local std::unordered_map<const ShardedCounters*, LocalShard>
+        perInstance;
+    LocalShard& local = perInstance[this];
+    if (!local.shard) {
+      local.shard = std::make_shared<Shard>();
+      const std::lock_guard<std::mutex> lock(registryMutex_);
+      shards_.push_back(local.shard);
+    }
+    return local;
+  }
+
+  std::vector<std::shared_ptr<Shard>> shardList() const {
+    const std::lock_guard<std::mutex> lock(registryMutex_);
+    return shards_;
+  }
+
+  mutable std::mutex registryMutex_;
+  std::vector<std::shared_ptr<Shard>> shards_;
+};
 
 /// Process-wide counter registry.  All mutators are thread-safe; reads are
 /// snapshots (relaxed, no cross-counter consistency guarantee).
@@ -40,16 +139,17 @@ class Metrics {
   /// Records one gate application dispatched to `path`, touching an
   /// estimated `bytes` of state-vector memory.  `kind` is the gate
   /// mnemonic (same key scheme as QCircuit::gateCounts); pass nullptr to
-  /// skip the per-kind histogram (bare counter-only call sites).
+  /// skip the per-kind counters (bare counter-only call sites).
   void countGate(sim::KernelPath path, const char* kind,
                  std::uint64_t bytes) {
     gateTotal_.fetch_add(1, std::memory_order_relaxed);
     gateByPath_[static_cast<int>(path)].fetch_add(1,
                                                   std::memory_order_relaxed);
     bytesTouched_.fetch_add(bytes, std::memory_order_relaxed);
+    bytesByPath_[static_cast<int>(path)].fetch_add(
+        bytes, std::memory_order_relaxed);
     if (kind != nullptr) {
-      const std::lock_guard<std::mutex> lock(kindMutex_);
-      ++gateByKind_[kind];
+      gateByKind_.add(kind, 1);
     }
   }
 
@@ -87,13 +187,35 @@ class Metrics {
     fusionSweepsSaved_.fetch_add(sweepsSaved, std::memory_order_relaxed);
   }
 
-  /// Zeroes every counter (start of a measured region / test).
+  /// Attributes `bytes` of newly live simulation state (branch state
+  /// vectors, density matrices) and raises the high-water mark.
+  void addStateBytes(std::uint64_t bytes) {
+    const std::uint64_t now =
+        stateBytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+    std::uint64_t peak = peakStateBytes_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peakStateBytes_.compare_exchange_weak(
+               peak, now, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Releases `bytes` of simulation state (branch pruned / owner freed).
+  void releaseStateBytes(std::uint64_t bytes) {
+    stateBytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  }
+
+  /// Zeroes every counter (start of a measured region / test).  The
+  /// high-water mark restarts from the currently live state bytes, so
+  /// long-lived simulations stay attributed.
   void reset() {
     gateTotal_.store(0, std::memory_order_relaxed);
     for (auto& counter : gateByPath_) {
       counter.store(0, std::memory_order_relaxed);
     }
     bytesTouched_.store(0, std::memory_order_relaxed);
+    for (auto& counter : bytesByPath_) {
+      counter.store(0, std::memory_order_relaxed);
+    }
     branchSpawns_.store(0, std::memory_order_relaxed);
     branchPrunes_.store(0, std::memory_order_relaxed);
     shotsSampled_.store(0, std::memory_order_relaxed);
@@ -102,8 +224,9 @@ class Metrics {
     fusionGatesIn_.store(0, std::memory_order_relaxed);
     fusionBlocks_.store(0, std::memory_order_relaxed);
     fusionSweepsSaved_.store(0, std::memory_order_relaxed);
-    const std::lock_guard<std::mutex> lock(kindMutex_);
-    gateByKind_.clear();
+    peakStateBytes_.store(stateBytes_.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+    gateByKind_.reset();
   }
 
   // ---- readers --------------------------------------------------------
@@ -119,15 +242,31 @@ class Metrics {
         std::memory_order_relaxed);
   }
 
-  /// Snapshot of the per-kind histogram (InstrumentedBackend runs only).
+  /// Snapshot of the per-kind counters (InstrumentedBackend runs only).
   std::map<std::string, std::uint64_t> gateKinds() const {
-    const std::lock_guard<std::mutex> lock(kindMutex_);
-    return gateByKind_;
+    return gateByKind_.snapshot();
   }
 
   /// Estimated state-vector bytes read + written by counted applications.
   std::uint64_t bytesTouched() const {
     return bytesTouched_.load(std::memory_order_relaxed);
+  }
+
+  /// Estimated bytes touched by applications dispatched to `path`.
+  std::uint64_t bytesTouched(sim::KernelPath path) const {
+    return bytesByPath_[static_cast<int>(path)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Currently live simulation-state bytes (branch states + density
+  /// matrices that attributed themselves).
+  std::uint64_t currentStateBytes() const {
+    return stateBytes_.load(std::memory_order_relaxed);
+  }
+
+  /// High-water mark of currentStateBytes() since the last reset.
+  std::uint64_t peakStateBytes() const {
+    return peakStateBytes_.load(std::memory_order_relaxed);
   }
 
   std::uint64_t branchSpawns() const {
@@ -169,6 +308,9 @@ class Metrics {
   std::atomic<std::uint64_t> gateTotal_{0};
   std::atomic<std::uint64_t> gateByPath_[sim::kKernelPathCount] = {};
   std::atomic<std::uint64_t> bytesTouched_{0};
+  std::atomic<std::uint64_t> bytesByPath_[sim::kKernelPathCount] = {};
+  std::atomic<std::uint64_t> stateBytes_{0};
+  std::atomic<std::uint64_t> peakStateBytes_{0};
   std::atomic<std::uint64_t> branchSpawns_{0};
   std::atomic<std::uint64_t> branchPrunes_{0};
   std::atomic<std::uint64_t> shotsSampled_{0};
@@ -177,8 +319,7 @@ class Metrics {
   std::atomic<std::uint64_t> fusionGatesIn_{0};
   std::atomic<std::uint64_t> fusionBlocks_{0};
   std::atomic<std::uint64_t> fusionSweepsSaved_{0};
-  mutable std::mutex kindMutex_;
-  std::map<std::string, std::uint64_t> gateByKind_;
+  ShardedCounters gateByKind_;
 };
 
 /// The process-wide registry.
@@ -212,12 +353,17 @@ class Metrics {
   void countCircuitSimulation() {}
   void countNoiseChannel() {}
   void countFusion(std::uint64_t, std::uint64_t, std::uint64_t) {}
+  void addStateBytes(std::uint64_t) {}
+  void releaseStateBytes(std::uint64_t) {}
   void reset() {}
 
   std::uint64_t gateApplications() const { return 0; }
   std::uint64_t gateApplications(sim::KernelPath) const { return 0; }
   std::map<std::string, std::uint64_t> gateKinds() const { return {}; }
   std::uint64_t bytesTouched() const { return 0; }
+  std::uint64_t bytesTouched(sim::KernelPath) const { return 0; }
+  std::uint64_t currentStateBytes() const { return 0; }
+  std::uint64_t peakStateBytes() const { return 0; }
   std::uint64_t branchSpawns() const { return 0; }
   std::uint64_t branchPrunes() const { return 0; }
   std::uint64_t shotsSampled() const { return 0; }

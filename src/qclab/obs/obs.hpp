@@ -2,14 +2,17 @@
 
 /// \file obs.hpp
 /// \brief Umbrella header of the observability layer (qclab::obs):
-/// counters (metrics.hpp), scoped-span tracing with Chrome trace_event
-/// export (trace.hpp), aggregate text/JSON reporting (report.hpp), and
-/// the metering backend decorator (instrumented.hpp).
+/// counters (metrics.hpp), per-path latency histograms (histogram.hpp),
+/// scoped-span tracing with Chrome trace_event export (trace.hpp),
+/// aggregate text/JSON reporting (report.hpp), shared JSON escaping
+/// (json.hpp), and the metering backend decorator (instrumented.hpp).
 ///
 /// Compile with QCLAB_OBS_DISABLED (CMake: -DQCLAB_OBS_DISABLED=ON) to
 /// turn the whole layer into API-identical no-ops.
 
+#include "qclab/obs/histogram.hpp"
 #include "qclab/obs/instrumented.hpp"
+#include "qclab/obs/json.hpp"
 #include "qclab/obs/metrics.hpp"
 #include "qclab/obs/report.hpp"
 #include "qclab/obs/trace.hpp"

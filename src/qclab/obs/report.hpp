@@ -3,16 +3,24 @@
 /// \file report.hpp
 /// \brief Aggregate export of the observability state.
 ///
-/// A Report snapshots the global Metrics registry and Tracer, stamps the
-/// compile-time build configuration (qclab::buildInfo), and optionally
-/// carries named measurement results (benchmark timings).  It renders as
+/// A Report snapshots the global Metrics registry, latency histograms, and
+/// Tracer, stamps the compile-time build configuration (qclab::buildInfo),
+/// and optionally carries named measurement results (benchmark timings).
+/// It renders as
 ///  - a pretty text block for terminals, and
 ///  - one JSON object in the repo's canonical BENCH_*.json shape
-///    (schema "qclab-obs-v1"), so every bench and every instrumented run
+///    (schema "qclab-obs-v2"), so every bench and every instrumented run
 ///    exports machine-readable numbers the trajectory tooling can diff.
 ///
+/// v2 is a strict superset of v1: the counters/trace/results sections are
+/// unchanged, and new "histograms" (per-path log2 buckets with
+/// p50/p90/p99), "memory" (live and high-water state bytes), and
+/// "bandwidth" (effective GB/s per path = bytes touched / timed ns)
+/// sections are added.  Every quoted string goes through jsonEscape().
+///
 /// The same implementation serves QCLAB_OBS_DISABLED builds: the no-op
-/// Metrics/Tracer snapshot as all-zeros, and "obs": false marks the file.
+/// Metrics/Tracer/histograms snapshot as all-zeros, and "obs": false marks
+/// the file.
 
 #include <cstdint>
 #include <fstream>
@@ -22,6 +30,8 @@
 #include <utility>
 #include <vector>
 
+#include "qclab/obs/histogram.hpp"
+#include "qclab/obs/json.hpp"
 #include "qclab/obs/metrics.hpp"
 #include "qclab/obs/trace.hpp"
 #include "qclab/sim/kernel_path.hpp"
@@ -53,7 +63,8 @@ class Report {
     return results_;
   }
 
-  /// Pretty text block: build line, counter table, results table.
+  /// Pretty text block: build line, counter table, latency percentiles,
+  /// memory line, results table.
   std::string text() const {
     const Metrics& m = metrics();
     std::ostringstream out;
@@ -71,7 +82,28 @@ class Report {
       out << "  kind " << std::left << std::setw(12) << kind << " " << count
           << "\n";
     }
+    for (int p = 0; p < sim::kKernelPathCount; ++p) {
+      const auto path = static_cast<sim::KernelPath>(p);
+      const HistogramSnapshot snap =
+          latencyHistograms().histogram(path).snapshot();
+      if (snap.empty()) continue;
+      out << "  latency " << std::left << std::setw(20)
+          << sim::kernelPathName(path) << " p50 " << std::fixed
+          << std::setprecision(0) << snap.percentileNs(0.50) << "ns  p90 "
+          << snap.percentileNs(0.90) << "ns  p99 " << snap.percentileNs(0.99)
+          << "ns  (" << snap.count << " samples)\n";
+      const std::uint64_t pathBytes = m.bytesTouched(path);
+      if (snap.sumNs > 0 && pathBytes > 0) {
+        out << "  bandwidth " << std::left << std::setw(18)
+            << sim::kernelPathName(path) << " " << std::setprecision(2)
+            << static_cast<double>(pathBytes) /
+                   static_cast<double>(snap.sumNs)
+            << " GB/s (est.)\n";
+      }
+    }
     out << "bytes touched (est.): " << m.bytesTouched() << "\n";
+    out << "state memory: " << m.currentStateBytes() << " live, "
+        << m.peakStateBytes() << " peak\n";
     out << "branches: " << m.branchSpawns() << " spawned, "
         << m.branchPrunes() << " pruned\n";
     out << "shots sampled: " << m.shotsSampled() << "\n";
@@ -97,19 +129,19 @@ class Report {
     return out.str();
   }
 
-  /// The canonical BENCH_*.json object (schema "qclab-obs-v1").
+  /// The canonical BENCH_*.json object (schema "qclab-obs-v2").
   std::string json() const {
     const Metrics& m = metrics();
     std::ostringstream out;
     out << "{\n";
-    out << "  \"schema\": \"qclab-obs-v1\",\n";
+    out << "  \"schema\": \"qclab-obs-v2\",\n";
     out << "  \"name\": \"" << jsonEscape(name_) << "\",\n";
     out << "  \"build\": {\n";
-    out << "    \"version\": \"" << versionString() << "\",\n";
+    out << "    \"version\": \"" << jsonEscape(versionString()) << "\",\n";
     out << "    \"openmp\": " << (builtWithOpenMP() ? "true" : "false")
         << ",\n";
     out << "    \"obs\": " << (builtWithObs() ? "true" : "false") << ",\n";
-    out << "    \"scalars\": \"" << scalarTypes() << "\",\n";
+    out << "    \"scalars\": \"" << jsonEscape(scalarTypes()) << "\",\n";
     out << "    \"info\": \"" << jsonEscape(buildInfo()) << "\"\n";
     out << "  },\n";
     out << "  \"counters\": {\n";
@@ -122,7 +154,8 @@ class Report {
       if (count == 0) continue;
       if (!first) out << ", ";
       first = false;
-      out << "\"" << sim::kernelPathName(path) << "\": " << count;
+      out << "\"" << jsonEscape(sim::kernelPathName(path))
+          << "\": " << count;
     }
     out << "},\n";
     out << "    \"gate_applications_by_kind\": {";
@@ -134,6 +167,18 @@ class Report {
     }
     out << "},\n";
     out << "    \"bytes_touched\": " << m.bytesTouched() << ",\n";
+    out << "    \"bytes_touched_by_path\": {";
+    first = true;
+    for (int p = 0; p < sim::kKernelPathCount; ++p) {
+      const auto path = static_cast<sim::KernelPath>(p);
+      const std::uint64_t bytes = m.bytesTouched(path);
+      if (bytes == 0) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << jsonEscape(sim::kernelPathName(path))
+          << "\": " << bytes;
+    }
+    out << "},\n";
     out << "    \"branch_spawns\": " << m.branchSpawns() << ",\n";
     out << "    \"branch_prunes\": " << m.branchPrunes() << ",\n";
     out << "    \"shots_sampled\": " << m.shotsSampled() << ",\n";
@@ -145,6 +190,56 @@ class Report {
     out << "    \"fusion_blocks_out\": " << m.fusionBlocks() << ",\n";
     out << "    \"fusion_sweeps_saved\": " << m.fusionSweepsSaved() << "\n";
     out << "  },\n";
+    out << "  \"memory\": {\n";
+    out << "    \"current_state_bytes\": " << m.currentStateBytes() << ",\n";
+    out << "    \"peak_state_bytes\": " << m.peakStateBytes() << "\n";
+    out << "  },\n";
+    out << "  \"histograms\": {";
+    first = true;
+    for (int p = 0; p < sim::kKernelPathCount; ++p) {
+      const auto path = static_cast<sim::KernelPath>(p);
+      const HistogramSnapshot snap =
+          latencyHistograms().histogram(path).snapshot();
+      if (snap.empty()) continue;
+      if (!first) out << ",";
+      first = false;
+      out << "\n    \"" << jsonEscape(sim::kernelPathName(path)) << "\": {"
+          << "\"count\": " << snap.count << ", \"sum_ns\": " << snap.sumNs
+          << ", \"mean_ns\": " << std::setprecision(17) << snap.meanNs()
+          << ", \"p50_ns\": " << snap.percentileNs(0.50)
+          << ", \"p90_ns\": " << snap.percentileNs(0.90)
+          << ", \"p99_ns\": " << snap.percentileNs(0.99)
+          << ", \"buckets_log2_ns\": [";
+      // Trailing zero buckets are trimmed to keep the file compact.
+      int last = static_cast<int>(snap.buckets.size()) - 1;
+      while (last > 0 && snap.buckets[static_cast<std::size_t>(last)] == 0) {
+        --last;
+      }
+      for (int b = 0; b <= last; ++b) {
+        if (b != 0) out << ", ";
+        out << snap.buckets[static_cast<std::size_t>(b)];
+      }
+      out << "]}";
+    }
+    if (!first) out << "\n  ";
+    out << "},\n";
+    out << "  \"bandwidth_gbps_by_path\": {";
+    first = true;
+    for (int p = 0; p < sim::kKernelPathCount; ++p) {
+      const auto path = static_cast<sim::KernelPath>(p);
+      const HistogramSnapshot snap =
+          latencyHistograms().histogram(path).snapshot();
+      const std::uint64_t pathBytes = m.bytesTouched(path);
+      if (snap.sumNs == 0 || pathBytes == 0) continue;
+      if (!first) out << ", ";
+      first = false;
+      // bytes/ns == GB/s (decimal), the QCLAB++ effective-bandwidth metric.
+      out << "\"" << jsonEscape(sim::kernelPathName(path))
+          << "\": " << std::setprecision(17)
+          << static_cast<double>(pathBytes) /
+                 static_cast<double>(snap.sumNs);
+    }
+    out << "},\n";
     out << "  \"trace\": {\"events\": " << tracer().nbEvents()
         << ", \"dropped\": " << tracer().dropped() << "},\n";
     out << "  \"results\": [";

@@ -18,6 +18,8 @@
 #include <string>
 #include <vector>
 
+#include "qclab/obs/json.hpp"
+
 #ifndef QCLAB_OBS_DISABLED
 #include <chrono>
 #include <fstream>
@@ -35,31 +37,6 @@ struct TraceEvent {
   std::uint64_t startNs;     ///< begin, ns since tracer epoch
   std::uint64_t durationNs;  ///< duration in ns
 };
-
-/// Escapes a string for embedding in a JSON string literal.
-inline std::string jsonEscape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"':  out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          constexpr char hex[] = "0123456789abcdef";
-          out += "\\u00";
-          out += hex[(c >> 4) & 0xf];
-          out += hex[c & 0xf];
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 #ifndef QCLAB_OBS_DISABLED
 
@@ -139,7 +116,7 @@ class Tracer {
       if (!first) out << ",";
       first = false;
       out << "{\"name\":\"" << jsonEscape(event.name) << "\",\"cat\":\""
-          << event.category << "\",\"ph\":\"X\",\"ts\":"
+          << jsonEscape(event.category) << "\",\"ph\":\"X\",\"ts\":"
           << static_cast<double>(event.startNs) / 1e3 << ",\"dur\":"
           << static_cast<double>(event.durationNs) / 1e3
           << ",\"pid\":0,\"tid\":0}";

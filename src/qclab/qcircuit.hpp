@@ -565,6 +565,7 @@ class QCircuit final : public QObject<T> {
       }
     }
     simulation.branches() = std::move(next);
+    simulation.retrackStateBytes();
   }
 
   static void applyReset(Simulation<T>& simulation, const Reset<T>& reset,
@@ -607,6 +608,7 @@ class QCircuit final : public QObject<T> {
       }
     }
     simulation.branches() = std::move(next);
+    simulation.retrackStateBytes();
   }
 
   int nbQubits_;

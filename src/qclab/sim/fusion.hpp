@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "qclab/dense/matrix.hpp"
+#include "qclab/obs/histogram.hpp"
 #include "qclab/obs/metrics.hpp"
 #include "qclab/qgates/qgate.hpp"
 #include "qclab/sim/kernel_path.hpp"
@@ -215,7 +216,8 @@ FusionPlan<T> fuseGates(const std::vector<GateRef<T>>& gates, int nbQubits,
 /// Applies a fusion plan to the state, one sweep per block: diagonal
 /// blocks go through applyDiagonalK, dense blocks through apply1/applyK.
 /// Block applications and the plan's fusion stats are recorded in
-/// obs::metrics() (by kernel path only; the per-kind histogram stays an
+/// obs::metrics(), and each block sweep is timed into the fused-path
+/// latency histograms (by kernel path only; the per-kind counters stay an
 /// InstrumentedBackend concern).
 template <typename T>
 void applyFusionPlan(std::vector<std::complex<T>>& state, int nbQubits,
@@ -224,6 +226,7 @@ void applyFusionPlan(std::vector<std::complex<T>>& state, int nbQubits,
       2 * static_cast<std::uint64_t>(state.size()) * sizeof(std::complex<T>);
   for (const auto& block : plan.blocks) {
     if (block.diagonal) {
+      const obs::PathTimer timer(KernelPath::kFusedDiagonalK);
       std::vector<std::complex<T>> diag(block.matrix.rows());
       for (std::size_t i = 0; i < diag.size(); ++i) {
         diag[i] = block.matrix(i, i);
@@ -231,9 +234,11 @@ void applyFusionPlan(std::vector<std::complex<T>>& state, int nbQubits,
       applyDiagonalK(state, nbQubits, block.qubits, diag);
       obs::metrics().countGate(KernelPath::kFusedDiagonalK, nullptr, bytes);
     } else if (block.qubits.size() == 1) {
+      const obs::PathTimer timer(KernelPath::kFusedDenseK);
       apply1(state, nbQubits, block.qubits.front(), block.matrix);
       obs::metrics().countGate(KernelPath::kFusedDenseK, nullptr, bytes);
     } else {
+      const obs::PathTimer timer(KernelPath::kFusedDenseK);
       applyK(state, nbQubits, block.qubits, block.matrix);
       obs::metrics().countGate(KernelPath::kFusedDenseK, nullptr, bytes);
     }

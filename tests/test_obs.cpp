@@ -246,12 +246,16 @@ TEST(ObsReport, JsonIsWellFormedAndStamped) {
   const std::string json = report.json();
   JsonChecker checker(json);
   EXPECT_TRUE(checker.valid()) << json;
-  EXPECT_NE(json.find("\"schema\": \"qclab-obs-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"qclab-obs-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"unit_test\""), std::string::npos);
   EXPECT_NE(json.find(qclab::obs::kEnabled ? "\"obs\": true"
                                            : "\"obs\": false"),
             std::string::npos);
   EXPECT_NE(json.find("kernel/h/n=4"), std::string::npos);
+  // v2 sections are present in every build (empty objects when disabled).
+  EXPECT_NE(json.find("\"memory\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_touched_by_path\""), std::string::npos);
 
   const std::string text = report.text();
   EXPECT_NE(text.find("unit_test"), std::string::npos);

@@ -1,0 +1,106 @@
+/// \file bench_compare.cpp
+/// \brief Baseline comparator of the bench-regression harness.
+///
+/// Diffs a current trajectory (qclab_bench_trajectory output) against the
+/// committed baseline and fails — exit 1 — when any gated timing regressed
+/// beyond the tolerance or disappeared:
+///
+///   qclab_bench_compare --tolerance 0.25 BENCH_baseline.json BENCH_ci.json
+///
+/// A timing regresses when current > baseline * (1 + tolerance); it is an
+/// improvement when current < baseline / (1 + tolerance).  Improvements
+/// and new timings never fail the gate (regenerate the baseline to adopt
+/// them — see README "Updating the baseline").
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "qclab/obs/benchjson.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: qclab_bench_compare [--tolerance <frac>] "
+               "<baseline.json> <current.json>\n");
+  return 2;
+}
+
+bool readJson(const std::string& path,
+              qclab::obs::benchjson::JsonValue& value) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  try {
+    value = qclab::obs::benchjson::parseJson(buffer.str());
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), error.what());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double tolerance = 0.25;
+  std::string baselinePath;
+  std::string currentPath;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tolerance" && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (baselinePath.empty()) {
+      baselinePath = arg;
+    } else if (currentPath.empty()) {
+      currentPath = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (currentPath.empty()) return usage();
+
+  qclab::obs::benchjson::JsonValue baseline;
+  qclab::obs::benchjson::JsonValue current;
+  if (!readJson(baselinePath, baseline) || !readJson(currentPath, current)) {
+    return 2;
+  }
+
+  qclab::obs::benchjson::CompareOutcome outcome;
+  try {
+    outcome = qclab::obs::benchjson::compareTrajectories(baseline, current,
+                                                         tolerance);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  }
+
+  std::printf("%-52s %14s %14s %8s  %s\n", "timing", "baseline", "current",
+              "ratio", "verdict");
+  for (const auto& row : outcome.rows) {
+    if (row.ratio > 0.0) {
+      std::printf("%-52s %14.1f %14.1f %8.3f  %s\n", row.name.c_str(),
+                  row.baseline, row.current, row.ratio,
+                  qclab::obs::benchjson::verdictName(row.verdict));
+    } else {
+      std::printf("%-52s %14.1f %14.1f %8s  %s\n", row.name.c_str(),
+                  row.baseline, row.current, "-",
+                  qclab::obs::benchjson::verdictName(row.verdict));
+    }
+  }
+  std::printf(
+      "summary: %zu timings, %d regressions, %d improvements, %d missing "
+      "(tolerance %.0f%%)\n",
+      outcome.rows.size(), outcome.regressions, outcome.improvements,
+      outcome.missing, tolerance * 100.0);
+  return outcome.failed() ? 1 : 0;
+}

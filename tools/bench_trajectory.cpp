@@ -1,0 +1,117 @@
+/// \file bench_trajectory.cpp
+/// \brief Trajectory runner of the bench-regression harness.
+///
+/// Runs each given bench/repro binary with `--obs-json <tmp>`, parses the
+/// BENCH-shaped JSON every binary emits, and merges the reports into one
+/// trajectory file (schema qclab-bench-trajectory-v1) suitable for
+/// committing as BENCH_baseline.json or diffing with qclab_bench_compare:
+///
+///   qclab_bench_trajectory --label ci --out BENCH_ci.json
+///       ./bench/bench_fusion "./bench/repro_e4_grover --quick"
+///
+/// Each positional argument is a shell command; the runner appends the
+/// --obs-json flag and redirects the bench's own stdout/stderr to
+/// <out>.log so the trajectory stays the single machine-readable artifact.
+/// Exits nonzero when a bench fails or emits unparsable JSON.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qclab/obs/benchjson.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: qclab_bench_trajectory --label <label> --out <file.json>\n"
+      "                              [--log <file.log>] <bench-cmd>...\n");
+  return 2;
+}
+
+std::string readFile(const std::string& path, bool& ok) {
+  std::ifstream file(path);
+  if (!file) {
+    ok = false;
+    return "";
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  ok = true;
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string label = "trajectory";
+  std::string outPath;
+  std::string logPath;
+  std::vector<std::string> commands;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--label" && i + 1 < argc) {
+      label = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      outPath = argv[++i];
+    } else if (arg == "--log" && i + 1 < argc) {
+      logPath = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else {
+      commands.push_back(arg);
+    }
+  }
+  if (outPath.empty() || commands.empty()) return usage();
+  if (logPath.empty()) logPath = outPath + ".log";
+
+  // Start the log fresh; each bench appends.
+  { std::ofstream log(logPath); }
+
+  std::vector<qclab::obs::benchjson::JsonValue> reports;
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    const std::string partPath =
+        outPath + ".part" + std::to_string(i) + ".json";
+    const std::string command = commands[i] + " --obs-json \"" + partPath +
+                                "\" >> \"" + logPath + "\" 2>&1";
+    std::fprintf(stderr, "[%zu/%zu] %s\n", i + 1, commands.size(),
+                 commands[i].c_str());
+    const int status = std::system(command.c_str());
+    if (status != 0) {
+      std::fprintf(stderr, "error: bench failed (exit %d): %s\n", status,
+                   commands[i].c_str());
+      return 1;
+    }
+    bool ok = false;
+    const std::string text = readFile(partPath, ok);
+    if (!ok) {
+      std::fprintf(stderr, "error: bench wrote no obs JSON: %s\n",
+                   partPath.c_str());
+      return 1;
+    }
+    try {
+      reports.push_back(qclab::obs::benchjson::parseJson(text));
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s: %s\n", partPath.c_str(),
+                   error.what());
+      return 1;
+    }
+    std::remove(partPath.c_str());
+  }
+
+  const auto trajectory =
+      qclab::obs::benchjson::mergeTrajectory(label, std::move(reports));
+  std::ofstream out(outPath);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", outPath.c_str());
+    return 1;
+  }
+  out << qclab::obs::benchjson::dumpJson(trajectory) << "\n";
+  std::fprintf(stderr, "wrote %s (%zu benches)\n", outPath.c_str(),
+               commands.size());
+  return 0;
+}
