@@ -109,6 +109,26 @@ class KrausChannel {
     return KrausChannel({std::move(k0), std::move(k1)});
   }
 
+  /// Asymmetric readout-error channel: a prepared |0> is recorded as 1
+  /// with probability p01 and a prepared |1> as 0 with probability p10.
+  /// On diagonal (post-dephasing) states this acts exactly like the
+  /// classical 2x2 confusion matrix [[1-p01, p10], [p01, 1-p10]]; attach
+  /// it as NoiseModel::measurementNoise to model noisy readout.
+  static KrausChannel readout(T p01, T p10) {
+    checkProbability(p01);
+    checkProbability(p10);
+    using C = std::complex<T>;
+    dense::Matrix<T> keep{{C(std::sqrt(T(1) - p01)), C(0)},
+                          {C(0), C(std::sqrt(T(1) - p10))}};
+    dense::Matrix<T> flip01{{C(0), C(0)}, {C(std::sqrt(p01)), C(0)}};
+    dense::Matrix<T> flip10{{C(0), C(std::sqrt(p10))}, {C(0), C(0)}};
+    return KrausChannel(
+        {std::move(keep), std::move(flip01), std::move(flip10)});
+  }
+
+  /// Symmetric readout-error channel (both outcomes flip with probability p).
+  static KrausChannel readout(T p) { return readout(p, p); }
+
   /// Phase damping with parameter lambda (pure dephasing).
   static KrausChannel phaseDamping(T lambda) {
     checkProbability(lambda);

@@ -6,3 +6,4 @@
 #include "qclab/noise/channels.hpp"
 #include "qclab/noise/density_matrix.hpp"
 #include "qclab/noise/simulator.hpp"
+#include "qclab/noise/trajectory.hpp"

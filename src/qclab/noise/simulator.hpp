@@ -6,11 +6,14 @@
 /// Walks a QCircuit exactly like the state-vector simulator but evolves a
 /// DensityMatrix and injects noise channels according to a NoiseModel:
 /// after every gate, the per-qubit channel is applied to each qubit the
-/// gate touched; measurements apply the readout channel first and then
-/// dephase the qubit (the outcome distribution stays available on the
-/// diagonal, and classically controlled corrections expressed as
-/// multi-controlled gates — paper §5.4 — act correctly on the dephased
-/// state).
+/// gate touched; measurements rotate into the measurement basis (V†),
+/// apply the readout channel, and then dephase the qubit (the outcome
+/// distribution stays available on the diagonal, and classically
+/// controlled corrections expressed as multi-controlled gates — paper
+/// §5.4 — act correctly on the dephased state).  Readout noise acts in
+/// the *measurement* frame: a bit-flip readout channel flips the recorded
+/// outcome whatever the basis, which is why it is injected between the
+/// basis change and the dephase rather than before the basis change.
 
 #include <complex>
 #include <cstdint>
@@ -47,6 +50,13 @@ struct NoiseModel {
     model.gateNoise = KrausChannel<T>::bitFlip(p);
     return model;
   }
+
+  /// Symmetric readout error on measurements with flip probability p.
+  static NoiseModel readout(T p) {
+    NoiseModel model;
+    model.measurementNoise = KrausChannel<T>::readout(p);
+    return model;
+  }
 };
 
 /// Simulates `circuit` on the density matrix `state`, injecting noise per
@@ -71,22 +81,26 @@ void simulateDensity(const QCircuit<T>& circuit, DensityMatrix<T>& state,
       case ObjectType::kMeasurement: {
         const auto& measurement = static_cast<const Measurement<T>&>(*object);
         const int qubit = measurement.qubit() + total;
+        // Basis change, readout noise, dephase, change back (paper §3.3
+        // recipe applied at the density-matrix level).  The readout
+        // channel must act on the rotated qubit: before the V† it would
+        // commute with the measurement it is supposed to corrupt (e.g. a
+        // bit-flip readout error in front of an X-basis measurement is a
+        // no-op on the recorded distribution).
+        if (measurement.basis() != Basis::kZ) {
+          const qgates::MatrixGate1<T> change(
+              measurement.qubit(), measurement.basisChangeMatrix());
+          state.applyGate(change, total);
+        }
         if (model.measurementNoise) {
           state.applyChannel(*model.measurementNoise, {qubit});
           obs::metrics().countNoiseChannel();
         }
+        state.dephase(qubit);
         if (measurement.basis() != Basis::kZ) {
-          // Basis change, dephase, change back (paper §3.3 recipe applied
-          // at the density-matrix level).
-          const qgates::MatrixGate1<T> change(
-              measurement.qubit(), measurement.basisChangeMatrix());
-          state.applyGate(change, total);
-          state.dephase(qubit);
           const qgates::MatrixGate1<T> revert(measurement.qubit(),
                                               measurement.basisVectors());
           state.applyGate(revert, total);
-        } else {
-          state.dephase(qubit);
         }
         break;
       }

@@ -420,8 +420,9 @@ namespace detail {
 
 /// Collects the gated timings of a trajectory as (name, value) pairs:
 /// every result with a lower-is-better time unit ("ns/op", "ns", "ms",
-/// "s/op"), keyed "<bench name>/<result name>".  Counter-style results
-/// ("sweeps", "x", ...) are informational and not gated.
+/// "s/op", "ns/trajectory"), keyed "<bench name>/<result name>".
+/// Counter-style results ("sweeps", "x", ...) are informational and not
+/// gated.
 inline std::vector<std::pair<std::string, double>> gatedTimings(
     const JsonValue& trajectory) {
   std::vector<std::pair<std::string, double>> timings;
@@ -440,7 +441,8 @@ inline std::vector<std::pair<std::string, double>> gatedTimings(
       if (value == nullptr || !value->isNumber()) continue;
       const std::string unit = result.stringOr("unit", "");
       const bool timing = unit == "ns/op" || unit == "ns" || unit == "us" ||
-                          unit == "ms" || unit == "s" || unit == "s/op";
+                          unit == "ms" || unit == "s" || unit == "s/op" ||
+                          unit == "ns/trajectory";
       if (!timing) continue;
       timings.emplace_back(benchName + "/" + result.stringOr("name", "?"),
                            value->number);

@@ -178,6 +178,14 @@ class Metrics {
     noiseChannels_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Records one TrajectorySimulator::run call covering `trajectories`
+  /// Monte Carlo unravellings.
+  void countTrajectoryRun(std::uint64_t trajectories) {
+    trajectoryRuns_.fetch_add(1, std::memory_order_relaxed);
+    trajectoriesSimulated_.fetch_add(trajectories,
+                                     std::memory_order_relaxed);
+  }
+
   /// Records one fusion-plan application: `gatesIn` gates were merged into
   /// `blocks` fused blocks, avoiding `sweepsSaved` full-state sweeps.
   void countFusion(std::uint64_t gatesIn, std::uint64_t blocks,
@@ -221,6 +229,8 @@ class Metrics {
     shotsSampled_.store(0, std::memory_order_relaxed);
     circuitSimulations_.store(0, std::memory_order_relaxed);
     noiseChannels_.store(0, std::memory_order_relaxed);
+    trajectoryRuns_.store(0, std::memory_order_relaxed);
+    trajectoriesSimulated_.store(0, std::memory_order_relaxed);
     fusionGatesIn_.store(0, std::memory_order_relaxed);
     fusionBlocks_.store(0, std::memory_order_relaxed);
     fusionSweepsSaved_.store(0, std::memory_order_relaxed);
@@ -289,6 +299,16 @@ class Metrics {
     return noiseChannels_.load(std::memory_order_relaxed);
   }
 
+  /// TrajectorySimulator::run calls.
+  std::uint64_t trajectoryRuns() const {
+    return trajectoryRuns_.load(std::memory_order_relaxed);
+  }
+
+  /// Monte Carlo trajectories simulated across all runs.
+  std::uint64_t trajectoriesSimulated() const {
+    return trajectoriesSimulated_.load(std::memory_order_relaxed);
+  }
+
   /// Gates consumed by fusion scheduling (per plan application).
   std::uint64_t fusionGatesIn() const {
     return fusionGatesIn_.load(std::memory_order_relaxed);
@@ -316,6 +336,8 @@ class Metrics {
   std::atomic<std::uint64_t> shotsSampled_{0};
   std::atomic<std::uint64_t> circuitSimulations_{0};
   std::atomic<std::uint64_t> noiseChannels_{0};
+  std::atomic<std::uint64_t> trajectoryRuns_{0};
+  std::atomic<std::uint64_t> trajectoriesSimulated_{0};
   std::atomic<std::uint64_t> fusionGatesIn_{0};
   std::atomic<std::uint64_t> fusionBlocks_{0};
   std::atomic<std::uint64_t> fusionSweepsSaved_{0};
@@ -352,6 +374,7 @@ class Metrics {
   void countShots(std::uint64_t) {}
   void countCircuitSimulation() {}
   void countNoiseChannel() {}
+  void countTrajectoryRun(std::uint64_t) {}
   void countFusion(std::uint64_t, std::uint64_t, std::uint64_t) {}
   void addStateBytes(std::uint64_t) {}
   void releaseStateBytes(std::uint64_t) {}
@@ -369,6 +392,8 @@ class Metrics {
   std::uint64_t shotsSampled() const { return 0; }
   std::uint64_t circuitSimulations() const { return 0; }
   std::uint64_t noiseChannelApplications() const { return 0; }
+  std::uint64_t trajectoryRuns() const { return 0; }
+  std::uint64_t trajectoriesSimulated() const { return 0; }
   std::uint64_t fusionGatesIn() const { return 0; }
   std::uint64_t fusionBlocks() const { return 0; }
   std::uint64_t fusionSweepsSaved() const { return 0; }

@@ -110,6 +110,10 @@ class Report {
     out << "circuit simulations: " << m.circuitSimulations() << "\n";
     out << "noise channel applications: " << m.noiseChannelApplications()
         << "\n";
+    if (m.trajectoryRuns() != 0) {
+      out << "trajectories: " << m.trajectoriesSimulated() << " over "
+          << m.trajectoryRuns() << " runs\n";
+    }
     if (m.fusionGatesIn() != 0) {
       out << "fusion: " << m.fusionGatesIn() << " gates -> "
           << m.fusionBlocks() << " blocks (" << m.fusionSweepsSaved()
@@ -186,6 +190,9 @@ class Report {
         << ",\n";
     out << "    \"noise_channel_applications\": "
         << m.noiseChannelApplications() << ",\n";
+    out << "    \"trajectory_runs\": " << m.trajectoryRuns() << ",\n";
+    out << "    \"trajectories_simulated\": " << m.trajectoriesSimulated()
+        << ",\n";
     out << "    \"fusion_gates_in\": " << m.fusionGatesIn() << ",\n";
     out << "    \"fusion_blocks_out\": " << m.fusionBlocks() << ",\n";
     out << "    \"fusion_sweeps_saved\": " << m.fusionSweepsSaved() << "\n";

@@ -136,4 +136,15 @@ void Rng::jump() noexcept {
   state_ = accumulated;
 }
 
+std::vector<Rng> Rng::jumpStreams(std::uint64_t seed, std::size_t count) {
+  std::vector<Rng> streams;
+  streams.reserve(count);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    streams.push_back(rng);
+    rng.jump();
+  }
+  return streams;
+}
+
 }  // namespace qclab::random

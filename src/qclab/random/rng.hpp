@@ -65,6 +65,13 @@ class Rng {
   /// streams from one seed.
   void jump() noexcept;
 
+  /// `count` generators derived from one seed: stream 0 is Rng(seed) and
+  /// each following stream is the previous one advanced by jump(), so the
+  /// streams draw from pairwise disjoint 2^128-long slices of the xoshiro
+  /// sequence.  The trajectory engine hands stream i to trajectory i, which
+  /// is what makes its results independent of thread count and schedule.
+  static std::vector<Rng> jumpStreams(std::uint64_t seed, std::size_t count);
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cachedNormal_ = 0.0;

@@ -23,10 +23,11 @@ enum class KernelPath : int {
                          ///< one multiply per active-subspace amplitude
   kFusedDenseK,          ///< fusion engine: dense block of merged gates
   kFusedDiagonalK,       ///< fusion engine: diagonal-only block of merged gates
+  kTrajectory,           ///< noise engine: one full Monte Carlo trajectory
 };
 
 /// Number of enumerators in KernelPath (for counter arrays).
-inline constexpr int kKernelPathCount = 10;
+inline constexpr int kKernelPathCount = 11;
 
 /// Stable short name of a kernel path (used in reports and traces).
 inline const char* kernelPathName(KernelPath path) noexcept {
@@ -41,6 +42,7 @@ inline const char* kernelPathName(KernelPath path) noexcept {
     case KernelPath::kControlledDiagonal1: return "controlled-diagonal1";
     case KernelPath::kFusedDenseK:         return "fused-k";
     case KernelPath::kFusedDiagonalK:      return "fused-diagonal-k";
+    case KernelPath::kTrajectory:          return "trajectory";
   }
   return "unknown";
 }

@@ -142,6 +142,21 @@ TEST(BenchCompare, CounterUnitsAreNotGated) {
   EXPECT_EQ(outcome.rows[0].name, "b/t");
 }
 
+TEST(BenchCompare, PerTrajectoryTimingsAreGated) {
+  // bench_trajectory reports "ns/trajectory" — a lower-is-better time
+  // unit that must be gated like "ns/op".
+  const auto baseline =
+      trajectoryWithTiming("bench_trajectory", "ghz/n=20", 1000.0,
+                           "ns/trajectory");
+  const auto current =
+      trajectoryWithTiming("bench_trajectory", "ghz/n=20", 1500.0,
+                           "ns/trajectory");
+  const auto outcome = bj::compareTrajectories(baseline, current, 0.2);
+  ASSERT_EQ(outcome.rows.size(), 1u);
+  EXPECT_EQ(outcome.rows[0].verdict, bj::Verdict::kRegression);
+  EXPECT_TRUE(outcome.failed());
+}
+
 TEST(BenchCompare, ZeroBaselineOnlyChecksPresence) {
   const auto baseline = trajectoryWithTiming("b", "t", 0.0);
   const auto current = trajectoryWithTiming("b", "t", 5000.0);

@@ -264,5 +264,94 @@ TEST(DensityMatrix, ProbabilitiesOverQubits) {
   EXPECT_NEAR(single[0], 0.5, 1e-14);
 }
 
+TEST(KrausChannel, ReadoutConfusionMatrix) {
+  // readout(p01, p10) implements the classical confusion matrix on
+  // diagonal states: |0> reads 1 with probability p01, |1> reads 0 with
+  // probability p10.
+  const auto channel = KrausChannel<double>::readout(0.1, 0.3);
+  EXPECT_EQ(channel.nbQubits(), 1);
+
+  DensityMatrix<double> ground("0");
+  ground.applyChannel(channel, {0});
+  auto probs = ground.probabilities({0});
+  EXPECT_NEAR(probs[0], 0.9, 1e-12);
+  EXPECT_NEAR(probs[1], 0.1, 1e-12);
+
+  DensityMatrix<double> excited("1");
+  excited.applyChannel(channel, {0});
+  probs = excited.probabilities({0});
+  EXPECT_NEAR(probs[0], 0.3, 1e-12);
+  EXPECT_NEAR(probs[1], 0.7, 1e-12);
+}
+
+TEST(KrausChannel, ReadoutSymmetricAndValidation) {
+  // Single-argument overload is the symmetric case.
+  DensityMatrix<double> rho("0");
+  rho.applyChannel(KrausChannel<double>::readout(0.25), {0});
+  const auto probs = rho.probabilities({0});
+  EXPECT_NEAR(probs[1], 0.25, 1e-12);
+
+  EXPECT_THROW(KrausChannel<double>::readout(-0.1, 0.5), InvalidArgumentError);
+  EXPECT_THROW(KrausChannel<double>::readout(0.5, 1.1), InvalidArgumentError);
+  EXPECT_NO_THROW(KrausChannel<double>::readout(0.0, 1.0));
+}
+
+TEST(NoisySimulation, ZBasisReadoutNoiseCorruptsRecordedOutcome) {
+  // |1> measured in the computational basis with readout(0, p10) must
+  // report 0 with probability p10.
+  QCircuit<double> circuit(1);
+  circuit.push_back(qgates::PauliX<double>(0));
+  circuit.push_back(Measurement<double>(0));
+
+  NoiseModel<double> model;
+  model.measurementNoise = KrausChannel<double>::readout(0.0, 0.25);
+
+  const auto rho = simulateDensity(circuit, "0", model);
+  const auto probs = rho.probabilities({0});
+  EXPECT_NEAR(probs[0], 0.25, 1e-12);
+  EXPECT_NEAR(probs[1], 0.75, 1e-12);
+}
+
+TEST(NoisySimulation, MeasurementNoiseActsInMeasurementBasis) {
+  // Regression for the ordering bug: measurementNoise must act AFTER the
+  // basis change V^H, i.e. in the measurement frame.  For an X-basis
+  // measurement of |+> with bit-flip readout noise, the recorded
+  // distribution is {1-p, p}; with the old (pre-V^H) ordering the
+  // bit-flip channel commuted with the X measurement and the corruption
+  // silently vanished.
+  QCircuit<double> circuit(1);
+  circuit.push_back(qgates::Hadamard<double>(0));
+  circuit.push_back(Measurement<double>(0, 'x'));
+  circuit.push_back(qgates::Hadamard<double>(0));  // map X frame to Z frame
+
+  NoiseModel<double> model;
+  model.measurementNoise = KrausChannel<double>::bitFlip(0.2);
+
+  const auto rho = simulateDensity(circuit, "0", model);
+  const auto probs = rho.probabilities({0});
+  EXPECT_NEAR(probs[0], 0.8, 1e-12);
+  EXPECT_NEAR(probs[1], 0.2, 1e-12);
+}
+
+TEST(NoisySimulation, GateNoiseAppliedOncePerQubitOfMultiQubitGate) {
+  // A two-qubit gate under gate noise must trigger exactly one channel
+  // application per distinct qubit it touches.
+  obs::metrics().reset();
+  QCircuit<double> circuit(2);
+  circuit.push_back(qgates::CX<double>(0, 1));
+
+  NoiseModel<double> model;
+  model.gateNoise = KrausChannel<double>::depolarizing(0.1);
+  const auto rho = simulateDensity(circuit, "00", model);
+  EXPECT_NEAR(rho.trace(), 1.0, 1e-12);
+  if (obs::kEnabled) {
+    EXPECT_EQ(obs::metrics().noiseChannelApplications(), 2u);
+  }
+
+  // A gate can never list the same qubit twice, so "noise applied twice
+  // to one qubit" cannot arise from circuit construction.
+  EXPECT_THROW(qgates::CX<double>(1, 1), InvalidArgumentError);
+}
+
 }  // namespace
 }  // namespace qclab::noise

@@ -157,6 +157,43 @@ TEST(Rng, JumpProducesDisjointStream) {
   EXPECT_LT(equal, 3);
 }
 
+TEST(Rng, JumpStreamsMatchManualJumps) {
+  // jumpStreams(seed, count) is the engine's determinism contract:
+  // stream 0 is Rng(seed), stream i+1 is stream i after one jump().
+  const auto streams = Rng::jumpStreams(21, 4);
+  ASSERT_EQ(streams.size(), 4u);
+  Rng manual(21);
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    Rng copy = streams[s];
+    Rng reference = manual;
+    for (int i = 0; i < 16; ++i) EXPECT_EQ(copy(), reference());
+    manual.jump();
+  }
+}
+
+TEST(Rng, JumpStreamsAreMutuallyDisjoint) {
+  // Property test backing the per-trajectory streams: draws from 8
+  // consecutive jump streams never collide within a 256-draw window.
+  // xoshiro256** jump() skips 2^128 outputs, so any collision here
+  // would signal a broken jump polynomial.
+  constexpr std::size_t kStreams = 8;
+  constexpr int kDraws = 256;
+  auto streams = Rng::jumpStreams(2026, kStreams);
+  std::set<std::uint64_t> seen;
+  for (auto& stream : streams) {
+    for (int i = 0; i < kDraws; ++i) {
+      const auto value = stream();
+      EXPECT_TRUE(seen.insert(value).second)
+          << "collision across jump streams at draw " << i;
+    }
+  }
+  EXPECT_EQ(seen.size(), kStreams * kDraws);
+}
+
+TEST(Rng, JumpStreamsZeroCountIsEmpty) {
+  EXPECT_TRUE(Rng::jumpStreams(1, 0).empty());
+}
+
 class MultinomialSweep
     : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
 

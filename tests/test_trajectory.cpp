@@ -1,0 +1,449 @@
+/// \file test_trajectory.cpp
+/// \brief Unit, determinism, and fusion property tests of the Monte Carlo
+/// trajectory engine (noise/trajectory.hpp).
+///
+/// The determinism tests pin the engine's central contract: per-trajectory
+/// jump() streams plus serial fixed-order reductions make the aggregate
+/// result bit-identical for every OpenMP thread count and schedule.  The
+/// fusion fuzz test pins the second contract: under per-gate noise the
+/// scheduler has no multi-gate run to merge, so fusion on and off agree
+/// bit for bit per seed.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#ifdef QCLAB_HAS_OPENMP
+#include <omp.h>
+#endif
+
+#include "qclab/qclab.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab {
+namespace {
+
+using noise::KrausChannel;
+using noise::NoiseModel;
+using noise::TrajectoryOptions;
+using noise::TrajectoryResult;
+using noise::TrajectorySimulator;
+
+std::vector<int> allQubits(int n) {
+  std::vector<int> qubits(static_cast<std::size_t>(n));
+  std::iota(qubits.begin(), qubits.end(), 0);
+  return qubits;
+}
+
+/// A noisy test circuit mixing gates, a mid-circuit measurement, and a
+/// reset, driven by `rng`.
+QCircuit<double> randomNoisyCircuit(int nbQubits, random::Rng& rng) {
+  QCircuit<double> circuit(nbQubits);
+  test::addRandomGates(circuit, 6, rng);
+  circuit.push_back(Measurement<double>(
+      static_cast<int>(rng.uniformInt(nbQubits))));
+  test::addRandomGates(circuit, 6, rng);
+  if (rng.uniform() < 0.5) {
+    circuit.push_back(Reset<double>(
+        static_cast<int>(rng.uniformInt(nbQubits))));
+    test::addRandomGates(circuit, 3, rng);
+  }
+  for (int q = 0; q < nbQubits; ++q) {
+    circuit.push_back(Measurement<double>(q));
+  }
+  return circuit;
+}
+
+/// A random single-qubit channel for the fuzz tests.
+KrausChannel<double> randomChannel(random::Rng& rng) {
+  const double p = rng.uniform(0.0, 0.3);
+  switch (rng.uniformInt(6)) {
+    case 0: return KrausChannel<double>::bitFlip(p);
+    case 1: return KrausChannel<double>::phaseFlip(p);
+    case 2: return KrausChannel<double>::bitPhaseFlip(p);
+    case 3: return KrausChannel<double>::depolarizing(p);
+    case 4: return KrausChannel<double>::amplitudeDamping(p);
+    default: return KrausChannel<double>::phaseDamping(p);
+  }
+}
+
+void expectBitIdentical(const TrajectoryResult<double>& a,
+                        const TrajectoryResult<double>& b) {
+  ASSERT_EQ(a.nbTrajectories(), b.nbTrajectories());
+  EXPECT_TRUE(a.results() == b.results());
+  EXPECT_TRUE(a.probabilities() == b.probabilities());
+  EXPECT_TRUE(a.expectations() == b.expectations());
+}
+
+// ---- basic engine behavior --------------------------------------------
+
+TEST(Trajectory, DeterministicCircuitGivesExactCounts) {
+  QCircuit<double> circuit(3);
+  circuit.push_back(qgates::PauliX<double>(0));
+  for (int q = 0; q < 3; ++q) {
+    circuit.push_back(Measurement<double>(q));
+  }
+  TrajectoryOptions options;
+  options.nbTrajectories = 64;
+  const TrajectorySimulator<double> simulator(circuit, {}, options);
+  const auto result = simulator.run("000");
+  EXPECT_EQ(result.nbTrajectories(), 64u);
+  EXPECT_EQ(result.nbMeasurements(), 3u);
+  const auto counts = result.counts();
+  ASSERT_EQ(counts.size(), 8u);
+  EXPECT_EQ(counts[4], 64u);  // outcome "100", MSB first
+  const auto map = result.countsMap();
+  ASSERT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.at("100"), 64u);
+}
+
+TEST(Trajectory, InitialBitstringIsRespected) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Measurement<double>(0));
+  circuit.push_back(Measurement<double>(1));
+  TrajectoryOptions options;
+  options.nbTrajectories = 16;
+  const TrajectorySimulator<double> simulator(circuit, {}, options);
+  EXPECT_EQ(simulator.run("01").countsMap().at("01"), 16u);
+  EXPECT_EQ(simulator.run("10").countsMap().at("10"), 16u);
+}
+
+TEST(Trajectory, BellCountsAreFair) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(qgates::Hadamard<double>(0));
+  circuit.push_back(qgates::CX<double>(0, 1));
+  circuit.push_back(Measurement<double>(0));
+  circuit.push_back(Measurement<double>(1));
+  TrajectoryOptions options;
+  options.seed = 5;
+  options.nbTrajectories = 2000;
+  const TrajectorySimulator<double> simulator(circuit, {}, options);
+  const auto counts = simulator.run("00").counts();
+  EXPECT_EQ(counts[1], 0u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[0] + counts[3], 2000u);
+  EXPECT_NEAR(static_cast<double>(counts[0]), 1000.0, 150.0);
+}
+
+TEST(Trajectory, NoiselessMarginalsMatchTheStateVector) {
+  random::Rng rng(11);
+  QCircuit<double> circuit(3);
+  test::addRandomGates(circuit, 10, rng);
+  const auto state = circuit.simulate("000").branches().front().state;
+
+  TrajectoryOptions options;
+  options.nbTrajectories = 4;  // noiseless: every trajectory is identical
+  options.marginalQubits = allQubits(3);
+  const TrajectorySimulator<double> simulator(circuit, {}, options);
+  const auto probabilities = simulator.run("000").probabilities();
+  ASSERT_EQ(probabilities.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_NEAR(probabilities[i], std::norm(state[i]), test::tol<double>());
+  }
+}
+
+TEST(Trajectory, ResetReinitializesTheQubit) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(qgates::PauliX<double>(0));
+  circuit.push_back(Reset<double>(0));
+  circuit.push_back(Measurement<double>(0));
+  TrajectoryOptions options;
+  options.nbTrajectories = 32;
+  const TrajectorySimulator<double> simulator(circuit, {}, options);
+  EXPECT_EQ(simulator.run("00").countsMap().at("0"), 32u);
+}
+
+TEST(Trajectory, SampleCountsDrawsFromTheAveragedMarginal) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(qgates::PauliX<double>(1));
+  TrajectoryOptions options;
+  options.nbTrajectories = 8;
+  options.marginalQubits = allQubits(2);
+  const TrajectorySimulator<double> simulator(circuit, {}, options);
+  const auto result = simulator.run("00");
+  const auto sampled = result.sampleCounts(1000, 3);
+  ASSERT_EQ(sampled.size(), 4u);
+  EXPECT_EQ(sampled[1], 1000u);  // |01> is certain
+}
+
+TEST(Trajectory, ExpectationTracksTheNoiseStrength) {
+  // X then bit-flip gate noise with p = 1 flips back: <Z> = +1; with
+  // p = 0 the X survives: <Z> = -1.
+  QCircuit<double> circuit(1);
+  circuit.push_back(qgates::PauliX<double>(0));
+  Observable<double> z(1);
+  z.add("Z", 1.0);
+  TrajectoryOptions options;
+  options.nbTrajectories = 16;
+
+  const TrajectorySimulator<double> certainFlip(
+      circuit, NoiseModel<double>::bitFlip(1.0), options);
+  EXPECT_NEAR(certainFlip.run("0", z).expectation(), 1.0,
+              test::tol<double>());
+
+  const TrajectorySimulator<double> noiseless(
+      circuit, NoiseModel<double>::bitFlip(0.0), options);
+  const auto result = noiseless.run("0", z);
+  EXPECT_NEAR(result.expectation(), -1.0, test::tol<double>());
+  EXPECT_EQ(result.expectations().size(), 16u);
+}
+
+TEST(Trajectory, DepolarizingShrinksTheExpectation) {
+  // One X gate under depolarizing(p): <Z> averages to -(1 - p) as N grows.
+  QCircuit<double> circuit(1);
+  circuit.push_back(qgates::PauliX<double>(0));
+  Observable<double> z(1);
+  z.add("Z", 1.0);
+  TrajectoryOptions options;
+  options.seed = 21;
+  options.nbTrajectories = 4000;
+  const TrajectorySimulator<double> simulator(
+      circuit, NoiseModel<double>::depolarizing(0.2), options);
+  EXPECT_NEAR(simulator.run("0", z).expectation(), -0.8, 0.03);
+}
+
+TEST(Trajectory, MeasurementNoiseFlipsRecordedOutcomes) {
+  // Readout error on a deterministic |1>: outcome "0" shows up with
+  // probability p10.
+  QCircuit<double> circuit(1);
+  circuit.push_back(qgates::PauliX<double>(0));
+  circuit.push_back(Measurement<double>(0));
+  NoiseModel<double> model;
+  model.measurementNoise = KrausChannel<double>::readout(0.0, 0.25);
+  TrajectoryOptions options;
+  options.seed = 9;
+  options.nbTrajectories = 4000;
+  const TrajectorySimulator<double> simulator(circuit, model, options);
+  const auto counts = simulator.run("0").counts();
+  EXPECT_NEAR(static_cast<double>(counts[0]), 1000.0, 120.0);
+}
+
+TEST(Trajectory, XBasisMeasurementNoiseActsInMeasurementFrame) {
+  // |+> measured in the X basis records '+' (0) with probability 1 - p
+  // under bit-flip readout noise; before the ordering fix the channel
+  // commuted with the basis change and was a no-op on the distribution.
+  QCircuit<double> circuit(1);
+  circuit.push_back(qgates::Hadamard<double>(0));
+  circuit.push_back(Measurement<double>(0, 'x'));
+  NoiseModel<double> model;
+  model.measurementNoise = KrausChannel<double>::bitFlip(0.2);
+  TrajectoryOptions options;
+  options.seed = 17;
+  options.nbTrajectories = 4000;
+  const TrajectorySimulator<double> simulator(circuit, model, options);
+  const auto counts = simulator.run("0").counts();
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 4000.0, 0.2, 0.03);
+}
+
+TEST(Trajectory, Validation) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(qgates::Hadamard<double>(0));
+
+  TrajectoryOptions zeroTrajectories;
+  zeroTrajectories.nbTrajectories = 0;
+  EXPECT_THROW(TrajectorySimulator<double>(circuit, {}, zeroTrajectories),
+               InvalidArgumentError);
+
+  TrajectoryOptions badMarginal;
+  badMarginal.marginalQubits = {5};
+  EXPECT_THROW(TrajectorySimulator<double>(circuit, {}, badMarginal),
+               QubitRangeError);
+
+  const TrajectorySimulator<double> simulator(circuit, {}, {});
+  EXPECT_THROW(simulator.run("0"), InvalidArgumentError);
+  EXPECT_THROW(simulator.run("0x"), InvalidArgumentError);
+  EXPECT_THROW(simulator.run("00").probabilities(), InvalidArgumentError);
+  EXPECT_THROW(simulator.run("00").counts(), InvalidArgumentError);
+  EXPECT_THROW(simulator.run("00").expectation(), InvalidArgumentError);
+}
+
+// ---- determinism ------------------------------------------------------
+
+TEST(TrajectoryDeterminism, SameSeedIsBitIdentical) {
+  random::Rng rng(23);
+  const auto circuit = randomNoisyCircuit(4, rng);
+  NoiseModel<double> model = NoiseModel<double>::depolarizing(0.05);
+  model.measurementNoise = KrausChannel<double>::readout(0.02);
+  TrajectoryOptions options;
+  options.seed = 99;
+  options.nbTrajectories = 64;
+  options.marginalQubits = allQubits(4);
+  const TrajectorySimulator<double> simulator(circuit, model, options);
+  expectBitIdentical(simulator.run("0000"), simulator.run("0000"));
+}
+
+TEST(TrajectoryDeterminism, DifferentSeedsDiffer) {
+  random::Rng rng(29);
+  const auto circuit = randomNoisyCircuit(3, rng);
+  TrajectoryOptions a;
+  a.seed = 1;
+  a.nbTrajectories = 128;
+  TrajectoryOptions b = a;
+  b.seed = 2;
+  const NoiseModel<double> model = NoiseModel<double>::depolarizing(0.2);
+  const auto resultA =
+      TrajectorySimulator<double>(circuit, model, a).run("000");
+  const auto resultB =
+      TrajectorySimulator<double>(circuit, model, b).run("000");
+  EXPECT_NE(resultA.results(), resultB.results());
+}
+
+#ifdef QCLAB_HAS_OPENMP
+
+TEST(TrajectoryDeterminism, ThreadCountInvariance) {
+  random::Rng rng(31);
+  const auto circuit = randomNoisyCircuit(4, rng);
+  NoiseModel<double> model = NoiseModel<double>::bitFlip(0.1);
+  model.measurementNoise = KrausChannel<double>::readout(0.05);
+
+  std::vector<TrajectoryResult<double>> runs;
+  for (int threads : {1, 2, 8}) {
+    TrajectoryOptions options;
+    options.seed = 7;
+    options.nbTrajectories = 96;
+    options.nbThreads = threads;
+    options.marginalQubits = allQubits(4);
+    const TrajectorySimulator<double> simulator(circuit, model, options);
+    runs.push_back(simulator.run("0000"));
+  }
+  expectBitIdentical(runs[0], runs[1]);
+  expectBitIdentical(runs[0], runs[2]);
+}
+
+TEST(TrajectoryDeterminism, ScheduleInvariance) {
+  random::Rng rng(37);
+  const auto circuit = randomNoisyCircuit(3, rng);
+  const NoiseModel<double> model = NoiseModel<double>::depolarizing(0.1);
+
+  omp_sched_t originalKind;
+  int originalChunk;
+  omp_get_schedule(&originalKind, &originalChunk);
+
+  std::vector<TrajectoryResult<double>> runs;
+  const std::pair<omp_sched_t, int> schedules[] = {
+      {omp_sched_static, 0},
+      {omp_sched_static, 1},
+      {omp_sched_dynamic, 1},
+      {omp_sched_guided, 2},
+  };
+  for (const auto& [kind, chunk] : schedules) {
+    omp_set_schedule(kind, chunk);
+    TrajectoryOptions options;
+    options.seed = 3;
+    options.nbTrajectories = 64;
+    options.nbThreads = 4;
+    options.marginalQubits = allQubits(3);
+    const TrajectorySimulator<double> simulator(circuit, model, options);
+    runs.push_back(simulator.run("000"));
+  }
+  omp_set_schedule(originalKind, originalChunk);
+
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    expectBitIdentical(runs[0], runs[i]);
+  }
+}
+
+#endif  // QCLAB_HAS_OPENMP
+
+// ---- fusion properties ------------------------------------------------
+
+TEST(TrajectoryFusion, OnOffBitIdenticalUnderGateNoiseFuzz) {
+  // Under per-gate noise every run is a single gate, so fusion on and off
+  // must produce bit-for-bit identical trajectories for any seed.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    random::Rng rng(1000 + seed);
+    const int n = 2 + static_cast<int>(rng.uniformInt(4));
+    const auto circuit = randomNoisyCircuit(n, rng);
+    NoiseModel<double> model;
+    model.gateNoise = randomChannel(rng);
+    if (rng.uniform() < 0.5) {
+      model.measurementNoise = randomChannel(rng);
+    }
+    TrajectoryOptions unfused;
+    unfused.seed = seed;
+    unfused.nbTrajectories = 32;
+    unfused.marginalQubits = allQubits(n);
+    TrajectoryOptions fused = unfused;
+    fused.fusion = true;
+
+    const auto resultUnfused =
+        TrajectorySimulator<double>(circuit, model, unfused)
+            .run(std::string(static_cast<std::size_t>(n), '0'));
+    const auto resultFused =
+        TrajectorySimulator<double>(circuit, model, fused)
+            .run(std::string(static_cast<std::size_t>(n), '0'));
+    expectBitIdentical(resultUnfused, resultFused);
+  }
+}
+
+TEST(TrajectoryFusion, MeasurementOnlyNoiseEngagesFusedBlocks) {
+  // With no gate noise the gate runs genuinely fuse; recorded outcomes
+  // stay identical per seed and the marginals agree to rounding.
+  random::Rng rng(41);
+  const auto circuit = randomNoisyCircuit(4, rng);
+  NoiseModel<double> model;
+  model.measurementNoise = KrausChannel<double>::readout(0.1);
+
+  TrajectoryOptions unfused;
+  unfused.seed = 13;
+  unfused.nbTrajectories = 48;
+  unfused.marginalQubits = allQubits(4);
+  TrajectoryOptions fused = unfused;
+  fused.fusion = true;
+
+  obs::metrics().reset();
+  const auto resultUnfused =
+      TrajectorySimulator<double>(circuit, model, unfused).run("0000");
+  const std::uint64_t fusionBlocksBefore = obs::metrics().fusionBlocks();
+  const auto resultFused =
+      TrajectorySimulator<double>(circuit, model, fused).run("0000");
+
+  if (obs::kEnabled) {
+    EXPECT_EQ(fusionBlocksBefore, 0u);
+    EXPECT_GT(obs::metrics().fusionBlocks(), 0u);
+  }
+  EXPECT_EQ(resultUnfused.results(), resultFused.results());
+  const auto& a = resultUnfused.probabilities();
+  const auto& b = resultFused.probabilities();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], test::tol<double>());
+  }
+}
+
+// ---- observability ----------------------------------------------------
+
+TEST(TrajectoryObs, CountersHistogramsAndMemoryAreRecorded) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs disabled at compile time";
+  QCircuit<double> circuit(5);
+  circuit.push_back(qgates::Hadamard<double>(0));
+  circuit.push_back(Measurement<double>(0));
+
+  obs::metrics().reset();
+  obs::latencyHistograms().reset();
+  TrajectoryOptions options;
+  options.nbTrajectories = 24;
+  const TrajectorySimulator<double> simulator(
+      circuit, NoiseModel<double>::depolarizing(0.1), options);
+  simulator.run("00000");
+
+  EXPECT_EQ(obs::metrics().trajectoryRuns(), 1u);
+  EXPECT_EQ(obs::metrics().trajectoriesSimulated(), 24u);
+  // depolarizing noise after the H: one channel application per
+  // trajectory; measurement adds none (no measurement noise configured).
+  EXPECT_EQ(obs::metrics().noiseChannelApplications(), 24u);
+  const auto snapshot = obs::latencyHistograms()
+                            .histogram(sim::KernelPath::kTrajectory)
+                            .snapshot();
+  EXPECT_EQ(snapshot.count, 24u);
+  // Each worker thread attributed its 2^5-amplitude state buffer.
+  EXPECT_GE(obs::metrics().peakStateBytes(),
+            (std::uint64_t{1} << 5) * sizeof(std::complex<double>));
+  EXPECT_EQ(obs::metrics().currentStateBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace qclab
