@@ -92,6 +92,102 @@ void BM_GeneralTwoQubit(benchmark::State& state) {
 }
 BENCHMARK(BM_GeneralTwoQubit)->DenseRange(8, 20, 4);
 
+// ---- SIMD tier: scalar vs vectorized, long vs short runs --------------
+//
+// Arg 0 is the register size, arg 1 the dispatch level (0 = scalar,
+// 1 = highest detected).  Low qubit INDEX = high bit position = long
+// unit-stride runs (the SIMD-friendly case); qubit n-1 has stride-1
+// runs where the vector kernels cannot engage.
+
+qclab::sim::SimdLevel benchLevel(const benchmark::State& state) {
+  return state.range(1) ? qclab::sim::detectedSimdLevel()
+                        : qclab::sim::SimdLevel::kScalar;
+}
+
+void BM_Apply1LongRuns(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto previous = qclab::sim::setSimdLevel(benchLevel(state));
+  auto psi = makeState(n);
+  const auto u = qclab::qgates::Hadamard<T>(0).matrix();
+  for (auto _ : state) {
+    qclab::sim::apply1(psi, n, 0, u);
+    benchmark::DoNotOptimize(psi.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(psi.size()) * sizeof(C));
+  state.SetLabel(qclab::sim::simdLevelName(qclab::sim::activeSimdLevel()));
+  qclab::sim::setSimdLevel(previous);
+}
+BENCHMARK(BM_Apply1LongRuns)
+    ->ArgsProduct({{8, 12, 16, 20}, {0, 1}});
+
+void BM_Apply1ShortRuns(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto previous = qclab::sim::setSimdLevel(benchLevel(state));
+  auto psi = makeState(n);
+  const auto u = qclab::qgates::Hadamard<T>(0).matrix();
+  for (auto _ : state) {
+    qclab::sim::apply1(psi, n, n - 1, u);
+    benchmark::DoNotOptimize(psi.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(psi.size()) * sizeof(C));
+  state.SetLabel(qclab::sim::simdLevelName(qclab::sim::activeSimdLevel()));
+  qclab::sim::setSimdLevel(previous);
+}
+BENCHMARK(BM_Apply1ShortRuns)
+    ->ArgsProduct({{8, 12, 16, 20}, {0, 1}});
+
+void BM_DiagonalLongRuns(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto previous = qclab::sim::setSimdLevel(benchLevel(state));
+  auto psi = makeState(n);
+  const auto u = qclab::qgates::RotationZ<T>(0, 0.7).matrix();
+  for (auto _ : state) {
+    qclab::sim::applyDiagonal1(psi, n, 0, u(0, 0), u(1, 1));
+    benchmark::DoNotOptimize(psi.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(psi.size()) * sizeof(C));
+  state.SetLabel(qclab::sim::simdLevelName(qclab::sim::activeSimdLevel()));
+  qclab::sim::setSimdLevel(previous);
+}
+BENCHMARK(BM_DiagonalLongRuns)
+    ->ArgsProduct({{8, 12, 16, 20}, {0, 1}});
+
+// The fused-2 hot path: a dense 4x4 block (what a fused pair of gates
+// becomes) applied through apply2's quad-run kernel vs applyK's
+// gather/scatter on the same targets.
+void BM_Fused2Apply2(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto previous = qclab::sim::setSimdLevel(benchLevel(state));
+  auto psi = makeState(n);
+  const auto u = qclab::qgates::RotationXX<T>(0, 1, 0.9).matrix();
+  for (auto _ : state) {
+    qclab::sim::apply2(psi, n, 0, 1, u);
+    benchmark::DoNotOptimize(psi.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(psi.size()) * sizeof(C));
+  state.SetLabel(qclab::sim::simdLevelName(qclab::sim::activeSimdLevel()));
+  qclab::sim::setSimdLevel(previous);
+}
+BENCHMARK(BM_Fused2Apply2)
+    ->ArgsProduct({{8, 12, 16, 20}, {0, 1}});
+
+void BM_Fused2ApplyK(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto psi = makeState(n);
+  const auto u = qclab::qgates::RotationXX<T>(0, 1, 0.9).matrix();
+  for (auto _ : state) {
+    qclab::sim::applyK(psi, n, {0, 1}, u);
+    benchmark::DoNotOptimize(psi.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(psi.size()) * sizeof(C));
+}
+BENCHMARK(BM_Fused2ApplyK)->DenseRange(8, 20, 4);
+
 void BM_MeasureProbability(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   auto psi = makeState(n);

@@ -69,7 +69,11 @@ class InstrumentedBackend final : public sim::Backend<T> {
                  const qgates::QGate<T>& gate,
                  int offset = 0) const override {
     if constexpr (kEnabled) {
-      const sim::KernelPath path = inner_.dispatchPath(gate);
+      // dispatchPath stays the backend's truth; the counted path is
+      // remapped to the kSimd* variant when the vector tier is active,
+      // so reports attribute the work to the tier that did it.
+      const sim::KernelPath path = sim::simdCountedPath(
+          inner_.dispatchPath(gate), gate.nbQubits());
       std::string kind = qgates::gateKindLabel(gate);
       {
         const Span span(tracer(), kind, "gate");

@@ -35,6 +35,7 @@
 #include "qclab/obs/metrics.hpp"
 #include "qclab/obs/trace.hpp"
 #include "qclab/sim/kernel_path.hpp"
+#include "qclab/sim/simd.hpp"
 #include "qclab/version.hpp"
 
 namespace qclab::obs {
@@ -70,6 +71,9 @@ class Report {
     std::ostringstream out;
     out << "== qclab::obs report — " << name_ << " ==\n";
     out << "build: " << buildInfo() << "\n";
+    out << "simd level: " << sim::simdLevelName(sim::activeSimdLevel())
+        << " (detected " << sim::simdLevelName(sim::detectedSimdLevel())
+        << ")\n";
     out << "gate applications: " << m.gateApplications() << "\n";
     for (int p = 0; p < sim::kKernelPathCount; ++p) {
       const auto path = static_cast<sim::KernelPath>(p);
@@ -145,6 +149,12 @@ class Report {
     out << "    \"openmp\": " << (builtWithOpenMP() ? "true" : "false")
         << ",\n";
     out << "    \"obs\": " << (builtWithObs() ? "true" : "false") << ",\n";
+    out << "    \"simd\": " << (builtWithSimd() ? "true" : "false") << ",\n";
+    out << "    \"simd_level\": \""
+        << jsonEscape(sim::simdLevelName(sim::activeSimdLevel())) << "\",\n";
+    out << "    \"simd_detected\": \""
+        << jsonEscape(sim::simdLevelName(sim::detectedSimdLevel()))
+        << "\",\n";
     out << "    \"scalars\": \"" << jsonEscape(scalarTypes()) << "\",\n";
     out << "    \"info\": \"" << jsonEscape(buildInfo()) << "\"\n";
     out << "  },\n";

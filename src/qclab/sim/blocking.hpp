@@ -1,0 +1,292 @@
+#pragma once
+
+/// \file blocking.hpp
+/// \brief Cache-blocked execution of low-qubit gate runs.
+///
+/// A gate whose target bit positions are all below `b` permutes and mixes
+/// amplitudes only *within* each 2^b-aligned chunk of the state: chunks
+/// are closed under its index transform.  So a run of consecutive fused
+/// blocks that all live in the low-position window can be applied with a
+/// SINGLE streaming sweep of the state — load one 2^b-amplitude chunk
+/// (sized to fit L2), apply the whole gate run to it while it is
+/// cache-hot, store it, move on — instead of one full-state sweep per
+/// block.  The chunked execution is bit-identical to the sequential
+/// unblocked sweeps: every chunk sees the same span kernels, in the same
+/// order, over the same amplitudes.
+///
+/// In the MSB-first qubit convention, bit position = nbQubits - 1 - qubit,
+/// so the low-position window is the HIGH-index qubits [nbQubits - b,
+/// nbQubits) — exactly the targets with long unit-stride runs that the
+/// SIMD tier (simd.hpp) vectorizes best.  Blocking and SIMD compose: the
+/// per-chunk kernels below are the same dispatched span kernels.
+///
+/// The scheduler here is generic over any block type exposing `.qubits`
+/// (ascending), `.matrix`, and `.diagonal`, so fusion.hpp can build a
+/// BlockSchedule into its FusionPlan without a dependency cycle.
+
+#include <algorithm>
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "qclab/dense/matrix.hpp"
+#include "qclab/sim/simd.hpp"
+#include "qclab/util/bits.hpp"
+#include "qclab/util/errors.hpp"
+
+#ifdef QCLAB_HAS_OPENMP
+#include <omp.h>
+#endif
+
+namespace qclab::sim {
+
+/// Tuning knobs of the cache-blocking scheduler.
+struct BlockingOptions {
+  /// Master switch; off leaves every fused block on its own full sweep.
+  bool enabled = true;
+  /// Chunk size in qubits; 0 = size to l2Bytes (autoBlockQubits).
+  int blockQubits = 0;
+  /// Assumed per-core L2 capacity used by the automatic chunk sizing.
+  std::size_t l2Bytes = std::size_t{1} << 20;
+  /// Minimum consecutive blockable fused blocks worth a blocked sweep;
+  /// a single block gains nothing from chunking (same one sweep).
+  std::size_t minRunBlocks = 2;
+};
+
+/// Largest b such that a 2^b-amplitude chunk fills at most half of
+/// l2Bytes (leaving room for gate data and the streaming frontier).
+template <typename T>
+int autoBlockQubits(std::size_t l2Bytes) noexcept {
+  const std::size_t perChunk = 2 * sizeof(std::complex<T>);
+  int b = 0;
+  while ((std::size_t{2} << b) * perChunk <= l2Bytes) ++b;
+  return b;
+}
+
+/// One scheduled run of consecutive fused blocks [first, first + count).
+struct BlockItem {
+  std::size_t first = 0;  ///< index of the first fused block in the run
+  std::size_t count = 0;  ///< number of consecutive fused blocks
+  bool blocked = false;   ///< true: one chunked sweep; false: plain sweeps
+};
+
+/// An ordered partition of a fused-block list into blocked and plain runs.
+/// An empty item list means "no blocking" (every block on its own sweep).
+struct BlockSchedule {
+  std::vector<BlockItem> items;
+  int blockQubits = 0;  ///< chunk size used by the blocked items
+
+  /// Number of blocked runs in the schedule.
+  std::size_t blockedRuns() const noexcept {
+    std::size_t n = 0;
+    for (const auto& item : items) n += item.blocked ? 1 : 0;
+    return n;
+  }
+};
+
+/// Partitions `blocks` into maximal runs of consecutive blocks whose
+/// qubits all live in the low-position window of `blockQubits` bits
+/// (i.e. every qubit index >= nbQubits - b).  Runs shorter than
+/// minRunBlocks stay unblocked — a lone block gains nothing from
+/// chunking.  Returns an empty schedule when blocking cannot help
+/// (disabled, or the whole state already fits one chunk).
+template <typename Block>
+BlockSchedule buildBlockSchedule(const std::vector<Block>& blocks,
+                                 int nbQubits,
+                                 const BlockingOptions& options = {}) {
+  BlockSchedule schedule;
+  if (!options.enabled || blocks.empty()) return schedule;
+
+  int b = options.blockQubits;
+  if (b <= 0) {
+    // The scalar type does not change which runs are blockable enough to
+    // matter here; size for double (the wider amplitude).
+    b = autoBlockQubits<double>(options.l2Bytes);
+  }
+  b = std::min(b, nbQubits);
+  // Whole state fits one chunk: every gate is already "cache-blocked".
+  if (b >= nbQubits) return schedule;
+  schedule.blockQubits = b;
+
+  const int lowestBlockableQubit = nbQubits - b;
+  const auto blockable = [&](const Block& block) {
+    return !block.qubits.empty() && block.qubits.front() >= lowestBlockableQubit;
+  };
+
+  bool sawBlockedRun = false;
+  std::size_t i = 0;
+  while (i < blocks.size()) {
+    std::size_t j = i;
+    const bool runBlockable = blockable(blocks[i]);
+    while (j < blocks.size() && blockable(blocks[j]) == runBlockable) ++j;
+    BlockItem item;
+    item.first = i;
+    item.count = j - i;
+    item.blocked = runBlockable && (j - i) >= options.minRunBlocks;
+    sawBlockedRun = sawBlockedRun || item.blocked;
+    schedule.items.push_back(item);
+    i = j;
+  }
+  if (!sawBlockedRun) schedule.items.clear();  // nothing gained: plain plan
+  return schedule;
+}
+
+namespace detail {
+
+/// Which per-chunk routine a compiled block dispatches to.
+enum class ChunkKernel { kDiagonal1, kDense1, kDense2, kDiagonalK, kDenseK };
+
+/// A fused block lowered to chunk-local form: bit positions instead of
+/// qubit indices (identical inside a chunk, since all positions < b) and
+/// the kernel-specific coefficient layout, computed once per blocked run.
+template <typename T>
+struct CompiledBlock {
+  ChunkKernel kernel = ChunkKernel::kDenseK;
+  std::vector<int> positions;   ///< kernel-specific order (see compile)
+  std::complex<T> u2[4] = {};   ///< kDense1: row-major 2x2
+  std::complex<T> u4[16] = {};  ///< kDense2: row-major 4x4, MSB-first
+  std::vector<std::complex<T>> diagonal;  ///< kDiagonal1 / kDiagonalK
+  dense::Matrix<T> matrix;                ///< kDenseK
+  std::vector<util::index_t> offsets;     ///< kDenseK subspace offsets
+};
+
+/// Lowers one fused block to its chunk-local compiled form.
+template <typename T, typename Block>
+CompiledBlock<T> compileBlock(const Block& block, int nbQubits) {
+  CompiledBlock<T> compiled;
+  const int k = static_cast<int>(block.qubits.size());
+  // MSB-first positions: qubits ascending => positions descending; this
+  // order matches the MSB-first row indexing of the block matrix.
+  std::vector<int> msbFirst(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    msbFirst[static_cast<std::size_t>(i)] =
+        util::bitPosition(block.qubits[static_cast<std::size_t>(i)], nbQubits);
+  }
+
+  if (block.diagonal) {
+    compiled.diagonal.resize(std::size_t{1} << k);
+    for (std::size_t i = 0; i < compiled.diagonal.size(); ++i) {
+      compiled.diagonal[i] = block.matrix(i, i);
+    }
+    compiled.kernel =
+        k == 1 ? ChunkKernel::kDiagonal1 : ChunkKernel::kDiagonalK;
+    compiled.positions = std::move(msbFirst);
+    return compiled;
+  }
+
+  if (k == 1) {
+    compiled.kernel = ChunkKernel::kDense1;
+    compiled.positions = std::move(msbFirst);
+    for (int i = 0; i < 4; ++i) {
+      compiled.u2[i] = block.matrix(static_cast<std::size_t>(i / 2),
+                                    static_cast<std::size_t>(i % 2));
+    }
+    return compiled;
+  }
+
+  if (k == 2) {
+    compiled.kernel = ChunkKernel::kDense2;
+    compiled.positions = std::move(msbFirst);  // {posHi, posLo}
+    for (int i = 0; i < 16; ++i) {
+      compiled.u4[i] = block.matrix(static_cast<std::size_t>(i / 4),
+                                    static_cast<std::size_t>(i % 4));
+    }
+    return compiled;
+  }
+
+  compiled.kernel = ChunkKernel::kDenseK;
+  compiled.matrix = block.matrix;
+  // Ascending positions for bit insertion, MSB-first offsets for rows —
+  // the same layout applyK uses, restricted to a chunk index.
+  compiled.positions.assign(msbFirst.rbegin(), msbFirst.rend());
+  compiled.offsets.assign(std::size_t{1} << k, 0);
+  for (util::index_t r = 0; r < compiled.offsets.size(); ++r) {
+    util::index_t offset = 0;
+    for (int i = 0; i < k; ++i) {
+      if (util::getBit(r, util::bitPosition(i, k))) {
+        offset =
+            util::setBit(offset, msbFirst[static_cast<std::size_t>(i)]);
+      }
+    }
+    compiled.offsets[r] = offset;
+  }
+  return compiled;
+}
+
+/// Applies a compiled gate run to one chunk via the dispatched span
+/// kernels of simd.hpp.  Serial: the caller parallelizes over chunks.
+template <typename T>
+void applyCompiledChunk(std::complex<T>* chunk, std::int64_t chunkDim,
+                        const std::vector<CompiledBlock<T>>& run,
+                        SimdLevel level,
+                        std::vector<std::complex<T>>& scratch) {
+  for (const auto& block : run) {
+    switch (block.kernel) {
+      case ChunkKernel::kDiagonal1:
+        simd::applyDiagonal1Span(chunk, chunkDim, block.positions[0],
+                                 block.diagonal[0], block.diagonal[1], level);
+        break;
+      case ChunkKernel::kDense1:
+        simd::apply1Span(chunk, chunkDim, block.positions[0], block.u2,
+                         level);
+        break;
+      case ChunkKernel::kDense2:
+        simd::apply2Span(chunk, chunkDim, block.positions[0],
+                         block.positions[1], block.u4, level);
+        break;
+      case ChunkKernel::kDiagonalK:
+        simd::applyDiagonalKSpan(chunk, chunkDim, block.positions,
+                                 block.diagonal);
+        break;
+      case ChunkKernel::kDenseK:
+        simd::applyKSpan(chunk, chunkDim, block.positions, block.offsets,
+                         block.matrix, scratch);
+        break;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Applies the run of fused blocks [first, first + count) with ONE
+/// streaming sweep of the state in 2^blockQubits-amplitude chunks.  Every
+/// block in the run must have all its qubits >= nbQubits - blockQubits
+/// (enforced by buildBlockSchedule).  Bit-identical to applying the
+/// blocks sequentially with full sweeps.
+template <typename T, typename Block>
+void applyBlockedRun(std::vector<std::complex<T>>& state, int nbQubits,
+                     const std::vector<Block>& blocks, std::size_t first,
+                     std::size_t count, int blockQubits) {
+  util::require(blockQubits >= 1 && blockQubits < nbQubits,
+                "applyBlockedRun: chunk size out of range");
+  std::vector<detail::CompiledBlock<T>> run;
+  run.reserve(count);
+  for (std::size_t i = first; i < first + count; ++i) {
+    const Block& block = blocks[i];
+    util::require(!block.qubits.empty() &&
+                      block.qubits.front() >= nbQubits - blockQubits,
+                  "applyBlockedRun: block escapes the chunk window");
+    run.push_back(detail::compileBlock<T>(block, nbQubits));
+  }
+
+  const SimdLevel level = activeSimdLevel();
+  const std::int64_t chunkDim = std::int64_t{1} << blockQubits;
+  const std::int64_t chunks = std::int64_t{1} << (nbQubits - blockQubits);
+#ifdef QCLAB_HAS_OPENMP
+  // Trajectory workers call fusion plans from inside an OMP region;
+  // nested teams would only add overhead there.
+#pragma omp parallel if (chunks > 1 && !omp_in_parallel())
+#endif
+  {
+    std::vector<std::complex<T>> scratch;
+#ifdef QCLAB_HAS_OPENMP
+#pragma omp for schedule(static)
+#endif
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      detail::applyCompiledChunk(state.data() + c * chunkDim, chunkDim, run,
+                                 level, scratch);
+    }
+  }
+}
+
+}  // namespace qclab::sim

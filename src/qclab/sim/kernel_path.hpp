@@ -24,10 +24,15 @@ enum class KernelPath : int {
   kFusedDenseK,          ///< fusion engine: dense block of merged gates
   kFusedDiagonalK,       ///< fusion engine: diagonal-only block of merged gates
   kTrajectory,           ///< noise engine: one full Monte Carlo trajectory
+  kSimdDense1,           ///< SIMD tier: vectorized single-qubit dense apply
+  kSimdDiagonal1,        ///< SIMD tier: vectorized single-qubit diagonal
+  kSimdDenseK,           ///< SIMD tier: vectorized two-qubit dense apply
+  kBlocked,              ///< cache-blocked executor: one streamed sweep
+                         ///< applying a whole low-qubit gate run per chunk
 };
 
 /// Number of enumerators in KernelPath (for counter arrays).
-inline constexpr int kKernelPathCount = 11;
+inline constexpr int kKernelPathCount = 15;
 
 /// Stable short name of a kernel path (used in reports and traces).
 inline const char* kernelPathName(KernelPath path) noexcept {
@@ -43,6 +48,10 @@ inline const char* kernelPathName(KernelPath path) noexcept {
     case KernelPath::kFusedDenseK:         return "fused-k";
     case KernelPath::kFusedDiagonalK:      return "fused-diagonal-k";
     case KernelPath::kTrajectory:          return "trajectory";
+    case KernelPath::kSimdDense1:          return "simd-dense1";
+    case KernelPath::kSimdDiagonal1:       return "simd-diagonal1";
+    case KernelPath::kSimdDenseK:          return "simd-dense-k";
+    case KernelPath::kBlocked:             return "blocked";
   }
   return "unknown";
 }

@@ -8,8 +8,15 @@
 /// the 2^{n-k} gate subspaces with bit-insertion index arithmetic.  All hot
 /// loops are OpenMP-parallel; the paper's GPU backend is substituted by
 /// these CPU kernels (see DESIGN.md).
+///
+/// The single- and two-qubit hot paths are tiled wrappers over the
+/// SIMD-dispatched span kernels of simd.hpp: for a target at bit position
+/// `pos` the partner amplitudes form unit-stride runs of 2^pos, so each
+/// OpenMP task hands whole runs (or kTile-sized slices of long runs) to
+/// apply1Runs / scaleRun / apply2Runs, which use AVX2+FMA when active.
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <complex>
 #include <cstdint>
@@ -17,6 +24,7 @@
 #include <vector>
 
 #include "qclab/dense/matrix.hpp"
+#include "qclab/sim/simd.hpp"
 #include "qclab/util/bits.hpp"
 #include "qclab/util/errors.hpp"
 
@@ -26,6 +34,64 @@ namespace qclab::sim {
 /// states costs more than it saves.
 inline constexpr std::int64_t kOmpThreshold = 1 << 12;
 
+/// Tile length (complex amplitudes) for splitting long unit-stride runs
+/// across OpenMP tasks; 2^12 doubles = 64 KiB per run slice, L1-friendly.
+inline constexpr std::int64_t kRunTile = 1 << 12;
+
+namespace detail {
+
+/// Fixed bit positions (controls + target) with their pinned values, in an
+/// inline buffer: applyControlled1 runs once per gate application, so a
+/// heap-allocated + std::sort'ed vector here costs more than the loop it
+/// feeds for small states (~35% of the per-call time for a 2-qubit CNOT
+/// micro-bench; see DESIGN.md).  64 slots covers any index_t state.
+struct FixedBits {
+  std::array<std::pair<int, util::index_t>, 64> slots;
+  int count = 0;
+
+  /// Inserts (pos, value) keeping `slots[0..count)` ascending by position
+  /// (insertion sort: the handful of controls is far below std::sort's
+  /// break-even).
+  void insert(int pos, util::index_t value) noexcept {
+    int i = count++;
+    while (i > 0 && slots[static_cast<std::size_t>(i - 1)].first > pos) {
+      slots[static_cast<std::size_t>(i)] =
+          slots[static_cast<std::size_t>(i - 1)];
+      --i;
+    }
+    slots[static_cast<std::size_t>(i)] = {pos, value};
+  }
+
+  const std::pair<int, util::index_t>* begin() const noexcept {
+    return slots.data();
+  }
+  const std::pair<int, util::index_t>* end() const noexcept {
+    return slots.data() + count;
+  }
+};
+
+/// Validates controls and collects the fixed (position, value) set for the
+/// controlled kernels.
+inline FixedBits collectFixedBits(int nbQubits,
+                                  const std::vector<int>& controls,
+                                  const std::vector<int>& controlStates,
+                                  int target) {
+  util::checkQubit(target, nbQubits);
+  util::require(controls.size() == controlStates.size(),
+                "controls/controlStates length mismatch");
+  FixedBits fixed;
+  for (std::size_t i = 0; i < controls.size(); ++i) {
+    util::checkQubit(controls[i], nbQubits);
+    util::require(controls[i] != target, "control equals target");
+    fixed.insert(util::bitPosition(controls[i], nbQubits),
+                 static_cast<util::index_t>(controlStates[i]));
+  }
+  fixed.insert(util::bitPosition(target, nbQubits), 0);
+  return fixed;
+}
+
+}  // namespace detail
+
 /// Applies a 2x2 gate to `qubit` of an n-qubit state, in place.
 template <typename T>
 void apply1(std::vector<std::complex<T>>& state, int nbQubits, int qubit,
@@ -33,35 +99,96 @@ void apply1(std::vector<std::complex<T>>& state, int nbQubits, int qubit,
   util::checkQubit(qubit, nbQubits);
   util::require(u.rows() == 2 && u.cols() == 2, "apply1 needs a 2x2 matrix");
   const int pos = util::bitPosition(qubit, nbQubits);
-  const std::complex<T> u00 = u(0, 0), u01 = u(0, 1);
-  const std::complex<T> u10 = u(1, 0), u11 = u(1, 1);
-  const std::int64_t half = std::int64_t{1} << (nbQubits - 1);
+  const std::complex<T> coeffs[4] = {u(0, 0), u(0, 1), u(1, 0), u(1, 1)};
+  const SimdLevel level = activeSimdLevel();
+
+  const std::int64_t dim = std::int64_t{1} << nbQubits;
+  const std::int64_t stride = std::int64_t{1} << pos;
+  // Each task updates one `tile`-length slice of a (|0>, |1>) run pair.
+  const std::int64_t tile = std::min(stride, kRunTile);
+  const std::int64_t tilesPerRun = stride / tile;
+  const std::int64_t tasks = (dim / (2 * stride)) * tilesPerRun;
+  std::complex<T>* const data = state.data();
 #ifdef QCLAB_HAS_OPENMP
-#pragma omp parallel for schedule(static) if (half >= kOmpThreshold)
+#pragma omp parallel for schedule(static) if (dim >= 2 * kOmpThreshold)
 #endif
-  for (std::int64_t base = 0; base < half; ++base) {
-    const util::index_t i0 =
-        util::insertZeroBit(static_cast<util::index_t>(base), pos);
-    const util::index_t i1 = util::setBit(i0, pos);
-    const std::complex<T> a0 = state[i0];
-    const std::complex<T> a1 = state[i1];
-    state[i0] = u00 * a0 + u01 * a1;
-    state[i1] = u10 * a0 + u11 * a1;
+  for (std::int64_t t = 0; t < tasks; ++t) {
+    const std::int64_t offset =
+        (t / tilesPerRun) * 2 * stride + (t % tilesPerRun) * tile;
+    simd::apply1Runs(data + offset, data + offset + stride, tile, coeffs,
+                     level);
   }
 }
 
-/// Applies a diagonal 2x2 gate diag(d0, d1) to `qubit`, in place.
+/// Applies a diagonal 2x2 gate diag(d0, d1) to `qubit`, in place.  The
+/// two runs of every 2^{pos+1}-aligned group are scaled by their own
+/// constant — no per-element bit test.
 template <typename T>
 void applyDiagonal1(std::vector<std::complex<T>>& state, int nbQubits,
                     int qubit, std::complex<T> d0, std::complex<T> d1) {
   util::checkQubit(qubit, nbQubits);
   const int pos = util::bitPosition(qubit, nbQubits);
+  const SimdLevel level = activeSimdLevel();
+
   const std::int64_t dim = std::int64_t{1} << nbQubits;
+  const std::int64_t stride = std::int64_t{1} << pos;
+  const std::int64_t tile = std::min(stride, kRunTile);
+  const std::int64_t tilesPerRun = stride / tile;
+  const std::int64_t tasks = (dim / (2 * stride)) * tilesPerRun;
+  std::complex<T>* const data = state.data();
 #ifdef QCLAB_HAS_OPENMP
 #pragma omp parallel for schedule(static) if (dim >= kOmpThreshold)
 #endif
-  for (std::int64_t i = 0; i < dim; ++i) {
-    state[i] *= util::getBit(static_cast<util::index_t>(i), pos) ? d1 : d0;
+  for (std::int64_t t = 0; t < tasks; ++t) {
+    const std::int64_t offset =
+        (t / tilesPerRun) * 2 * stride + (t % tilesPerRun) * tile;
+    simd::scaleRun(data + offset, tile, d0, level);
+    simd::scaleRun(data + offset + stride, tile, d1, level);
+  }
+}
+
+/// Applies a 4x4 gate to the ascending pair (qubit0, qubit1), in place.
+/// `u` is MSB-first over (qubit0, qubit1), like every gate matrix.  The
+/// four partner runs of each subspace are unit-stride (length 2^posLo),
+/// so this avoids the gather/scatter of applyK for the k = 2 hot path.
+template <typename T>
+void apply2(std::vector<std::complex<T>>& state, int nbQubits, int qubit0,
+            int qubit1, const dense::Matrix<T>& u) {
+  util::checkQubit(qubit0, nbQubits);
+  util::checkQubit(qubit1, nbQubits);
+  util::require(qubit0 < qubit1, "apply2 qubits must be strictly ascending");
+  util::require(u.rows() == 4 && u.cols() == 4, "apply2 needs a 4x4 matrix");
+  const int posHi = util::bitPosition(qubit0, nbQubits);
+  const int posLo = util::bitPosition(qubit1, nbQubits);
+  std::complex<T> coeffs[16];
+  for (int i = 0; i < 16; ++i) {
+    coeffs[i] = u(static_cast<std::size_t>(i / 4),
+                  static_cast<std::size_t>(i % 4));
+  }
+  const SimdLevel level = activeSimdLevel();
+
+  const std::int64_t dim = std::int64_t{1} << nbQubits;
+  const std::int64_t sHi = std::int64_t{1} << posHi;
+  const std::int64_t sLo = std::int64_t{1} << posLo;
+  // Flattened (outer group, inner group, run tile) task index; each task
+  // updates one `tile`-length slice of a quad of partner runs.
+  const std::int64_t tile = std::min(sLo, kRunTile);
+  const std::int64_t tilesPerRun = sLo / tile;
+  const std::int64_t innerGroups = sHi / (2 * sLo);
+  const std::int64_t tasks = (dim / (2 * sHi)) * innerGroups * tilesPerRun;
+  std::complex<T>* const data = state.data();
+#ifdef QCLAB_HAS_OPENMP
+#pragma omp parallel for schedule(static) if (dim >= 4 * kOmpThreshold)
+#endif
+  for (std::int64_t t = 0; t < tasks; ++t) {
+    const std::int64_t q = t / tilesPerRun;
+    const std::int64_t offset = (q / innerGroups) * 2 * sHi +
+                                (q % innerGroups) * 2 * sLo +
+                                (t % tilesPerRun) * tile;
+    std::complex<T>* const quad[4] = {data + offset, data + offset + sLo,
+                                      data + offset + sHi,
+                                      data + offset + sHi + sLo};
+    simd::apply2Runs(quad, tile, coeffs, level);
   }
 }
 
@@ -73,27 +200,13 @@ void applyControlled1(std::vector<std::complex<T>>& state, int nbQubits,
                       const std::vector<int>& controls,
                       const std::vector<int>& controlStates, int target,
                       const dense::Matrix<T>& u) {
-  util::checkQubit(target, nbQubits);
-  util::require(controls.size() == controlStates.size(),
-                "controls/controlStates length mismatch");
   util::require(u.rows() == 2 && u.cols() == 2,
                 "applyControlled1 needs a 2x2 matrix");
-
-  // Fixed bit positions (controls + target), ascending, with their values.
-  std::vector<std::pair<int, util::index_t>> fixed;
-  fixed.reserve(controls.size() + 1);
-  for (std::size_t i = 0; i < controls.size(); ++i) {
-    util::checkQubit(controls[i], nbQubits);
-    util::require(controls[i] != target, "control equals target");
-    fixed.emplace_back(util::bitPosition(controls[i], nbQubits),
-                       static_cast<util::index_t>(controlStates[i]));
-  }
+  const detail::FixedBits fixed =
+      detail::collectFixedBits(nbQubits, controls, controlStates, target);
   const int targetPos = util::bitPosition(target, nbQubits);
-  fixed.emplace_back(targetPos, 0);
-  std::sort(fixed.begin(), fixed.end());
 
-  const int nbFixed = static_cast<int>(fixed.size());
-  const std::int64_t count = std::int64_t{1} << (nbQubits - nbFixed);
+  const std::int64_t count = std::int64_t{1} << (nbQubits - fixed.count);
   const std::complex<T> u00 = u(0, 0), u01 = u(0, 1);
   const std::complex<T> u10 = u(1, 0), u11 = u(1, 1);
 #ifdef QCLAB_HAS_OPENMP
@@ -123,25 +236,11 @@ void applyControlledDiagonal1(std::vector<std::complex<T>>& state,
                               const std::vector<int>& controlStates,
                               int target, std::complex<T> d0,
                               std::complex<T> d1) {
-  util::checkQubit(target, nbQubits);
-  util::require(controls.size() == controlStates.size(),
-                "controls/controlStates length mismatch");
-
-  // Fixed bit positions (controls + target), ascending, with their values.
-  std::vector<std::pair<int, util::index_t>> fixed;
-  fixed.reserve(controls.size() + 1);
-  for (std::size_t i = 0; i < controls.size(); ++i) {
-    util::checkQubit(controls[i], nbQubits);
-    util::require(controls[i] != target, "control equals target");
-    fixed.emplace_back(util::bitPosition(controls[i], nbQubits),
-                       static_cast<util::index_t>(controlStates[i]));
-  }
+  const detail::FixedBits fixed =
+      detail::collectFixedBits(nbQubits, controls, controlStates, target);
   const int targetPos = util::bitPosition(target, nbQubits);
-  fixed.emplace_back(targetPos, 0);
-  std::sort(fixed.begin(), fixed.end());
 
-  const int nbFixed = static_cast<int>(fixed.size());
-  const std::int64_t count = std::int64_t{1} << (nbQubits - nbFixed);
+  const std::int64_t count = std::int64_t{1} << (nbQubits - fixed.count);
 #ifdef QCLAB_HAS_OPENMP
 #pragma omp parallel for schedule(static) if (count >= kOmpThreshold)
 #endif
@@ -217,11 +316,18 @@ void applyK(std::vector<std::complex<T>>& state, int nbQubits,
   }
 
   const std::int64_t count = std::int64_t{1} << (nbQubits - k);
+  // Restrict views keep the matrix and gather-buffer loads from being
+  // treated as aliasing the state scatter (all complex<T>); without them
+  // the compiler reloads u per element (see DESIGN.md, SIMD tier).
+  std::complex<T>* __restrict__ psi = state.data();
+  const std::complex<T>* __restrict__ mat = u.data();
+  const util::index_t* __restrict__ off = offsets.data();
 #ifdef QCLAB_HAS_OPENMP
 #pragma omp parallel if (count >= kOmpThreshold)
 #endif
   {
-    std::vector<std::complex<T>> gathered(dim);
+    std::vector<std::complex<T>> scratch(dim);
+    std::complex<T>* __restrict__ gathered = scratch.data();
 #ifdef QCLAB_HAS_OPENMP
 #pragma omp for schedule(static)
 #endif
@@ -229,14 +335,18 @@ void applyK(std::vector<std::complex<T>>& state, int nbQubits,
       util::index_t base = static_cast<util::index_t>(outer);
       for (int pos : positions) base = util::insertZeroBit(base, pos);
       for (util::index_t r = 0; r < dim; ++r) {
-        gathered[r] = state[base | offsets[r]];
+        gathered[r] = psi[base | off[r]];
       }
       for (util::index_t r = 0; r < dim; ++r) {
-        std::complex<T> sum(0);
+        T sumr(0), sumi(0);
         for (util::index_t c = 0; c < dim; ++c) {
-          sum += u(r, c) * gathered[c];
+          const std::complex<T> m = mat[r * dim + c];
+          sumr += m.real() * gathered[c].real() -
+                  m.imag() * gathered[c].imag();
+          sumi += m.real() * gathered[c].imag() +
+                  m.imag() * gathered[c].real();
         }
-        state[base | offsets[r]] = sum;
+        psi[base | off[r]] = std::complex<T>(sumr, sumi);
       }
     }
   }
@@ -265,17 +375,23 @@ void applyDiagonalK(std::vector<std::complex<T>>& state, int nbQubits,
         util::bitPosition(qubits[static_cast<std::size_t>(i)], nbQubits);
   }
   const std::int64_t dim = std::int64_t{1} << nbQubits;
+  // Restrict views: diagonal loads must not alias the state stores (both
+  // complex<T>), or the table is reloaded per amplitude.
+  std::complex<T>* __restrict__ psi = state.data();
+  const std::complex<T>* __restrict__ diag = diagonal.data();
+  const int* __restrict__ pos = positions.data();
 #ifdef QCLAB_HAS_OPENMP
 #pragma omp parallel for schedule(static) if (dim >= kOmpThreshold)
 #endif
   for (std::int64_t i = 0; i < dim; ++i) {
     util::index_t row = 0;
     for (int b = 0; b < k; ++b) {
-      row = (row << 1) |
-            util::getBit(static_cast<util::index_t>(i),
-                         positions[static_cast<std::size_t>(b)]);
+      row = (row << 1) | util::getBit(static_cast<util::index_t>(i), pos[b]);
     }
-    state[i] *= diagonal[row];
+    const std::complex<T> d = diag[row];
+    const T xr = psi[i].real(), xi = psi[i].imag();
+    psi[i] = std::complex<T>(d.real() * xr - d.imag() * xi,
+                             d.real() * xi + d.imag() * xr);
   }
 }
 

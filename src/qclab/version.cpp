@@ -1,5 +1,7 @@
 #include "qclab/version.hpp"
 
+#include <string>
+
 namespace qclab {
 
 Version version() noexcept { return Version{1, 0, 0}; }
@@ -22,22 +24,33 @@ bool builtWithObs() noexcept {
 #endif
 }
 
+bool builtWithSimd() noexcept {
+#ifdef QCLAB_HAS_SIMD
+  return true;
+#else
+  return false;
+#endif
+}
+
 const char* scalarTypes() noexcept { return "float,double"; }
 
 const char* buildInfo() noexcept {
-#ifdef QCLAB_HAS_OPENMP
-#ifdef QCLAB_OBS_DISABLED
-  return "qclab 1.0.0 (openmp=on, obs=off, scalars=float,double)";
-#else
-  return "qclab 1.0.0 (openmp=on, obs=on, scalars=float,double)";
-#endif
-#else
-#ifdef QCLAB_OBS_DISABLED
-  return "qclab 1.0.0 (openmp=off, obs=off, scalars=float,double)";
-#else
-  return "qclab 1.0.0 (openmp=off, obs=on, scalars=float,double)";
-#endif
-#endif
+  // Composed once; the feature set grows, the #ifdef ladder does not.
+  static const std::string info = [] {
+    std::string s = "qclab ";
+    s += versionString();
+    s += " (openmp=";
+    s += builtWithOpenMP() ? "on" : "off";
+    s += ", obs=";
+    s += builtWithObs() ? "on" : "off";
+    s += ", simd=";
+    s += builtWithSimd() ? "on" : "off";
+    s += ", scalars=";
+    s += scalarTypes();
+    s += ")";
+    return s;
+  }();
+  return info.c_str();
 }
 
 }  // namespace qclab

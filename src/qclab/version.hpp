@@ -25,6 +25,12 @@ bool builtWithOpenMP() noexcept;
 /// (i.e. without QCLAB_OBS_DISABLED).
 bool builtWithObs() noexcept;
 
+/// True if the library was compiled with the SIMD kernel tier
+/// (QCLAB_SIMD CMake option / QCLAB_HAS_SIMD define).  Whether the tier
+/// actually runs also depends on the CPU and the QCLAB_SIMD_LEVEL
+/// override — see sim::activeSimdLevel().
+bool builtWithSimd() noexcept;
+
 /// Comma-separated list of the real scalar types the templates are
 /// intended for ("float,double").
 const char* scalarTypes() noexcept;

@@ -199,6 +199,13 @@ TEST(ObsKernelPath, NamesAreStable) {
                "fused-k");
   EXPECT_STREQ(qclab::sim::kernelPathName(KernelPath::kFusedDiagonalK),
                "fused-diagonal-k");
+  EXPECT_STREQ(qclab::sim::kernelPathName(KernelPath::kSimdDense1),
+               "simd-dense1");
+  EXPECT_STREQ(qclab::sim::kernelPathName(KernelPath::kSimdDiagonal1),
+               "simd-diagonal1");
+  EXPECT_STREQ(qclab::sim::kernelPathName(KernelPath::kSimdDenseK),
+               "simd-dense-k");
+  EXPECT_STREQ(qclab::sim::kernelPathName(KernelPath::kBlocked), "blocked");
 }
 
 // ---- instrumented simulation equals plain simulation (all builds) -----
@@ -232,6 +239,8 @@ TEST(ObsBuildInfo, SelfDescribing) {
   EXPECT_NE(info.find(qclab::builtWithOpenMP() ? "openmp=on" : "openmp=off"),
             std::string::npos);
   EXPECT_NE(info.find(qclab::builtWithObs() ? "obs=on" : "obs=off"),
+            std::string::npos);
+  EXPECT_NE(info.find(qclab::builtWithSimd() ? "simd=on" : "simd=off"),
             std::string::npos);
   EXPECT_NE(info.find("scalars=float,double"), std::string::npos);
   EXPECT_EQ(qclab::builtWithObs(), qclab::obs::kEnabled);
@@ -296,13 +305,21 @@ TEST(ObsMetrics, CounterTotalsMatchGateCounts) {
   EXPECT_EQ(metrics.gateApplications(), expectedTotal);
 
   // Path split: H,H dense1; CX controlled1; SWAP swap; RZ diagonal1;
-  // RZZ diagonal-k; iSWAP dense-k.
-  EXPECT_EQ(metrics.gateApplications(KernelPath::kDense1), 2u);
+  // RZZ diagonal-k; iSWAP dense-k.  When the SIMD tier is active the
+  // dense1/diagonal1/2-qubit-dense applications are counted under the
+  // kSimd* variants (dispatch is unchanged — only the attribution moves).
+  EXPECT_EQ(metrics.gateApplications(
+                qclab::sim::simdCountedPath(KernelPath::kDense1, 1)),
+            2u);
   EXPECT_EQ(metrics.gateApplications(KernelPath::kControlled1), 1u);
   EXPECT_EQ(metrics.gateApplications(KernelPath::kSwap), 1u);
-  EXPECT_EQ(metrics.gateApplications(KernelPath::kDiagonal1), 1u);
+  EXPECT_EQ(metrics.gateApplications(
+                qclab::sim::simdCountedPath(KernelPath::kDiagonal1, 1)),
+            1u);
   EXPECT_EQ(metrics.gateApplications(KernelPath::kDiagonalK), 1u);
-  EXPECT_EQ(metrics.gateApplications(KernelPath::kDenseK), 1u);
+  EXPECT_EQ(metrics.gateApplications(
+                qclab::sim::simdCountedPath(KernelPath::kDenseK, 2)),
+            1u);
   EXPECT_GT(metrics.bytesTouched(), 0u);
   EXPECT_EQ(metrics.circuitSimulations(), 1u);
 }
