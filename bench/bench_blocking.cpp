@@ -92,7 +92,7 @@ void benchWorkload(qclab::obs::Report& report, const std::string& name,
 int main(int argc, char** argv) {
   const std::string obsJsonPath =
       qclab::benchutil::extractObsJsonPath(argc, argv);
-  qclab::obs::metrics().reset();
+  qclab::benchutil::initObsRun(obsJsonPath);
   qclab::obs::Report report("bench_blocking");
 
   benchWorkload(report, "qft/n=20", qclab::algorithms::qft<T>(20));

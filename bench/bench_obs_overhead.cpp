@@ -1,0 +1,169 @@
+/// \file bench_obs_overhead.cpp
+/// \brief Self-enforcing overhead budget of the observability layer.
+///
+/// Simulates the GHZ workload (H + chained CX, default n=20) through the
+/// plain default backend and through the fully metered path — an
+/// InstrumentedBackend with perf-counter sampling enabled — in
+/// interleaved single-run samples, and compares the medians.  The
+/// instrumented median must stay within `--max-overhead` (default 3%) of
+/// the plain median; a breach is re-measured once with doubled samples
+/// and then fails the process with exit 1, which qclab_bench_trajectory
+/// propagates into the bench-regression gate.
+///
+/// Under QCLAB_OBS_DISABLED both sides compile to the same plain run, so
+/// the ratio sits at ~1.0 and the binary doubles as a no-op check in the
+/// obs-disabled CI leg.
+///
+/// Flags: --n <qubits>, --samples <count>, --max-overhead <frac>
+/// (QCLAB_OBS_OVERHEAD_TOL overrides the default), plus the shared
+/// --obs-json <path>.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qclab/qclab.hpp"
+#include "obs_cli.hpp"
+
+namespace {
+
+using T = double;
+
+qclab::QCircuit<T> ghz(int n) {
+  qclab::QCircuit<T> circuit(n);
+  circuit.push_back(std::make_unique<qclab::qgates::Hadamard<T>>(0));
+  for (int q = 1; q < n; ++q) {
+    circuit.push_back(std::make_unique<qclab::qgates::CNOT<T>>(q - 1, q));
+  }
+  return circuit;
+}
+
+/// Wall ns of one simulate from |0...0> through `backend`.
+double timeOnce(const qclab::QCircuit<T>& circuit,
+                const std::vector<std::complex<T>>& initial,
+                const qclab::sim::Backend<T>& backend) {
+  const auto begin = std::chrono::steady_clock::now();
+  auto simulation = circuit.simulate(initial, backend);
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - begin)
+          .count());
+}
+
+double median(std::vector<double> values) {
+  std::sort(values.begin(), values.end());
+  return values[values.size() / 2];
+}
+
+/// Interleaved A/B medians: plain and instrumented samples alternate so
+/// slow drift (thermal, noisy neighbors) hits both sides equally.
+struct OverheadSample {
+  double plainNs = 0.0;
+  double instrumentedNs = 0.0;
+  double ratio = 0.0;
+};
+
+OverheadSample measure(const qclab::QCircuit<T>& circuit,
+                       const std::vector<std::complex<T>>& initial,
+                       const qclab::sim::Backend<T>& plain,
+                       const qclab::sim::Backend<T>& instrumented,
+                       int samples) {
+  timeOnce(circuit, initial, plain);         // warm pages + caches
+  timeOnce(circuit, initial, instrumented);  // warm the obs registries too
+  std::vector<double> plainNs;
+  std::vector<double> instrumentedNs;
+  plainNs.reserve(static_cast<std::size_t>(samples));
+  instrumentedNs.reserve(static_cast<std::size_t>(samples));
+  for (int s = 0; s < samples; ++s) {
+    plainNs.push_back(timeOnce(circuit, initial, plain));
+    instrumentedNs.push_back(timeOnce(circuit, initial, instrumented));
+  }
+  OverheadSample out;
+  out.plainNs = median(plainNs);
+  out.instrumentedNs = median(instrumentedNs);
+  out.ratio = out.plainNs > 0.0 ? out.instrumentedNs / out.plainNs : 1.0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string obsJsonPath =
+      qclab::benchutil::extractObsJsonPath(argc, argv);
+  qclab::benchutil::initObsRun(obsJsonPath);
+  // The instrumented side must pay the full v3 cost — perf sampling on —
+  // whether or not an export was requested.
+  qclab::obs::perfRegistry().enable();
+
+  int n = 20;
+  int samples = 15;
+  double maxOverhead = 0.03;
+  if (const char* tol = std::getenv("QCLAB_OBS_OVERHEAD_TOL")) {
+    const double value = std::atof(tol);
+    if (value > 0.0) maxOverhead = value;
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      n = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--samples") == 0 && i + 1 < argc) {
+      samples = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-overhead") == 0 &&
+               i + 1 < argc) {
+      maxOverhead = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      n = 16;
+      samples = 7;
+    }
+  }
+  if (n < 2) n = 2;
+  if (samples < 3) samples = 3;
+
+  const auto circuit = ghz(n);
+  const auto initial = qclab::basisState<T>(
+      std::string(static_cast<std::size_t>(n), '0'));
+  const auto& plain = qclab::sim::defaultBackend<T>();
+  const qclab::obs::InstrumentedBackend<T> instrumented(plain);
+
+  OverheadSample result =
+      measure(circuit, initial, plain, instrumented, samples);
+  if (result.ratio > 1.0 + maxOverhead) {
+    // One noise-resistant retry before declaring a real regression.
+    std::fprintf(stderr,
+                 "bench_obs_overhead: ratio %.4f over budget, re-measuring "
+                 "with %d samples\n",
+                 result.ratio, 2 * samples);
+    result = measure(circuit, initial, plain, instrumented, 2 * samples);
+  }
+
+  const std::string suffix = "/ghz/n=" + std::to_string(n);
+  std::printf("bench_obs_overhead: ghz n=%d, %d samples\n", n, samples);
+  std::printf("  plain        %12.0f ns/run\n", result.plainNs);
+  std::printf("  instrumented %12.0f ns/run\n", result.instrumentedNs);
+  std::printf("  overhead     %12.4f x (budget %.2f)\n", result.ratio,
+              1.0 + maxOverhead);
+
+  qclab::obs::Report report("bench_obs_overhead");
+  report.add("simulate-plain" + suffix, result.plainNs, "ns/op");
+  report.add("simulate-instrumented" + suffix, result.instrumentedNs,
+             "ns/op");
+  report.add("overhead" + suffix, result.ratio, "x");
+  if (!obsJsonPath.empty() && !report.writeJson(obsJsonPath)) {
+    std::fprintf(stderr, "error: cannot write obs JSON to %s\n",
+                 obsJsonPath.c_str());
+    return 1;
+  }
+
+  if (result.ratio > 1.0 + maxOverhead) {
+    std::fprintf(stderr,
+                 "bench_obs_overhead: FAIL — instrumented simulate is "
+                 "%.2f%% slower than plain (budget %.0f%%)\n",
+                 (result.ratio - 1.0) * 100.0, maxOverhead * 100.0);
+    return 1;
+  }
+  return 0;
+}

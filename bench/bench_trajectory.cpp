@@ -67,7 +67,7 @@ double timeTrajectories(const qclab::QCircuit<T>& circuit,
 int main(int argc, char** argv) {
   const std::string obsJsonPath =
       qclab::benchutil::extractObsJsonPath(argc, argv);
-  qclab::obs::metrics().reset();
+  qclab::benchutil::initObsRun(obsJsonPath);
   qclab::obs::Report report("bench_trajectory");
 
   // 20+ qubit GHZ under depolarizing gate noise: the regime where the

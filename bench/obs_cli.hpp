@@ -12,6 +12,7 @@
 #include <string>
 #include <utility>
 
+#include "qclab/obs/obs.hpp"
 #include "qclab/obs/report.hpp"
 
 namespace qclab::benchutil {
@@ -33,6 +34,16 @@ inline std::string extractObsJsonPath(int& argc, char** argv) {
   }
   argc = out;
   return path;
+}
+
+/// Shared head of the bench/repro binaries: zeroes every obs registry so
+/// the exported report covers exactly this run, and — when an export was
+/// requested via `--obs-json` — enables hardware perf-counter sampling so
+/// the v3 "perf" and "roofline" sections carry per-path data (when the
+/// host PMU delivers any; see perfcounters.hpp for the fallback ladder).
+inline void initObsRun(const std::string& obsJsonPath) {
+  obs::resetAll();
+  if (!obsJsonPath.empty()) obs::perfRegistry().enable();
 }
 
 /// Wall-clock nanoseconds since construction — the whole-run timing the

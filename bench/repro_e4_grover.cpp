@@ -12,11 +12,16 @@
 int main(int argc, char** argv) {
   const std::string obsJsonPath =
       qclab::benchutil::extractObsJsonPath(argc, argv);
-  qclab::obs::metrics().reset();
+  qclab::benchutil::initObsRun(obsJsonPath);
   const qclab::benchutil::WallTimer wallTimer;
 
   using T = double;
   using namespace qclab;
+
+  // Metered backend: fills the per-path histogram/perf/roofline sections
+  // of the exported v3 report (plain kernels underneath, see
+  // obs/instrumented.hpp).
+  const obs::InstrumentedBackend<T> backend;
 
   // Paper construction: CZ oracle + H,Z,CZ,H diffuser as blocks.
   QCircuit<T> oracle(2);
@@ -40,7 +45,7 @@ int main(int argc, char** argv) {
   gc.push_back(std::make_unique<Measurement<T>>(0));
   gc.push_back(std::make_unique<Measurement<T>>(1));
 
-  const auto simulation = gc.simulate("00");
+  const auto simulation = gc.simulate("00", backend);
   std::printf("E4: Grover search for |11> (paper Sec. 5.3)\n");
   std::printf("%-16s %-12s %s\n", "quantity", "paper", "measured");
   std::printf("%-16s %-12s '%s'\n", "result", "'11'",
@@ -54,8 +59,8 @@ int main(int argc, char** argv) {
     const std::string marked(static_cast<std::size_t>(n), '1');
     const int iterations = algorithms::groverIterations(n);
     const auto circuit = algorithms::grover<T>(marked, iterations);
-    const auto sweep =
-        circuit.simulate(std::string(static_cast<std::size_t>(n), '0'));
+    const auto sweep = circuit.simulate(
+        std::string(static_cast<std::size_t>(n), '0'), backend);
     double success = 0.0;
     for (std::size_t i = 0; i < sweep.nbBranches(); ++i) {
       if (sweep.result(i) == marked) success = sweep.probability(i);

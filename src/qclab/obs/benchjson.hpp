@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdio>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -452,6 +453,27 @@ inline std::vector<std::pair<std::string, double>> gatedTimings(
 }
 
 }  // namespace detail
+
+/// Maps bench name -> dominant roofline classification ("memory-bound",
+/// "compute-bound", ...) from each bench report's v3 "roofline" section.
+/// Benches without one (pre-v3 baselines, runs without per-path data) are
+/// simply absent, so callers fall back gracefully on old trajectories.
+inline std::map<std::string, std::string> benchClassifications(
+    const JsonValue& trajectory) {
+  std::map<std::string, std::string> classifications;
+  const JsonValue* benches = trajectory.find("benches");
+  if (benches == nullptr || !benches->isArray()) return classifications;
+  for (const auto& bench : benches->array) {
+    const std::string name = bench.stringOr("name", "");
+    if (name.empty()) continue;
+    const JsonValue* roofline = bench.find("roofline");
+    if (roofline == nullptr || !roofline->isObject()) continue;
+    const std::string classification =
+        roofline->stringOr("classification", "");
+    if (!classification.empty()) classifications[name] = classification;
+  }
+  return classifications;
+}
 
 /// Diffs `current` against `baseline` (both trajectory objects).  A timing
 /// regresses when current > baseline * (1 + tolerance) and improves when

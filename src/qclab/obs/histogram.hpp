@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "qclab/obs/perfcounters.hpp"
 #include "qclab/sim/kernel_path.hpp"
 
 #ifndef QCLAB_OBS_DISABLED
@@ -171,11 +172,13 @@ inline PathHistograms& latencyHistograms() {
 }
 
 /// RAII timer: records [construction, destruction) in nanoseconds into the
-/// process-wide histogram of a kernel path.
+/// process-wide histogram of a kernel path, and — when the perf registry
+/// is enabled — samples hardware counters over the same scope so each
+/// path's latency comes with its IPC and LLC miss rate (perfcounters.hpp).
 class PathTimer {
  public:
   explicit PathTimer(sim::KernelPath path) noexcept
-      : path_(path), start_(std::chrono::steady_clock::now()) {}
+      : perf_(path), path_(path), start_(std::chrono::steady_clock::now()) {}
 
   PathTimer(const PathTimer&) = delete;
   PathTimer& operator=(const PathTimer&) = delete;
@@ -190,6 +193,8 @@ class PathTimer {
   }
 
  private:
+  PerfScope perf_;  // destroyed after the histogram record; scope covers
+                    // at least the timed region
   sim::KernelPath path_;
   std::chrono::steady_clock::time_point start_;
 };

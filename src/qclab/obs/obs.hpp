@@ -3,9 +3,12 @@
 /// \file obs.hpp
 /// \brief Umbrella header of the observability layer (qclab::obs):
 /// counters (metrics.hpp), per-path latency histograms (histogram.hpp),
-/// scoped-span tracing with Chrome trace_event export (trace.hpp),
-/// aggregate text/JSON reporting (report.hpp), shared JSON escaping
-/// (json.hpp), and the metering backend decorator (instrumented.hpp).
+/// scoped-span tracing with Chrome trace_event export and pipeline-stage
+/// aggregation (trace.hpp), hardware perf-counter sampling
+/// (perfcounters.hpp), roofline attribution (roofline.hpp), aggregate
+/// text/JSON reporting (report.hpp), the OpenMetrics exposition renderer
+/// (openmetrics.hpp), shared JSON escaping (json.hpp), and the metering
+/// backend decorator (instrumented.hpp).
 ///
 /// Compile with QCLAB_OBS_DISABLED (CMake: -DQCLAB_OBS_DISABLED=ON) to
 /// turn the whole layer into API-identical no-ops.
@@ -14,5 +17,23 @@
 #include "qclab/obs/instrumented.hpp"
 #include "qclab/obs/json.hpp"
 #include "qclab/obs/metrics.hpp"
+#include "qclab/obs/openmetrics.hpp"
+#include "qclab/obs/perfcounters.hpp"
 #include "qclab/obs/report.hpp"
+#include "qclab/obs/roofline.hpp"
 #include "qclab/obs/trace.hpp"
+
+namespace qclab::obs {
+
+/// Zeroes every obs registry — counters, latency histograms, stage
+/// aggregates, perf-counter totals — and clears the tracer's ring buffer.
+/// The start-of-measured-region reset used by benches and tests.
+inline void resetAll() {
+  metrics().reset();
+  latencyHistograms().reset();
+  stageStats().reset();
+  perfRegistry().reset();
+  tracer().clear();
+}
+
+}  // namespace qclab::obs

@@ -1,0 +1,395 @@
+#pragma once
+
+/// \file openmetrics.hpp
+/// \brief OpenMetrics (Prometheus exposition) rendering of the obs state.
+///
+/// ObsSnapshot copies every live registry — counters, memory gauges,
+/// per-path latency histograms, pipeline-stage aggregates, perf-counter
+/// totals — at one point in time; snapshotDelta() subtracts a previous
+/// snapshot so a long-running process (the ROADMAP's circuit-as-a-service
+/// daemon) can expose per-scrape increments instead of lifetime totals.
+/// renderOpenMetrics() serializes a snapshot in OpenMetrics text format:
+/// `# TYPE` metadata per family, `_total`-suffixed counters, cumulative
+/// `le` histogram buckets ending at `+Inf`, and the mandatory terminating
+/// `# EOF` line.  `tools/qclab_metrics_dump` wraps this as a CLI.
+///
+/// Built entirely on the registry reader APIs, so the same code serves
+/// QCLAB_OBS_DISABLED builds: every sample renders as zero and the
+/// exposition stays valid.
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qclab/obs/histogram.hpp"
+#include "qclab/obs/metrics.hpp"
+#include "qclab/obs/perfcounters.hpp"
+#include "qclab/obs/trace.hpp"
+#include "qclab/sim/kernel_path.hpp"
+#include "qclab/sim/simd.hpp"
+#include "qclab/version.hpp"
+
+namespace qclab::obs {
+
+/// Point-in-time copy of every obs registry (counters are lifetime totals;
+/// currentStateBytes/peakStateBytes are gauges).
+struct ObsSnapshot {
+  std::uint64_t gateApplications = 0;
+  std::vector<std::uint64_t> gateByPath;   ///< kKernelPathCount entries
+  std::map<std::string, std::uint64_t> gateByKind;
+  std::uint64_t bytesTouched = 0;
+  std::vector<std::uint64_t> bytesByPath;  ///< kKernelPathCount entries
+  std::uint64_t branchSpawns = 0;
+  std::uint64_t branchPrunes = 0;
+  std::uint64_t shotsSampled = 0;
+  std::uint64_t circuitSimulations = 0;
+  std::uint64_t noiseChannelApplications = 0;
+  std::uint64_t trajectoryRuns = 0;
+  std::uint64_t trajectoriesSimulated = 0;
+  std::uint64_t fusionGatesIn = 0;
+  std::uint64_t fusionBlocks = 0;
+  std::uint64_t fusionSweepsSaved = 0;
+  std::uint64_t currentStateBytes = 0;  ///< gauge
+  std::uint64_t peakStateBytes = 0;     ///< gauge
+  std::vector<HistogramSnapshot> histograms;  ///< per kernel path
+  std::map<std::string, StageAgg> stages;
+  std::vector<PerfCounts> perf;               ///< per kernel path
+};
+
+/// Captures the current state of every registry.
+inline ObsSnapshot captureSnapshot() {
+  const Metrics& m = metrics();
+  ObsSnapshot snap;
+  snap.gateApplications = m.gateApplications();
+  snap.bytesTouched = m.bytesTouched();
+  snap.gateByPath.resize(sim::kKernelPathCount);
+  snap.bytesByPath.resize(sim::kKernelPathCount);
+  snap.histograms.resize(sim::kKernelPathCount);
+  snap.perf.resize(sim::kKernelPathCount);
+  for (int p = 0; p < sim::kKernelPathCount; ++p) {
+    const auto path = static_cast<sim::KernelPath>(p);
+    const auto i = static_cast<std::size_t>(p);
+    snap.gateByPath[i] = m.gateApplications(path);
+    snap.bytesByPath[i] = m.bytesTouched(path);
+    snap.histograms[i] = latencyHistograms().histogram(path).snapshot();
+    snap.perf[i] = perfRegistry().counts(path);
+  }
+  snap.gateByKind = m.gateKinds();
+  snap.branchSpawns = m.branchSpawns();
+  snap.branchPrunes = m.branchPrunes();
+  snap.shotsSampled = m.shotsSampled();
+  snap.circuitSimulations = m.circuitSimulations();
+  snap.noiseChannelApplications = m.noiseChannelApplications();
+  snap.trajectoryRuns = m.trajectoryRuns();
+  snap.trajectoriesSimulated = m.trajectoriesSimulated();
+  snap.fusionGatesIn = m.fusionGatesIn();
+  snap.fusionBlocks = m.fusionBlocks();
+  snap.fusionSweepsSaved = m.fusionSweepsSaved();
+  snap.currentStateBytes = m.currentStateBytes();
+  snap.peakStateBytes = m.peakStateBytes();
+  snap.stages = stageStats().snapshot();
+  return snap;
+}
+
+namespace detail {
+
+inline std::uint64_t saturatingSub(std::uint64_t a,
+                                   std::uint64_t b) noexcept {
+  return a >= b ? a - b : 0;
+}
+
+}  // namespace detail
+
+/// Captures the current state and subtracts `previous`: counters,
+/// histogram buckets, stage aggregates, and perf totals become per-period
+/// increments, while the memory gauges keep their current values.  The
+/// scraping pattern is
+///
+///   ObsSnapshot last = captureSnapshot();
+///   ... later, per scrape: ObsSnapshot delta = snapshotDelta(last);
+///       last = captureSnapshot();
+inline ObsSnapshot snapshotDelta(const ObsSnapshot& previous) {
+  using detail::saturatingSub;
+  ObsSnapshot delta = captureSnapshot();
+  delta.gateApplications =
+      saturatingSub(delta.gateApplications, previous.gateApplications);
+  delta.bytesTouched =
+      saturatingSub(delta.bytesTouched, previous.bytesTouched);
+  for (std::size_t i = 0; i < delta.gateByPath.size(); ++i) {
+    if (i < previous.gateByPath.size()) {
+      delta.gateByPath[i] =
+          saturatingSub(delta.gateByPath[i], previous.gateByPath[i]);
+      delta.bytesByPath[i] =
+          saturatingSub(delta.bytesByPath[i], previous.bytesByPath[i]);
+    }
+    const HistogramSnapshot* prior =
+        i < previous.histograms.size() ? &previous.histograms[i] : nullptr;
+    if (prior != nullptr) {
+      HistogramSnapshot& h = delta.histograms[i];
+      h.count = saturatingSub(h.count, prior->count);
+      h.sumNs = saturatingSub(h.sumNs, prior->sumNs);
+      for (std::size_t b = 0;
+           b < h.buckets.size() && b < prior->buckets.size(); ++b) {
+        h.buckets[b] = saturatingSub(h.buckets[b], prior->buckets[b]);
+      }
+    }
+    const PerfCounts* priorPerf =
+        i < previous.perf.size() ? &previous.perf[i] : nullptr;
+    if (priorPerf != nullptr) {
+      PerfCounts& c = delta.perf[i];
+      c.samples = saturatingSub(c.samples, priorPerf->samples);
+      c.cycles = saturatingSub(c.cycles, priorPerf->cycles);
+      c.instructions =
+          saturatingSub(c.instructions, priorPerf->instructions);
+      c.llcReferences =
+          saturatingSub(c.llcReferences, priorPerf->llcReferences);
+      c.llcMisses = saturatingSub(c.llcMisses, priorPerf->llcMisses);
+      c.stalledCycles =
+          saturatingSub(c.stalledCycles, priorPerf->stalledCycles);
+      c.taskClockNs = saturatingSub(c.taskClockNs, priorPerf->taskClockNs);
+      c.pageFaults = saturatingSub(c.pageFaults, priorPerf->pageFaults);
+    }
+  }
+  for (auto& [kind, count] : delta.gateByKind) {
+    const auto prior = previous.gateByKind.find(kind);
+    if (prior != previous.gateByKind.end()) {
+      count = saturatingSub(count, prior->second);
+    }
+  }
+  for (auto& [stage, agg] : delta.stages) {
+    const auto prior = previous.stages.find(stage);
+    if (prior != previous.stages.end()) {
+      agg.count = saturatingSub(agg.count, prior->second.count);
+      agg.sumNs = saturatingSub(agg.sumNs, prior->second.sumNs);
+    }
+  }
+  delta.branchSpawns =
+      saturatingSub(delta.branchSpawns, previous.branchSpawns);
+  delta.branchPrunes =
+      saturatingSub(delta.branchPrunes, previous.branchPrunes);
+  delta.shotsSampled =
+      saturatingSub(delta.shotsSampled, previous.shotsSampled);
+  delta.circuitSimulations =
+      saturatingSub(delta.circuitSimulations, previous.circuitSimulations);
+  delta.noiseChannelApplications = saturatingSub(
+      delta.noiseChannelApplications, previous.noiseChannelApplications);
+  delta.trajectoryRuns =
+      saturatingSub(delta.trajectoryRuns, previous.trajectoryRuns);
+  delta.trajectoriesSimulated = saturatingSub(
+      delta.trajectoriesSimulated, previous.trajectoriesSimulated);
+  delta.fusionGatesIn =
+      saturatingSub(delta.fusionGatesIn, previous.fusionGatesIn);
+  delta.fusionBlocks =
+      saturatingSub(delta.fusionBlocks, previous.fusionBlocks);
+  delta.fusionSweepsSaved =
+      saturatingSub(delta.fusionSweepsSaved, previous.fusionSweepsSaved);
+  return delta;
+}
+
+namespace detail {
+
+/// Escapes a label value per the OpenMetrics text format (backslash,
+/// double quote, and newline are the only escapable characters).
+inline std::string openMetricsLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"':  out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default:   out += c;
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trippable decimal of a double for sample values.
+inline std::string openMetricsNumber(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace detail
+
+/// Renders `snap` in OpenMetrics text format, terminated by `# EOF`.
+inline std::string renderOpenMetrics(const ObsSnapshot& snap) {
+  using detail::openMetricsLabel;
+  using detail::openMetricsNumber;
+  std::ostringstream out;
+
+  out << "# TYPE qclab_build info\n"
+      << "# HELP qclab_build Compile-time configuration of the qclab "
+         "library.\n"
+      << "qclab_build_info{version=\""
+      << openMetricsLabel(versionString()) << "\",simd_level=\""
+      << openMetricsLabel(sim::simdLevelName(sim::activeSimdLevel()))
+      << "\",obs=\"" << (builtWithObs() ? "true" : "false") << "\"} 1\n";
+
+  const auto counter = [&out](const char* name, const char* help,
+                              std::uint64_t value) {
+    out << "# TYPE " << name << " counter\n";
+    if (help != nullptr) out << "# HELP " << name << " " << help << "\n";
+    out << name << "_total " << value << "\n";
+  };
+  counter("qclab_gate_applications",
+          "Gate applications counted by the instrumented backends.",
+          snap.gateApplications);
+  counter("qclab_bytes_touched",
+          "Estimated state-vector bytes read and written.",
+          snap.bytesTouched);
+  counter("qclab_branch_spawns", nullptr, snap.branchSpawns);
+  counter("qclab_branch_prunes", nullptr, snap.branchPrunes);
+  counter("qclab_shots_sampled", nullptr, snap.shotsSampled);
+  counter("qclab_circuit_simulations", nullptr, snap.circuitSimulations);
+  counter("qclab_noise_channel_applications", nullptr,
+          snap.noiseChannelApplications);
+  counter("qclab_trajectory_runs", nullptr, snap.trajectoryRuns);
+  counter("qclab_trajectories_simulated", nullptr,
+          snap.trajectoriesSimulated);
+  counter("qclab_fusion_gates_in", nullptr, snap.fusionGatesIn);
+  counter("qclab_fusion_blocks", nullptr, snap.fusionBlocks);
+  counter("qclab_fusion_sweeps_saved", nullptr, snap.fusionSweepsSaved);
+
+  out << "# TYPE qclab_state_bytes gauge\n"
+      << "# HELP qclab_state_bytes Live simulation-state bytes.\n"
+      << "qclab_state_bytes " << snap.currentStateBytes << "\n";
+  out << "# TYPE qclab_state_bytes_peak gauge\n"
+      << "qclab_state_bytes_peak " << snap.peakStateBytes << "\n";
+
+  const auto pathName = [](std::size_t i) {
+    return sim::kernelPathName(
+        static_cast<sim::KernelPath>(static_cast<int>(i)));
+  };
+
+  bool any = false;
+  for (std::size_t i = 0; i < snap.gateByPath.size(); ++i) {
+    if (snap.gateByPath[i] == 0) continue;
+    if (!any) {
+      out << "# TYPE qclab_path_gate_applications counter\n";
+      any = true;
+    }
+    out << "qclab_path_gate_applications_total{path=\""
+        << openMetricsLabel(pathName(i)) << "\"} " << snap.gateByPath[i]
+        << "\n";
+  }
+  any = false;
+  for (std::size_t i = 0; i < snap.bytesByPath.size(); ++i) {
+    if (snap.bytesByPath[i] == 0) continue;
+    if (!any) {
+      out << "# TYPE qclab_path_bytes_touched counter\n";
+      any = true;
+    }
+    out << "qclab_path_bytes_touched_total{path=\""
+        << openMetricsLabel(pathName(i)) << "\"} " << snap.bytesByPath[i]
+        << "\n";
+  }
+  if (!snap.gateByKind.empty()) {
+    out << "# TYPE qclab_kind_gate_applications counter\n";
+    for (const auto& [kind, count] : snap.gateByKind) {
+      out << "qclab_kind_gate_applications_total{kind=\""
+          << openMetricsLabel(kind) << "\"} " << count << "\n";
+    }
+  }
+
+  if (!snap.stages.empty()) {
+    out << "# TYPE qclab_stage_runs counter\n";
+    for (const auto& [stage, agg] : snap.stages) {
+      out << "qclab_stage_runs_total{stage=\"" << openMetricsLabel(stage)
+          << "\"} " << agg.count << "\n";
+    }
+    out << "# TYPE qclab_stage_duration_seconds counter\n"
+        << "# HELP qclab_stage_duration_seconds Summed wall time per "
+           "pipeline stage.\n";
+    for (const auto& [stage, agg] : snap.stages) {
+      out << "qclab_stage_duration_seconds_total{stage=\""
+          << openMetricsLabel(stage) << "\"} "
+          << openMetricsNumber(static_cast<double>(agg.sumNs) / 1e9)
+          << "\n";
+    }
+  }
+
+  // Per-path latency histograms: log2 ns buckets exported as cumulative
+  // seconds-bounded `le` buckets, trailing empties folded into +Inf.
+  any = false;
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snap.histograms[i];
+    if (h.empty()) continue;
+    if (!any) {
+      out << "# TYPE qclab_path_latency_seconds histogram\n"
+          << "# HELP qclab_path_latency_seconds Kernel latency per "
+             "dispatch path.\n";
+      any = true;
+    }
+    const std::string label = openMetricsLabel(pathName(i));
+    int last = static_cast<int>(h.buckets.size()) - 1;
+    while (last > 0 && h.buckets[static_cast<std::size_t>(last)] == 0) {
+      --last;
+    }
+    std::uint64_t cumulative = 0;
+    for (int b = 0; b <= last; ++b) {
+      cumulative += h.buckets[static_cast<std::size_t>(b)];
+      out << "qclab_path_latency_seconds_bucket{path=\"" << label
+          << "\",le=\""
+          << openMetricsNumber(HistogramSnapshot::bucketHighNs(b) / 1e9)
+          << "\"} " << cumulative << "\n";
+    }
+    out << "qclab_path_latency_seconds_bucket{path=\"" << label
+        << "\",le=\"+Inf\"} " << h.count << "\n";
+    out << "qclab_path_latency_seconds_sum{path=\"" << label << "\"} "
+        << openMetricsNumber(static_cast<double>(h.sumNs) / 1e9) << "\n";
+    out << "qclab_path_latency_seconds_count{path=\"" << label << "\"} "
+        << h.count << "\n";
+  }
+
+  // Hardware counter totals, only for paths with recorded scopes.
+  struct PerfField {
+    const char* family;
+    std::uint64_t PerfCounts::* member;
+    double scale;  // multiplies the raw value (1e-9 for ns -> seconds)
+  };
+  static const PerfField perfFields[] = {
+      {"qclab_path_perf_samples", &PerfCounts::samples, 1.0},
+      {"qclab_path_cpu_cycles", &PerfCounts::cycles, 1.0},
+      {"qclab_path_instructions", &PerfCounts::instructions, 1.0},
+      {"qclab_path_llc_references", &PerfCounts::llcReferences, 1.0},
+      {"qclab_path_llc_misses", &PerfCounts::llcMisses, 1.0},
+      {"qclab_path_stalled_cycles", &PerfCounts::stalledCycles, 1.0},
+      {"qclab_path_task_clock_seconds", &PerfCounts::taskClockNs, 1e-9},
+      {"qclab_path_page_faults", &PerfCounts::pageFaults, 1.0},
+  };
+  for (const PerfField& field : perfFields) {
+    bool headed = false;
+    for (std::size_t i = 0; i < snap.perf.size(); ++i) {
+      if (snap.perf[i].empty()) continue;
+      const std::uint64_t raw = snap.perf[i].*field.member;
+      if (raw == 0) continue;
+      if (!headed) {
+        out << "# TYPE " << field.family << " counter\n";
+        headed = true;
+      }
+      out << field.family << "_total{path=\""
+          << openMetricsLabel(pathName(i)) << "\"} ";
+      if (field.scale == 1.0) {
+        out << raw;
+      } else {
+        out << openMetricsNumber(static_cast<double>(raw) * field.scale);
+      }
+      out << "\n";
+    }
+  }
+
+  out << "# EOF\n";
+  return out.str();
+}
+
+/// Renders the live registries (lifetime totals).
+inline std::string renderOpenMetrics() {
+  return renderOpenMetrics(captureSnapshot());
+}
+
+}  // namespace qclab::obs

@@ -9,18 +9,26 @@
 /// It renders as
 ///  - a pretty text block for terminals, and
 ///  - one JSON object in the repo's canonical BENCH_*.json shape
-///    (schema "qclab-obs-v2"), so every bench and every instrumented run
+///    (schema "qclab-obs-v3"), so every bench and every instrumented run
 ///    exports machine-readable numbers the trajectory tooling can diff.
 ///
-/// v2 is a strict superset of v1: the counters/trace/results sections are
-/// unchanged, and new "histograms" (per-path log2 buckets with
-/// p50/p90/p99), "memory" (live and high-water state bytes), and
-/// "bandwidth" (effective GB/s per path = bytes touched / timed ns)
-/// sections are added.  Every quoted string goes through jsonEscape().
+/// Each schema is a strict superset of the previous one.  v2 added
+/// "histograms" (per-path log2 buckets with p50/p90/p99), "memory" (live
+/// and high-water state bytes), and "bandwidth" (effective GB/s per path =
+/// bytes touched / timed ns) to v1's counters/trace/results.  v3 adds
+///  - "perf": hardware-counter totals per kernel path (IPC, LLC miss
+///    rate, stall fraction) or an explicit unavailable marker when the
+///    host PMU delivers nothing (perfcounters.hpp),
+///  - "roofline": the calibrated peak bandwidth and each path's achieved
+///    GB/s, fraction of peak, and memory-/compute-bound classification
+///    (roofline.hpp),
+///  - "stages": pipeline-stage wall time (parse, optimize, fusion
+///    planning, state allocation, execute, measurement) from the
+///    always-on StageStats registry (trace.hpp).
+/// Every quoted string goes through jsonEscape().
 ///
 /// The same implementation serves QCLAB_OBS_DISABLED builds: the no-op
-/// Metrics/Tracer/histograms snapshot as all-zeros, and "obs": false marks
-/// the file.
+/// registries snapshot as all-zeros, and "obs": false marks the file.
 
 #include <cstdint>
 #include <fstream>
@@ -33,6 +41,8 @@
 #include "qclab/obs/histogram.hpp"
 #include "qclab/obs/json.hpp"
 #include "qclab/obs/metrics.hpp"
+#include "qclab/obs/perfcounters.hpp"
+#include "qclab/obs/roofline.hpp"
 #include "qclab/obs/trace.hpp"
 #include "qclab/sim/kernel_path.hpp"
 #include "qclab/sim/simd.hpp"
@@ -123,6 +133,60 @@ class Report {
           << m.fusionBlocks() << " blocks (" << m.fusionSweepsSaved()
           << " sweeps saved)\n";
     }
+    const PerfCapability& perfCap = perfCapability();
+    if (!perfCap.any()) {
+      out << "perf counters: unavailable (" << perfCap.reason << ")\n";
+    } else {
+      out << "perf counters: " << (perfCap.hardware ? "hardware" : "")
+          << (perfCap.hardware && perfCap.software ? "+" : "")
+          << (perfCap.software ? "software" : "") << "\n";
+      for (int p = 0; p < sim::kKernelPathCount; ++p) {
+        const auto path = static_cast<sim::KernelPath>(p);
+        const PerfCounts counts = perfRegistry().counts(path);
+        if (counts.empty()) continue;
+        out << "  perf " << std::left << std::setw(20)
+            << sim::kernelPathName(path) << " " << counts.samples
+            << " samples";
+        if (counts.cycles != 0) {
+          out << ", ipc " << std::fixed << std::setprecision(2)
+              << counts.ipc();
+        }
+        if (counts.llcReferences != 0) {
+          out << ", llc-miss " << std::setprecision(1)
+              << counts.llcMissRate() * 100.0 << "%";
+        }
+        out << "\n";
+      }
+    }
+    const RooflineCalibration& cal = rooflineCalibration();
+    if (cal.measured) {
+      out << "roofline peak: " << std::fixed << std::setprecision(2)
+          << cal.peakGBps << " GB/s (" << cal.source << ")\n";
+      for (int p = 0; p < sim::kKernelPathCount; ++p) {
+        const auto path = static_cast<sim::KernelPath>(p);
+        const HistogramSnapshot snap =
+            latencyHistograms().histogram(path).snapshot();
+        const std::uint64_t pathBytes = m.bytesTouched(path);
+        if (snap.sumNs == 0 || pathBytes == 0) continue;
+        const RooflinePoint point = rooflinePoint(
+            path, pathBytes, snap.sumNs, perfRegistry().counts(path));
+        out << "  roofline " << std::left << std::setw(18)
+            << sim::kernelPathName(path) << " " << std::setprecision(2)
+            << point.achievedGBps << " GB/s ("
+            << std::setprecision(0) << point.fractionOfPeak * 100.0
+            << "% of peak, " << point.classification << ")\n";
+      }
+    } else {
+      out << "roofline: unavailable (" << cal.source << ")\n";
+    }
+    for (const auto& [stage, agg] : stageStats().snapshot()) {
+      out << "  stage " << std::left << std::setw(20) << stage << " "
+          << agg.count << " x " << std::fixed << std::setprecision(0)
+          << (agg.count == 0 ? 0.0
+                             : static_cast<double>(agg.sumNs) /
+                                   static_cast<double>(agg.count))
+          << "ns\n";
+    }
     out << "trace: " << tracer().nbEvents() << " spans retained, "
         << tracer().dropped() << " dropped\n";
     if (!results_.empty()) {
@@ -137,12 +201,12 @@ class Report {
     return out.str();
   }
 
-  /// The canonical BENCH_*.json object (schema "qclab-obs-v2").
+  /// The canonical BENCH_*.json object (schema "qclab-obs-v3").
   std::string json() const {
     const Metrics& m = metrics();
     std::ostringstream out;
     out << "{\n";
-    out << "  \"schema\": \"qclab-obs-v2\",\n";
+    out << "  \"schema\": \"qclab-obs-v3\",\n";
     out << "  \"name\": \"" << jsonEscape(name_) << "\",\n";
     out << "  \"build\": {\n";
     out << "    \"version\": \"" << jsonEscape(versionString()) << "\",\n";
@@ -256,6 +320,100 @@ class Report {
           << static_cast<double>(pathBytes) /
                  static_cast<double>(snap.sumNs);
     }
+    out << "},\n";
+    // v3: hardware counters per path, or the explicit unavailable marker.
+    const PerfCapability& perfCap = perfCapability();
+    out << "  \"perf\": {\n";
+    out << "    \"available\": " << (perfCap.any() ? "true" : "false")
+        << ",\n";
+    out << "    \"hardware\": " << (perfCap.hardware ? "true" : "false")
+        << ",\n";
+    out << "    \"llc\": " << (perfCap.llc ? "true" : "false") << ",\n";
+    out << "    \"software\": " << (perfCap.software ? "true" : "false")
+        << ",\n";
+    out << "    \"unavailable\": \"" << jsonEscape(perfCap.reason)
+        << "\",\n";
+    out << "    \"by_path\": {";
+    first = true;
+    for (int p = 0; p < sim::kKernelPathCount; ++p) {
+      const auto path = static_cast<sim::KernelPath>(p);
+      const PerfCounts counts = perfRegistry().counts(path);
+      if (counts.empty()) continue;
+      if (!first) out << ",";
+      first = false;
+      out << "\n      \"" << jsonEscape(sim::kernelPathName(path))
+          << "\": {\"samples\": " << counts.samples
+          << ", \"cycles\": " << counts.cycles
+          << ", \"instructions\": " << counts.instructions
+          << ", \"ipc\": " << std::setprecision(17) << counts.ipc()
+          << ", \"llc_references\": " << counts.llcReferences
+          << ", \"llc_misses\": " << counts.llcMisses
+          << ", \"llc_miss_rate\": " << counts.llcMissRate()
+          << ", \"stalled_cycles\": " << counts.stalledCycles
+          << ", \"stall_fraction\": " << counts.stallFraction()
+          << ", \"task_clock_ns\": " << counts.taskClockNs
+          << ", \"page_faults\": " << counts.pageFaults << "}";
+    }
+    if (!first) out << "\n    ";
+    out << "}\n";
+    out << "  },\n";
+    // v3: achieved vs. calibrated-peak bandwidth and boundedness verdicts.
+    const RooflineCalibration& cal = rooflineCalibration();
+    out << "  \"roofline\": {\n";
+    out << "    \"available\": " << (cal.measured ? "true" : "false")
+        << ",\n";
+    out << "    \"peak_gbps\": " << std::setprecision(17) << cal.peakGBps
+        << ",\n";
+    out << "    \"calibration_ms\": " << cal.calibrationMs << ",\n";
+    out << "    \"calibration_bytes\": " << cal.bufferBytes << ",\n";
+    out << "    \"source\": \"" << jsonEscape(cal.source) << "\",\n";
+    std::string dominant = "indeterminate";
+    std::uint64_t dominantBytes = 0;
+    out << "    \"by_path\": {";
+    first = true;
+    for (int p = 0; p < sim::kKernelPathCount; ++p) {
+      const auto path = static_cast<sim::KernelPath>(p);
+      const HistogramSnapshot snap =
+          latencyHistograms().histogram(path).snapshot();
+      const std::uint64_t pathBytes = m.bytesTouched(path);
+      if (snap.sumNs == 0 || pathBytes == 0) continue;
+      const RooflinePoint point = rooflinePoint(
+          path, pathBytes, snap.sumNs, perfRegistry().counts(path));
+      if (pathBytes > dominantBytes) {
+        dominantBytes = pathBytes;
+        dominant = point.classification;
+      }
+      if (!first) out << ",";
+      first = false;
+      out << "\n      \"" << jsonEscape(sim::kernelPathName(path))
+          << "\": {\"achieved_gbps\": " << std::setprecision(17)
+          << point.achievedGBps
+          << ", \"fraction_of_peak\": " << point.fractionOfPeak
+          << ", \"est_gflops\": " << point.estGflops
+          << ", \"intensity_flops_per_byte\": "
+          << point.intensityFlopsPerByte << ", \"classification\": \""
+          << jsonEscape(point.classification) << "\"}";
+    }
+    if (!first) out << "\n    ";
+    out << "},\n";
+    out << "    \"classification\": \"" << jsonEscape(dominant) << "\"\n";
+    out << "  },\n";
+    // v3: pipeline-stage wall time from the always-on StageStats registry.
+    out << "  \"stages\": {";
+    first = true;
+    for (const auto& [stage, agg] : stageStats().snapshot()) {
+      if (!first) out << ",";
+      first = false;
+      out << "\n    \"" << jsonEscape(stage)
+          << "\": {\"count\": " << agg.count
+          << ", \"sum_ns\": " << agg.sumNs
+          << ", \"mean_ns\": " << std::setprecision(17)
+          << (agg.count == 0 ? 0.0
+                             : static_cast<double>(agg.sumNs) /
+                                   static_cast<double>(agg.count))
+          << "}";
+    }
+    if (!first) out << "\n  ";
     out << "},\n";
     out << "  \"trace\": {\"events\": " << tracer().nbEvents()
         << ", \"dropped\": " << tracer().dropped() << "},\n";

@@ -11,10 +11,19 @@
 /// is inferred from time containment on the single displayed track.
 ///
 /// The tracer is disabled by default (a disabled tracer only costs one
-/// branch per span); enable() turns recording on.  Compiling with
-/// QCLAB_OBS_DISABLED replaces Tracer and Span with API-identical no-ops.
+/// branch per span); enable() turns recording on.
+///
+/// ScopedSpan is the hierarchical variant for pipeline stages (QASM parse,
+/// optimize, fusion planning, state allocation, execute, measurement): a
+/// thread-local stack links each span to its enclosing parent, the parent
+/// name and depth export into the Chrome trace "args", and every span
+/// additionally accumulates (count, summed ns) into the always-on
+/// StageStats registry — so reports carry a "stages" breakdown even when
+/// the tracer itself is off.  Compiling with QCLAB_OBS_DISABLED replaces
+/// Tracer, Span, ScopedSpan, and StageStats with API-identical no-ops.
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -36,6 +45,14 @@ struct TraceEvent {
   const char* category;      ///< coarse grouping: "gate", "circuit", ...
   std::uint64_t startNs;     ///< begin, ns since tracer epoch
   std::uint64_t durationNs;  ///< duration in ns
+  std::string parent;        ///< enclosing ScopedSpan name ("" = root)
+  int depth = 0;             ///< nesting depth (0 = root)
+};
+
+/// Accumulated wall time of one pipeline stage.
+struct StageAgg {
+  std::uint64_t count = 0;  ///< completed spans of this stage
+  std::uint64_t sumNs = 0;  ///< summed span durations in ns
 };
 
 #ifndef QCLAB_OBS_DISABLED
@@ -68,12 +85,15 @@ class Tracer {
             .count());
   }
 
-  /// Appends a completed span (ring semantics when at capacity).
+  /// Appends a completed span (ring semantics when at capacity).  The
+  /// optional `parent`/`depth` carry ScopedSpan nesting into the export.
   void record(std::string name, const char* category, std::uint64_t startNs,
-              std::uint64_t durationNs) {
+              std::uint64_t durationNs, std::string parent = "",
+              int depth = 0) {
     if (!enabled_ || capacity_ == 0) return;
     const std::lock_guard<std::mutex> lock(mutex_);
-    TraceEvent event{std::move(name), category, startNs, durationNs};
+    TraceEvent event{std::move(name), category,          startNs,
+                     durationNs,      std::move(parent), depth};
     if (events_.size() < capacity_) {
       events_.push_back(std::move(event));
     } else {
@@ -107,19 +127,29 @@ class Tracer {
   }
 
   /// Chrome trace_event JSON of the retained spans ("X" complete events,
-  /// microsecond timestamps).  Open in about:tracing or Perfetto.
+  /// microsecond timestamps).  Open in about:tracing or Perfetto.  The
+  /// top-level "droppedEvents" records ring evictions so truncation is
+  /// visible in the artifact itself; ScopedSpan nesting exports as
+  /// per-event args.
   std::string chromeTraceJson() const {
     std::ostringstream out;
-    out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    const auto ordered = events();
+    out << "{\"displayTimeUnit\":\"ns\",\"droppedEvents\":" << dropped()
+        << ",\"retainedEvents\":" << ordered.size() << ",\"traceEvents\":[";
     bool first = true;
-    for (const auto& event : events()) {
+    for (const auto& event : ordered) {
       if (!first) out << ",";
       first = false;
       out << "{\"name\":\"" << jsonEscape(event.name) << "\",\"cat\":\""
           << jsonEscape(event.category) << "\",\"ph\":\"X\",\"ts\":"
           << static_cast<double>(event.startNs) / 1e3 << ",\"dur\":"
           << static_cast<double>(event.durationNs) / 1e3
-          << ",\"pid\":0,\"tid\":0}";
+          << ",\"pid\":0,\"tid\":0";
+      if (!event.parent.empty() || event.depth != 0) {
+        out << ",\"args\":{\"parent\":\"" << jsonEscape(event.parent)
+            << "\",\"depth\":" << event.depth << "}";
+      }
+      out << "}";
     }
     out << "]}";
     return out.str();
@@ -177,6 +207,91 @@ class Span {
   bool active_;
 };
 
+/// Always-on accumulation of pipeline-stage wall time.  Stages fire once
+/// per simulate/parse/optimize call (never per gate), so a mutex-guarded
+/// map is cheap; reports render the snapshot as the "stages" section even
+/// when the tracer is disabled.
+class StageStats {
+ public:
+  /// Adds one completed `ns` span to `stage`.
+  void record(const std::string& stage, std::uint64_t ns) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    StageAgg& agg = stages_[stage];
+    ++agg.count;
+    agg.sumNs += ns;
+  }
+
+  /// Copy of every stage's totals.
+  std::map<std::string, StageAgg> snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return stages_;
+  }
+
+  /// Forgets every stage.
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stages_.clear();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, StageAgg> stages_;
+};
+
+/// The process-wide stage accumulator.
+inline StageStats& stageStats() {
+  static StageStats instance;
+  return instance;
+}
+
+/// RAII hierarchical span for pipeline stages.  A thread-local stack links
+/// nested ScopedSpans: each records its enclosing span's name and its
+/// depth into the trace (when the tracer is enabled) and always
+/// accumulates its duration into stageStats() under `stageKey` (defaults
+/// to `name`; pass a stable key when the display name carries run-specific
+/// detail such as the qubit count).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string name, const char* category = "stage",
+                      std::string stageKey = std::string())
+      : name_(std::move(name)),
+        stageKey_(stageKey.empty() ? name_ : std::move(stageKey)),
+        category_(category),
+        startNs_(tracer().nowNs()) {
+    auto& stack = spanStack();
+    if (!stack.empty()) parent_ = *stack.back();
+    depth_ = static_cast<int>(stack.size());
+    stack.push_back(&name_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    auto& stack = spanStack();
+    if (!stack.empty() && stack.back() == &name_) stack.pop_back();
+    const std::uint64_t durationNs = tracer().nowNs() - startNs_;
+    stageStats().record(stageKey_, durationNs);
+    if (tracer().enabled()) {
+      tracer().record(std::move(name_), category_, startNs_, durationNs,
+                      std::move(parent_), depth_);
+    }
+  }
+
+ private:
+  static std::vector<const std::string*>& spanStack() {
+    thread_local std::vector<const std::string*> stack;
+    return stack;
+  }
+
+  std::string name_;
+  std::string stageKey_;
+  std::string parent_;
+  const char* category_;
+  std::uint64_t startNs_;
+  int depth_ = 0;
+};
+
 #else  // QCLAB_OBS_DISABLED
 
 /// No-op tracer: same API, records nothing, exports an empty trace.
@@ -188,12 +303,14 @@ class Tracer {
   bool enabled() const noexcept { return false; }
   void clear() {}
   std::uint64_t nowNs() const { return 0; }
-  void record(std::string, const char*, std::uint64_t, std::uint64_t) {}
+  void record(std::string, const char*, std::uint64_t, std::uint64_t,
+              std::string = "", int = 0) {}
   std::vector<TraceEvent> events() const { return {}; }
   std::size_t nbEvents() const { return 0; }
   std::uint64_t dropped() const { return 0; }
   std::string chromeTraceJson() const {
-    return "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}";
+    return "{\"displayTimeUnit\":\"ns\",\"droppedEvents\":0,"
+           "\"retainedEvents\":0,\"traceEvents\":[]}";
   }
   bool writeChromeTrace(const std::string&) const { return false; }
 };
@@ -209,6 +326,28 @@ class Span {
   Span(Tracer&, std::string, const char*) noexcept {}
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
+};
+
+/// No-op stage accumulator.
+class StageStats {
+ public:
+  void record(const std::string&, std::uint64_t) {}
+  std::map<std::string, StageAgg> snapshot() const { return {}; }
+  void reset() {}
+};
+
+inline StageStats& stageStats() {
+  static StageStats instance;
+  return instance;
+}
+
+/// No-op hierarchical span.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string, const char* = "stage",
+                      std::string = std::string()) noexcept {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
 };
 
 #endif  // QCLAB_OBS_DISABLED

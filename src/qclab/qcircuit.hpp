@@ -261,7 +261,12 @@ class QCircuit final : public QObject<T> {
       const sim::Backend<T>& backend = sim::defaultBackend<T>()) const {
     util::require(static_cast<int>(bits.size()) == nbQubits_,
                   "initial bitstring length must equal nbQubits");
-    return simulate(basisState<T>(bits), options, backend);
+    std::vector<std::complex<T>> state;
+    {
+      const obs::ScopedSpan span("state/alloc", "stage");
+      state = basisState<T>(bits);
+    }
+    return simulate(std::move(state), options, backend);
   }
 
   /// Simulates from an arbitrary initial state with explicit options.
@@ -281,16 +286,19 @@ class QCircuit final : public QObject<T> {
       for (auto& amplitude : state) amplitude *= scale;
     }
     obs::metrics().countCircuitSimulation();
-    const obs::Span span(obs::tracer(),
-                         "simulate(n=" + std::to_string(nbQubits_) + ")",
-                         "circuit");
+    const obs::ScopedSpan span(
+        "simulate(n=" + std::to_string(nbQubits_) + ")", "circuit",
+        "simulate");
     Simulation<T> simulation(nbQubits_, std::move(state));
-    if (options.fusion) {
-      std::vector<sim::GateRef<T>> run;
-      applyToFused(simulation, 0, options, backend, run);
-      flushFusedRun(simulation, options.fusionOptions, run);
-    } else {
-      applyTo(simulation, 0, backend);
+    {
+      const obs::ScopedSpan executeSpan("execute", "stage");
+      if (options.fusion) {
+        std::vector<sim::GateRef<T>> run;
+        applyToFused(simulation, 0, options, backend, run);
+        flushFusedRun(simulation, options.fusionOptions, run);
+      } else {
+        applyTo(simulation, 0, backend);
+      }
     }
     return simulation;
   }
@@ -520,6 +528,7 @@ class QCircuit final : public QObject<T> {
 
   static void applyMeasurement(Simulation<T>& simulation,
                                const Measurement<T>& measurement, int offset) {
+    const obs::ScopedSpan span("measure", "stage");
     const int nbQubits = simulation.nbQubits();
     const int qubit = measurement.qubit() + offset;
     util::checkQubit(qubit, nbQubits);
@@ -570,6 +579,7 @@ class QCircuit final : public QObject<T> {
 
   static void applyReset(Simulation<T>& simulation, const Reset<T>& reset,
                          int offset) {
+    const obs::ScopedSpan span("reset", "stage");
     const int nbQubits = simulation.nbQubits();
     const int qubit = reset.qubit() + offset;
     util::checkQubit(qubit, nbQubits);

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "qclab/dense/matrix.hpp"
+#include "qclab/obs/trace.hpp"
 #include "qclab/sim/simd.hpp"
 #include "qclab/util/bits.hpp"
 #include "qclab/util/errors.hpp"
@@ -94,6 +95,7 @@ template <typename Block>
 BlockSchedule buildBlockSchedule(const std::vector<Block>& blocks,
                                  int nbQubits,
                                  const BlockingOptions& options = {}) {
+  const obs::ScopedSpan span("fusion/block-schedule", "stage");
   BlockSchedule schedule;
   if (!options.enabled || blocks.empty()) return schedule;
 

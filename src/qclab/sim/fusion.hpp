@@ -31,6 +31,7 @@
 #include "qclab/dense/matrix.hpp"
 #include "qclab/obs/histogram.hpp"
 #include "qclab/obs/metrics.hpp"
+#include "qclab/obs/trace.hpp"
 #include "qclab/qgates/qgate.hpp"
 #include "qclab/sim/blocking.hpp"
 #include "qclab/sim/kernel_path.hpp"
@@ -158,6 +159,7 @@ dense::Matrix<T> embedInWindow(const dense::Matrix<T>& u,
 template <typename T>
 FusionPlan<T> fuseGates(const std::vector<GateRef<T>>& gates, int nbQubits,
                         const FusionOptions& options = {}) {
+  const obs::ScopedSpan span("fusion/plan", "stage");
   util::require(options.maxQubits >= 1,
                 "fusion window must span at least one qubit");
   const int window = std::min(options.maxQubits, nbQubits);

@@ -21,6 +21,7 @@
 
 #include "qclab/dense/ops.hpp"
 #include "qclab/obs/metrics.hpp"
+#include "qclab/obs/trace.hpp"
 #include "qclab/random/rng.hpp"
 #include "qclab/sim/kernels.hpp"
 #include "qclab/util/bitstring.hpp"
@@ -284,6 +285,7 @@ class Simulation {
   /// '1').  Zero-probability outcomes are included with count 0.
   std::vector<std::uint64_t> counts(std::uint64_t shots,
                                     random::Rng& rng) const {
+    const obs::ScopedSpan span("sample/counts", "stage");
     const std::size_t m = nbMeasurements();
     util::require(m <= 26, "counts vector would exceed 2^26 entries; use "
                            "countsMap for many measurements");
@@ -316,6 +318,7 @@ class Simulation {
   /// appear.
   std::map<std::string, std::uint64_t> countsMap(std::uint64_t shots,
                                                  random::Rng& rng) const {
+    const obs::ScopedSpan span("sample/counts", "stage");
     obs::metrics().countShots(shots);
     std::vector<double> weights;
     weights.reserve(branches_.size());

@@ -58,12 +58,12 @@ TEST(BenchJson, ParserRejectsMalformedInput) {
   EXPECT_THROW(bj::parseJson("\"\\q\""), qclab::InvalidArgumentError);
 }
 
-TEST(BenchJson, ParsesObsReportJsonAndSchemaIsV2) {
+TEST(BenchJson, ParsesObsReportJsonAndSchemaIsV3) {
   qclab::obs::Report report("bench_demo");
   report.add("kernel/dense1", 123.5, "ns/op");
   const bj::JsonValue value = bj::parseJson(report.json());
   ASSERT_TRUE(value.isObject());
-  EXPECT_EQ(value.stringOr("schema", ""), "qclab-obs-v2");
+  EXPECT_EQ(value.stringOr("schema", ""), "qclab-obs-v3");
   EXPECT_EQ(value.stringOr("name", ""), "bench_demo");
   const bj::JsonValue* results = value.find("results");
   ASSERT_NE(results, nullptr);
@@ -173,6 +173,40 @@ TEST(BenchCompare, RejectsNegativeToleranceAndNonTrajectories) {
   const bj::JsonValue notATrajectory = bj::parseJson("{\"benches\": 3}");
   EXPECT_THROW(bj::compareTrajectories(notATrajectory, trajectory, 0.2),
                qclab::InvalidArgumentError);
+}
+
+TEST(BenchCompare, ClassificationsComeFromRooflineSections) {
+  // A v3 report embeds its roofline verdict; the comparator surfaces it
+  // per bench for failure diagnosis.
+  const auto trajectory = bj::parseJson(
+      "{\"schema\": \"qclab-bench-trajectory-v1\", \"label\": \"t\","
+      " \"benches\": ["
+      "  {\"name\": \"bench_a\","
+      "   \"roofline\": {\"classification\": \"memory-bound\"}},"
+      "  {\"name\": \"bench_b\","
+      "   \"roofline\": {\"classification\": \"compute-bound\"}},"
+      "  {\"name\": \"bench_old\"},"
+      "  {\"name\": \"bench_empty\","
+      "   \"roofline\": {\"classification\": \"\"}}"
+      "]}");
+  const auto classifications = bj::benchClassifications(trajectory);
+  ASSERT_EQ(classifications.size(), 2u);
+  EXPECT_EQ(classifications.at("bench_a"), "memory-bound");
+  EXPECT_EQ(classifications.at("bench_b"), "compute-bound");
+  EXPECT_EQ(classifications.count("bench_old"), 0u);
+  EXPECT_EQ(classifications.count("bench_empty"), 0u);
+
+  // Pre-v3 trajectories (no roofline anywhere) degrade to an empty map.
+  const auto old = trajectoryWithTiming("b", "t", 100.0);
+  // A real report always carries a roofline section now, so strip it to
+  // emulate an old baseline.
+  EXPECT_TRUE(bj::benchClassifications(bj::parseJson(
+                  "{\"benches\": [{\"name\": \"x\"}]}"))
+                  .empty());
+
+  // Reports rendered by this build do carry a classification.
+  const auto fromReport = bj::benchClassifications(old);
+  EXPECT_EQ(fromReport.count("b"), 1u);
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "qclab/obs/benchjson.hpp"
 #include "qclab/qclab.hpp"
 
 namespace {
@@ -255,7 +256,7 @@ TEST(ObsReport, JsonIsWellFormedAndStamped) {
   const std::string json = report.json();
   JsonChecker checker(json);
   EXPECT_TRUE(checker.valid()) << json;
-  EXPECT_NE(json.find("\"schema\": \"qclab-obs-v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"qclab-obs-v3\""), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"unit_test\""), std::string::npos);
   EXPECT_NE(json.find(qclab::obs::kEnabled ? "\"obs\": true"
                                            : "\"obs\": false"),
@@ -265,10 +266,58 @@ TEST(ObsReport, JsonIsWellFormedAndStamped) {
   EXPECT_NE(json.find("\"memory\""), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
   EXPECT_NE(json.find("\"bytes_touched_by_path\""), std::string::npos);
+  // v3 sections likewise: perf counters, roofline, and pipeline stages
+  // appear in every build (carrying availability markers when empty).
+  EXPECT_NE(json.find("\"perf\""), std::string::npos);
+  EXPECT_NE(json.find("\"roofline\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
 
   const std::string text = report.text();
   EXPECT_NE(text.find("unit_test"), std::string::npos);
   EXPECT_NE(text.find("gate applications"), std::string::npos);
+}
+
+// ---- jsonEscape (all builds) ------------------------------------------
+
+/// Round-trips `raw` through jsonEscape and the benchjson parser: the
+/// escaped form must be a valid JSON string that decodes back to `raw`.
+std::string escapeRoundTrip(const std::string& raw) {
+  const std::string wrapped = "\"" + qclab::obs::jsonEscape(raw) + "\"";
+  const auto parsed = qclab::obs::benchjson::parseJson(wrapped);
+  EXPECT_TRUE(parsed.isString()) << wrapped;
+  return parsed.string;
+}
+
+TEST(ObsJsonEscape, AllControlCharactersEscape) {
+  for (int c = 0x00; c < 0x20; ++c) {
+    const std::string raw = std::string("a") +
+                            static_cast<char>(c) + std::string("b");
+    const std::string escaped = qclab::obs::jsonEscape(raw);
+    // No raw control byte may survive into the JSON text.
+    for (const char byte : escaped) {
+      EXPECT_GE(static_cast<unsigned char>(byte), 0x20u)
+          << "control byte 0x" << std::hex << c << " leaked unescaped";
+    }
+    EXPECT_EQ(escapeRoundTrip(raw), raw) << "control byte 0x" << std::hex
+                                         << c;
+  }
+}
+
+TEST(ObsJsonEscape, NamedEscapesAndQuotes) {
+  EXPECT_EQ(qclab::obs::jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(qclab::obs::jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(qclab::obs::jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(qclab::obs::jsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(qclab::obs::jsonEscape("a\rb"), "a\\rb");
+  EXPECT_EQ(escapeRoundTrip("say \"hi\" \\ bye"), "say \"hi\" \\ bye");
+}
+
+TEST(ObsJsonEscape, Utf8PassesThroughUntouched) {
+  // Multi-byte UTF-8 (Greek, CJK, an emoji) must not be escaped or
+  // mangled — bytes >= 0x80 pass through verbatim.
+  const std::string utf8 = "ψ⟩ 量子 🧲";
+  EXPECT_EQ(qclab::obs::jsonEscape(utf8), utf8);
+  EXPECT_EQ(escapeRoundTrip(utf8), utf8);
 }
 
 #ifndef QCLAB_OBS_DISABLED
@@ -473,16 +522,24 @@ TEST(ObsTrace, ChromeTraceParsesAndNests) {
   circuit.simulate("00", backend);
   tracer.disable();
 
+  // 2 gate spans + 1 circuit span + the "state/alloc" and "execute"
+  // pipeline-stage spans.
   const auto events = tracer.events();
-  ASSERT_EQ(events.size(), 3u);  // 2 gate spans + 1 circuit span
+  ASSERT_EQ(events.size(), 5u);
 
   const qclab::obs::TraceEvent* simulateSpan = nullptr;
+  const qclab::obs::TraceEvent* executeSpan = nullptr;
+  const qclab::obs::TraceEvent* allocSpan = nullptr;
   std::vector<const qclab::obs::TraceEvent*> gateSpans;
   for (const auto& event : events) {
     if (std::string(event.category) == "circuit") {
       simulateSpan = &event;
     } else if (std::string(event.category) == "gate") {
       gateSpans.push_back(&event);
+    } else if (event.name == "execute") {
+      executeSpan = &event;
+    } else if (event.name == "state/alloc") {
+      allocSpan = &event;
     }
   }
   ASSERT_NE(simulateSpan, nullptr);
@@ -490,6 +547,16 @@ TEST(ObsTrace, ChromeTraceParsesAndNests) {
   ASSERT_EQ(gateSpans.size(), 2u);
   EXPECT_EQ(gateSpans[0]->name, "H");
   EXPECT_EQ(gateSpans[1]->name, "cX");
+
+  // ScopedSpan hierarchy: simulate is a root span, execute nests inside
+  // it (parent name + depth recorded), state allocation precedes both.
+  EXPECT_EQ(simulateSpan->parent, "");
+  EXPECT_EQ(simulateSpan->depth, 0);
+  ASSERT_NE(executeSpan, nullptr);
+  EXPECT_EQ(executeSpan->parent, "simulate(n=2)");
+  EXPECT_EQ(executeSpan->depth, 1);
+  ASSERT_NE(allocSpan, nullptr);
+  EXPECT_EQ(allocSpan->parent, "");
 
   // Gate spans nest inside the circuit span.
   for (const auto* gate : gateSpans) {
@@ -504,6 +571,11 @@ TEST(ObsTrace, ChromeTraceParsesAndNests) {
   EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
   EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
   EXPECT_NE(json.find("simulate(n=2)"), std::string::npos);
+  // Ring-buffer accounting and span hierarchy surface in the export.
+  EXPECT_NE(json.find("\"droppedEvents\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"retainedEvents\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"parent\":\"simulate(n=2)\",\"depth\":1}"),
+            std::string::npos);
   tracer.clear();
 }
 
@@ -520,6 +592,22 @@ TEST(ObsTrace, RingBufferEvictsOldestAndCountsDropped) {
   ASSERT_EQ(events.size(), 4u);
   EXPECT_EQ(events.front().name, "span6");  // oldest retained
   EXPECT_EQ(events.back().name, "span9");   // newest
+
+  // The eviction count is part of the export, so a truncated trace is
+  // detectable from the artifact alone.
+  const std::string json = tracer.chromeTraceJson();
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.valid()) << json;
+  EXPECT_NE(json.find("\"droppedEvents\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"retainedEvents\":4"), std::string::npos);
+  EXPECT_EQ(json.find("span0"), std::string::npos);  // evicted
+  EXPECT_NE(json.find("span6"), std::string::npos);  // retained
+
+  // clear() resets the eviction count along with the events.
+  tracer.clear();
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_NE(tracer.chromeTraceJson().find("\"droppedEvents\":0"),
+            std::string::npos);
 }
 
 TEST(ObsTrace, DisabledTracerRecordsNothing) {
@@ -528,6 +616,212 @@ TEST(ObsTrace, DisabledTracerRecordsNothing) {
   EXPECT_EQ(tracer.nbEvents(), 0u);
   JsonChecker checker(tracer.chromeTraceJson());
   EXPECT_TRUE(checker.valid());
+}
+
+// ---- pipeline stages (enabled builds only) ----------------------------
+
+TEST(ObsStages, PipelineStagesAccumulateWithTracerOff) {
+  qclab::obs::resetAll();
+  ASSERT_FALSE(qclab::obs::tracer().enabled());
+
+  const auto circuit = qclab::io::parseQasm<T>(
+      "OPENQASM 2.0;\n"
+      "include \"qelib1.inc\";\n"
+      "qreg q[2];\n"
+      "creg c[2];\n"
+      "h q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\n");
+  const auto optimized = qclab::transpile::optimize(circuit);
+  const auto simulation = optimized.simulate("00");
+  simulation.counts(64, /*seed=*/7);
+
+  const auto stages = qclab::obs::stageStats().snapshot();
+  for (const char* stage : {"qasm/parse", "transpile/optimize",
+                            "state/alloc", "simulate", "execute", "measure",
+                            "sample/counts"}) {
+    ASSERT_TRUE(stages.count(stage)) << "missing stage " << stage;
+    EXPECT_GE(stages.at(stage).count, 1u) << stage;
+  }
+  // The display name of the simulate span carries the qubit count, the
+  // stage key must not.
+  EXPECT_EQ(stages.count("simulate(n=2)"), 0u);
+
+  // The stage breakdown surfaces in the report (JSON and text).
+  const std::string json = qclab::obs::Report("stage_test").json();
+  EXPECT_NE(json.find("\"qasm/parse\""), std::string::npos);
+  EXPECT_NE(json.find("\"execute\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_ns\""), std::string::npos);
+  const std::string text = qclab::obs::Report("stage_test").text();
+  EXPECT_NE(text.find("stage"), std::string::npos);
+  qclab::obs::resetAll();
+}
+
+TEST(ObsStages, ScopedSpanTracksParentAndDepth) {
+  qclab::obs::resetAll();
+  auto& tracer = qclab::obs::tracer();
+  tracer.enable();
+  {
+    const qclab::obs::ScopedSpan outer("outer", "test");
+    {
+      const qclab::obs::ScopedSpan inner("inner", "test");
+      const qclab::obs::ScopedSpan innermost("innermost", "test", "leaf");
+    }
+  }
+  tracer.disable();
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);  // completion order: innermost, inner, outer
+  EXPECT_EQ(events[0].name, "innermost");
+  EXPECT_EQ(events[0].parent, "inner");
+  EXPECT_EQ(events[0].depth, 2);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].parent, "outer");
+  EXPECT_EQ(events[1].depth, 1);
+  EXPECT_EQ(events[2].name, "outer");
+  EXPECT_EQ(events[2].parent, "");
+  EXPECT_EQ(events[2].depth, 0);
+
+  // Stage aggregation keys on the explicit stageKey when given.
+  const auto stages = qclab::obs::stageStats().snapshot();
+  EXPECT_TRUE(stages.count("outer"));
+  EXPECT_TRUE(stages.count("inner"));
+  EXPECT_TRUE(stages.count("leaf"));
+  EXPECT_EQ(stages.count("innermost"), 0u);
+  qclab::obs::resetAll();
+}
+
+// ---- perf counters (enabled builds only) ------------------------------
+
+TEST(ObsPerf, CapabilityIsSelfDescribing) {
+  const auto& capability = qclab::obs::perfCapability();
+  // Either some counter tier opened, or the reason says why not (e.g. no
+  // vPMU in a VM, perf_event_paranoid); both are valid environments.
+  if (!capability.any()) {
+    EXPECT_FALSE(capability.reason.empty());
+  }
+  // LLC and stalled-cycle counters require the hardware tier.
+  if (capability.llc) EXPECT_TRUE(capability.hardware);
+  if (capability.stalled) EXPECT_TRUE(capability.hardware);
+}
+
+TEST(ObsPerf, RegistryOffByDefaultAndRecordsWhenEnabled) {
+  auto& registry = qclab::obs::perfRegistry();
+  registry.reset();
+  registry.disable();
+
+  {
+    const qclab::obs::PerfScope scope(KernelPath::kDense1);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 1000; ++i) sink = sink + 1.0;
+  }
+  EXPECT_TRUE(registry.counts(KernelPath::kDense1).empty())
+      << "disabled registry must not record";
+
+  registry.enable();
+  EXPECT_TRUE(registry.enabled());
+  {
+    const qclab::obs::PerfScope scope(KernelPath::kDense1);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+  }
+  registry.disable();
+
+  const auto counts = registry.counts(KernelPath::kDense1);
+  if (qclab::obs::perfCapability().any()) {
+    EXPECT_EQ(counts.samples, 1u);
+    // The software tier at minimum delivers task-clock time; the hardware
+    // tier additionally delivers cycles/instructions.
+    EXPECT_GT(counts.taskClockNs + counts.cycles, 0u);
+    EXPECT_EQ(registry.total().samples, counts.samples);
+  } else {
+    EXPECT_TRUE(counts.empty());
+  }
+  registry.reset();
+  EXPECT_TRUE(registry.counts(KernelPath::kDense1).empty());
+}
+
+TEST(ObsPerf, PathTimerFeedsPerfRegistry) {
+  qclab::obs::resetAll();
+  auto& registry = qclab::obs::perfRegistry();
+  registry.enable();
+
+  qclab::QCircuit<T> circuit(4);
+  for (int q = 0; q < 4; ++q) {
+    circuit.push_back(qclab::qgates::Hadamard<T>(q));
+  }
+  const qclab::obs::InstrumentedBackend<T> backend;
+  circuit.simulate("0000", backend);
+  registry.disable();
+
+  if (qclab::obs::perfCapability().any()) {
+    // Every timed gate application sampled the counters on its path.
+    EXPECT_EQ(registry.total().samples, 4u);
+  } else {
+    EXPECT_EQ(registry.total().samples, 0u);
+  }
+  qclab::obs::resetAll();
+}
+
+// ---- roofline (enabled builds only) -----------------------------------
+
+TEST(ObsRoofline, CalibrationMeasuresOrExplains) {
+  const auto& calibration = qclab::obs::rooflineCalibration();
+  if (calibration.measured) {
+    EXPECT_GT(calibration.peakGBps, 0.0);
+    EXPECT_FALSE(calibration.source.empty());
+  } else {
+    // Only the env kill-switch produces an unmeasured enabled build.
+    EXPECT_NE(calibration.source.find("QCLAB_OBS_NO_ROOFLINE"),
+              std::string::npos);
+  }
+}
+
+TEST(ObsRoofline, ClassificationHeuristics) {
+  const qclab::obs::PerfCounts none;
+  EXPECT_EQ(qclab::obs::classifyBoundedness(0.9, none), "memory-bound");
+  EXPECT_EQ(qclab::obs::classifyBoundedness(0.3, none), "memory-bound");
+  EXPECT_EQ(qclab::obs::classifyBoundedness(0.05, none), "compute-bound");
+  EXPECT_EQ(qclab::obs::classifyBoundedness(0.0, none), "indeterminate");
+
+  // With LLC data the miss rate decides below the 50% bandwidth line.
+  qclab::obs::PerfCounts missy;
+  missy.samples = 1;
+  missy.llcReferences = 100;
+  missy.llcMisses = 60;
+  EXPECT_EQ(qclab::obs::classifyBoundedness(0.1, missy), "memory-bound");
+  missy.llcMisses = 2;
+  EXPECT_EQ(qclab::obs::classifyBoundedness(0.1, missy), "compute-bound");
+
+  // Without LLC but with cycles, IPC decides.
+  qclab::obs::PerfCounts stalled;
+  stalled.samples = 1;
+  stalled.cycles = 1000;
+  stalled.instructions = 400;
+  EXPECT_EQ(qclab::obs::classifyBoundedness(0.1, stalled), "memory-bound");
+  stalled.instructions = 2500;
+  EXPECT_EQ(qclab::obs::classifyBoundedness(0.1, stalled), "compute-bound");
+}
+
+TEST(ObsRoofline, PointPlacement) {
+  const qclab::obs::PerfCounts none;
+  // No data -> idle, no rates.
+  const auto idle =
+      qclab::obs::rooflinePoint(KernelPath::kDense1, 0, 100, none);
+  EXPECT_EQ(idle.classification, "idle");
+  EXPECT_EQ(idle.achievedGBps, 0.0);
+
+  // 64 bytes in 32 ns = 2 GB/s; dense1 intensity = 14/32 flops/byte.
+  const auto point =
+      qclab::obs::rooflinePoint(KernelPath::kDense1, 64, 32, none);
+  EXPECT_DOUBLE_EQ(point.achievedGBps, 2.0);
+  EXPECT_DOUBLE_EQ(point.intensityFlopsPerByte, 14.0 / 32.0);
+  EXPECT_DOUBLE_EQ(point.estGflops, 2.0 * 14.0 / 32.0);
+  EXPECT_FALSE(point.classification.empty());
+
+  // Per-path constants that the attribution depends on.
+  EXPECT_EQ(qclab::obs::flopsPerAmp(KernelPath::kSwap), 0.0);
+  EXPECT_EQ(qclab::obs::bytesPerAmp(KernelPath::kSwap), 16.0);
+  EXPECT_EQ(qclab::obs::bytesPerAmp(KernelPath::kSparseKron), 64.0);
+  EXPECT_EQ(qclab::obs::bytesPerAmp(KernelPath::kDense1), 32.0);
 }
 
 #else  // QCLAB_OBS_DISABLED
@@ -557,6 +851,47 @@ TEST(ObsDisabled, CountersStayZeroAndTraceStaysEmpty) {
 
   JsonChecker trace(tracer.chromeTraceJson());
   EXPECT_TRUE(trace.valid());
+  EXPECT_NE(tracer.chromeTraceJson().find("\"droppedEvents\":0"),
+            std::string::npos);
+}
+
+TEST(ObsDisabled, V3SurfacesAreInertNoOps) {
+  // Stage spans: construct, nest, destroy — nothing recorded.
+  {
+    const qclab::obs::ScopedSpan outer("outer");
+    const qclab::obs::ScopedSpan inner("inner", "stage", "key");
+  }
+  EXPECT_TRUE(qclab::obs::stageStats().snapshot().empty());
+
+  // Perf: capability reports the disabled build, the registry stays off
+  // even after enable(), scopes record nothing.
+  const auto& capability = qclab::obs::perfCapability();
+  EXPECT_FALSE(capability.any());
+  EXPECT_NE(capability.reason.find("QCLAB_OBS_DISABLED"),
+            std::string::npos);
+  auto& registry = qclab::obs::perfRegistry();
+  registry.enable();
+  EXPECT_FALSE(registry.enabled());
+  {
+    const qclab::obs::PerfScope scope(KernelPath::kDense1);
+  }
+  EXPECT_TRUE(registry.total().empty());
+
+  // Roofline: never calibrates, explains why.
+  const auto& calibration = qclab::obs::rooflineCalibration();
+  EXPECT_FALSE(calibration.measured);
+  EXPECT_NE(calibration.source.find("QCLAB_OBS_DISABLED"),
+            std::string::npos);
+
+  // resetAll is callable and inert.
+  qclab::obs::resetAll();
+
+  // The report still renders the v3 sections with explicit markers.
+  const std::string json = qclab::obs::Report("disabled_v3").json();
+  EXPECT_NE(json.find("\"perf\""), std::string::npos);
+  EXPECT_NE(json.find("\"roofline\""), std::string::npos);
+  EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  EXPECT_NE(json.find("QCLAB_OBS_DISABLED"), std::string::npos);
 }
 
 #endif  // QCLAB_OBS_DISABLED

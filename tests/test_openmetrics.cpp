@@ -1,0 +1,277 @@
+/// \file test_openmetrics.cpp
+/// \brief Tests of the OpenMetrics exporter (obs/openmetrics.hpp): text
+/// exposition validity, snapshot/delta semantics, and the all-zero but
+/// still-valid output of the QCLAB_OBS_DISABLED build (which compiles
+/// this same file).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "qclab/qclab.hpp"
+
+namespace {
+
+using T = double;
+using qclab::sim::KernelPath;
+
+// ---- minimal OpenMetrics exposition checker ---------------------------
+// Validates the structural rules the exporter promises: every sample
+// belongs to a family announced by a preceding "# TYPE" line, counter
+// samples carry the "_total" suffix, histogram buckets are cumulative and
+// end at "+Inf", and the exposition terminates with "# EOF".
+
+struct OpenMetricsChecker {
+  std::map<std::string, std::string> familyTypes;  // family -> kind
+  std::vector<std::string> errors;
+
+  /// Longest announced family that prefixes `name` with a legal suffix.
+  std::string familyOf(const std::string& name) const {
+    std::string best;
+    for (const auto& [family, kind] : familyTypes) {
+      if (name.compare(0, family.size(), family) != 0) continue;
+      const std::string suffix = name.substr(family.size());
+      const bool legal = suffix.empty() || suffix == "_total" ||
+                         suffix == "_bucket" || suffix == "_sum" ||
+                         suffix == "_count" || suffix == "_info";
+      if (legal && family.size() > best.size()) best = family;
+    }
+    return best;
+  }
+
+  bool check(const std::string& exposition) {
+    std::istringstream in(exposition);
+    std::string line;
+    bool sawEof = false;
+    // path label -> cumulative bucket counts in order of appearance
+    std::map<std::string, std::vector<std::uint64_t>> buckets;
+    std::map<std::string, std::uint64_t> histogramCounts;
+    while (std::getline(in, line)) {
+      if (sawEof) {
+        errors.push_back("content after # EOF: " + line);
+        continue;
+      }
+      if (line.empty()) {
+        errors.push_back("blank line in exposition");
+        continue;
+      }
+      if (line == "# EOF") {
+        sawEof = true;
+        continue;
+      }
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::istringstream meta(line.substr(7));
+        std::string family;
+        std::string kind;
+        meta >> family >> kind;
+        if (familyTypes.count(family)) {
+          errors.push_back("duplicate # TYPE for " + family);
+        }
+        familyTypes[family] = kind;
+        continue;
+      }
+      if (line.rfind("# HELP ", 0) == 0) continue;
+      if (line[0] == '#') {
+        errors.push_back("unknown comment: " + line);
+        continue;
+      }
+      // Sample line: name[{labels}] value
+      const std::size_t brace = line.find('{');
+      const std::size_t space = line.find(' ');
+      std::string name;
+      std::string labels;
+      if (brace != std::string::npos && brace < space) {
+        name = line.substr(0, brace);
+        const std::size_t close = line.find('}', brace);
+        if (close == std::string::npos) {
+          errors.push_back("unterminated label set: " + line);
+          continue;
+        }
+        labels = line.substr(brace + 1, close - brace - 1);
+      } else {
+        if (space == std::string::npos) {
+          errors.push_back("sample without value: " + line);
+          continue;
+        }
+        name = line.substr(0, space);
+      }
+      const std::string family = familyOf(name);
+      if (family.empty()) {
+        errors.push_back("sample without preceding # TYPE: " + name);
+        continue;
+      }
+      const std::string kind = familyTypes[family];
+      const std::string suffix = name.substr(family.size());
+      if (kind == "counter" && suffix != "_total") {
+        errors.push_back("counter sample missing _total: " + name);
+      }
+      if (kind == "info" && suffix != "_info") {
+        errors.push_back("info sample missing _info: " + name);
+      }
+      const double value =
+          std::stod(line.substr(line.rfind(' ') + 1));
+      if (kind == "histogram" && suffix == "_bucket") {
+        // Key cumulative sequences by the full label set minus `le`.
+        const std::size_t le = labels.find(",le=");
+        const std::string key = labels.substr(0, le);
+        buckets[key].push_back(static_cast<std::uint64_t>(value));
+      }
+      if (kind == "histogram" && suffix == "_count") {
+        histogramCounts[labels] = static_cast<std::uint64_t>(value);
+      }
+    }
+    if (!sawEof) errors.push_back("missing terminating # EOF");
+    for (const auto& [key, seq] : buckets) {
+      for (std::size_t i = 1; i < seq.size(); ++i) {
+        if (seq[i] < seq[i - 1]) {
+          errors.push_back("non-cumulative buckets for " + key);
+          break;
+        }
+      }
+      const auto count = histogramCounts.find(key);
+      if (count == histogramCounts.end()) {
+        errors.push_back("histogram without _count: " + key);
+      } else if (!seq.empty() && seq.back() != count->second) {
+        errors.push_back("+Inf bucket != _count for " + key);
+      }
+    }
+    return errors.empty();
+  }
+
+  std::string report() const {
+    std::string out;
+    for (const auto& error : errors) out += error + "\n";
+    return out;
+  }
+};
+
+void runGhz(int n) {
+  qclab::QCircuit<T> circuit(n);
+  circuit.push_back(qclab::qgates::Hadamard<T>(0));
+  for (int q = 1; q < n; ++q) {
+    circuit.push_back(qclab::qgates::CX<T>(q - 1, q));
+  }
+  const qclab::obs::InstrumentedBackend<T> backend;
+  circuit.simulate(std::string(static_cast<std::size_t>(n), '0'), backend);
+}
+
+// ---- exposition validity (all builds) ---------------------------------
+
+TEST(OpenMetrics, ExpositionIsStructurallyValid) {
+  qclab::obs::resetAll();
+  runGhz(4);
+  const std::string exposition = qclab::obs::renderOpenMetrics();
+  OpenMetricsChecker checker;
+  EXPECT_TRUE(checker.check(exposition))
+      << checker.report() << "\n" << exposition;
+  // The build info family renders in every build.
+  EXPECT_NE(exposition.find("qclab_build_info{"), std::string::npos);
+  EXPECT_NE(exposition.find("# EOF\n"), std::string::npos);
+  qclab::obs::resetAll();
+}
+
+TEST(OpenMetrics, LabelEscaping) {
+  EXPECT_EQ(qclab::obs::detail::openMetricsLabel("a\\b\"c\nd"),
+            "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(qclab::obs::detail::openMetricsLabel("plain"), "plain");
+}
+
+#ifndef QCLAB_OBS_DISABLED
+
+// ---- live-registry semantics (enabled builds only) --------------------
+
+TEST(OpenMetrics, CountersReflectRegistries) {
+  qclab::obs::resetAll();
+  runGhz(5);  // 1 H + 4 CX = 5 gate applications
+  const std::string exposition = qclab::obs::renderOpenMetrics();
+  EXPECT_NE(exposition.find("qclab_gate_applications_total 5"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("qclab_circuit_simulations_total 1"),
+            std::string::npos);
+  // Per-kind and per-path families carry the same activity.
+  EXPECT_NE(exposition.find(
+                "qclab_kind_gate_applications_total{kind=\"cX\"} 4"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("qclab_path_gate_applications_total{path="),
+            std::string::npos);
+  // Stage spans from simulate surface as stage families.
+  EXPECT_NE(exposition.find(
+                "qclab_stage_runs_total{stage=\"simulate\"} 1"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("qclab_stage_duration_seconds_total{"),
+            std::string::npos);
+  // Gate timings populate the latency histogram family.
+  EXPECT_NE(exposition.find("qclab_path_latency_seconds_bucket{"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("le=\"+Inf\""), std::string::npos);
+  qclab::obs::resetAll();
+}
+
+TEST(OpenMetrics, SnapshotDeltaSubtractsPriorActivity) {
+  qclab::obs::resetAll();
+  runGhz(4);  // 4 gates of history
+  const qclab::obs::ObsSnapshot before = qclab::obs::captureSnapshot();
+  ASSERT_EQ(before.gateApplications, 4u);
+
+  runGhz(4);  // 4 more
+  const qclab::obs::ObsSnapshot delta = qclab::obs::snapshotDelta(before);
+  EXPECT_EQ(delta.gateApplications, 4u);
+  EXPECT_EQ(delta.circuitSimulations, 1u);
+  ASSERT_TRUE(delta.gateByKind.count("cX"));
+  EXPECT_EQ(delta.gateByKind.at("cX"), 3u);
+  ASSERT_TRUE(delta.stages.count("simulate"));
+  EXPECT_EQ(delta.stages.at("simulate").count, 1u);
+
+  // Histogram buckets subtract to the per-period activity.
+  std::uint64_t histogramCount = 0;
+  for (const auto& histogram : delta.histograms) {
+    histogramCount += histogram.count;
+  }
+  EXPECT_EQ(histogramCount, 4u);
+
+  // A delta against a fresh snapshot is all zero.
+  const qclab::obs::ObsSnapshot now = qclab::obs::captureSnapshot();
+  const qclab::obs::ObsSnapshot zero = qclab::obs::snapshotDelta(now);
+  EXPECT_EQ(zero.gateApplications, 0u);
+  EXPECT_EQ(zero.circuitSimulations, 0u);
+
+  // The delta renders as a valid exposition too.
+  OpenMetricsChecker checker;
+  EXPECT_TRUE(checker.check(qclab::obs::renderOpenMetrics(delta)))
+      << checker.report();
+  qclab::obs::resetAll();
+}
+
+#else  // QCLAB_OBS_DISABLED
+
+// ---- no-op build (disabled builds only) -------------------------------
+
+TEST(OpenMetricsDisabled, RendersValidAllZeroExposition) {
+  runGhz(4);  // must leave no trace
+  const std::string exposition = qclab::obs::renderOpenMetrics();
+  OpenMetricsChecker checker;
+  EXPECT_TRUE(checker.check(exposition))
+      << checker.report() << "\n" << exposition;
+  EXPECT_NE(exposition.find("qclab_gate_applications_total 0"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("obs=\"false\""), std::string::npos);
+  // No per-path, per-kind, stage, or perf families: nothing was recorded.
+  EXPECT_EQ(exposition.find("qclab_path_"), std::string::npos);
+  EXPECT_EQ(exposition.find("qclab_stage_"), std::string::npos);
+
+  // Snapshot/delta stay inert.
+  const qclab::obs::ObsSnapshot snap = qclab::obs::captureSnapshot();
+  EXPECT_EQ(snap.gateApplications, 0u);
+  EXPECT_TRUE(snap.stages.empty());
+  const qclab::obs::ObsSnapshot delta = qclab::obs::snapshotDelta(snap);
+  EXPECT_EQ(delta.gateApplications, 0u);
+}
+
+#endif  // QCLAB_OBS_DISABLED
+
+}  // namespace

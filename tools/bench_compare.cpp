@@ -102,5 +102,42 @@ int main(int argc, char** argv) {
       "(tolerance %.0f%%)\n",
       outcome.rows.size(), outcome.regressions, outcome.improvements,
       outcome.missing, tolerance * 100.0);
+
+  if (outcome.failed()) {
+    // Failure diagnosis: one line per failed timing with the slowdown and
+    // the bench's roofline classification (v3 reports), so the log says
+    // whether to chase bandwidth or arithmetic before anyone reruns
+    // locally.  The current run's classification wins — it reflects the
+    // machine that just regressed — with the baseline's as fallback.
+    auto classifications =
+        qclab::obs::benchjson::benchClassifications(current);
+    for (const auto& [bench, kind] :
+         qclab::obs::benchjson::benchClassifications(baseline)) {
+      classifications.emplace(bench, kind);
+    }
+    std::fprintf(stderr, "bench gate FAILED:\n");
+    for (const auto& row : outcome.rows) {
+      const bool failedRow =
+          row.verdict == qclab::obs::benchjson::Verdict::kRegression ||
+          row.verdict == qclab::obs::benchjson::Verdict::kMissing;
+      if (!failedRow) continue;
+      const std::string bench = row.name.substr(0, row.name.find('/'));
+      const auto hit = classifications.find(bench);
+      const std::string kind =
+          hit != classifications.end() ? hit->second : "unclassified";
+      if (row.verdict == qclab::obs::benchjson::Verdict::kMissing) {
+        std::fprintf(stderr,
+                     "  MISSING    %s: present in baseline (%.1f), absent "
+                     "from current run [%s workload]\n",
+                     row.name.c_str(), row.baseline, kind.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "  REGRESSION %s: %.3fx baseline (%.1f -> %.1f, "
+                     "tolerance %.2fx) [%s workload]\n",
+                     row.name.c_str(), row.ratio, row.baseline, row.current,
+                     1.0 + tolerance, kind.c_str());
+      }
+    }
+  }
   return outcome.failed() ? 1 : 0;
 }
