@@ -186,6 +186,13 @@ class Metrics {
                                      std::memory_order_relaxed);
   }
 
+  /// Records one BatchedSimulation run covering `members` parameter
+  /// instances executed against a shared circuit-shape plan.
+  void countBatchRun(std::uint64_t members) {
+    batchRuns_.fetch_add(1, std::memory_order_relaxed);
+    batchMembersSimulated_.fetch_add(members, std::memory_order_relaxed);
+  }
+
   /// Records one fusion-plan application: `gatesIn` gates were merged into
   /// `blocks` fused blocks, avoiding `sweepsSaved` full-state sweeps.
   void countFusion(std::uint64_t gatesIn, std::uint64_t blocks,
@@ -231,6 +238,8 @@ class Metrics {
     noiseChannels_.store(0, std::memory_order_relaxed);
     trajectoryRuns_.store(0, std::memory_order_relaxed);
     trajectoriesSimulated_.store(0, std::memory_order_relaxed);
+    batchRuns_.store(0, std::memory_order_relaxed);
+    batchMembersSimulated_.store(0, std::memory_order_relaxed);
     fusionGatesIn_.store(0, std::memory_order_relaxed);
     fusionBlocks_.store(0, std::memory_order_relaxed);
     fusionSweepsSaved_.store(0, std::memory_order_relaxed);
@@ -309,6 +318,16 @@ class Metrics {
     return trajectoriesSimulated_.load(std::memory_order_relaxed);
   }
 
+  /// BatchedSimulation runs.
+  std::uint64_t batchRuns() const {
+    return batchRuns_.load(std::memory_order_relaxed);
+  }
+
+  /// Batch members simulated across all batched runs.
+  std::uint64_t batchMembersSimulated() const {
+    return batchMembersSimulated_.load(std::memory_order_relaxed);
+  }
+
   /// Gates consumed by fusion scheduling (per plan application).
   std::uint64_t fusionGatesIn() const {
     return fusionGatesIn_.load(std::memory_order_relaxed);
@@ -338,6 +357,8 @@ class Metrics {
   std::atomic<std::uint64_t> noiseChannels_{0};
   std::atomic<std::uint64_t> trajectoryRuns_{0};
   std::atomic<std::uint64_t> trajectoriesSimulated_{0};
+  std::atomic<std::uint64_t> batchRuns_{0};
+  std::atomic<std::uint64_t> batchMembersSimulated_{0};
   std::atomic<std::uint64_t> fusionGatesIn_{0};
   std::atomic<std::uint64_t> fusionBlocks_{0};
   std::atomic<std::uint64_t> fusionSweepsSaved_{0};
@@ -375,6 +396,7 @@ class Metrics {
   void countCircuitSimulation() {}
   void countNoiseChannel() {}
   void countTrajectoryRun(std::uint64_t) {}
+  void countBatchRun(std::uint64_t) {}
   void countFusion(std::uint64_t, std::uint64_t, std::uint64_t) {}
   void addStateBytes(std::uint64_t) {}
   void releaseStateBytes(std::uint64_t) {}
@@ -394,6 +416,8 @@ class Metrics {
   std::uint64_t noiseChannelApplications() const { return 0; }
   std::uint64_t trajectoryRuns() const { return 0; }
   std::uint64_t trajectoriesSimulated() const { return 0; }
+  std::uint64_t batchRuns() const { return 0; }
+  std::uint64_t batchMembersSimulated() const { return 0; }
   std::uint64_t fusionGatesIn() const { return 0; }
   std::uint64_t fusionBlocks() const { return 0; }
   std::uint64_t fusionSweepsSaved() const { return 0; }

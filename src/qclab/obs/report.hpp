@@ -128,6 +128,10 @@ class Report {
       out << "trajectories: " << m.trajectoriesSimulated() << " over "
           << m.trajectoryRuns() << " runs\n";
     }
+    if (m.batchRuns() != 0) {
+      out << "batch: " << m.batchMembersSimulated() << " members over "
+          << m.batchRuns() << " runs\n";
+    }
     if (m.fusionGatesIn() != 0) {
       out << "fusion: " << m.fusionGatesIn() << " gates -> "
           << m.fusionBlocks() << " blocks (" << m.fusionSweepsSaved()
@@ -266,6 +270,9 @@ class Report {
         << m.noiseChannelApplications() << ",\n";
     out << "    \"trajectory_runs\": " << m.trajectoryRuns() << ",\n";
     out << "    \"trajectories_simulated\": " << m.trajectoriesSimulated()
+        << ",\n";
+    out << "    \"batch_runs\": " << m.batchRuns() << ",\n";
+    out << "    \"batch_members_simulated\": " << m.batchMembersSimulated()
         << ",\n";
     out << "    \"fusion_gates_in\": " << m.fusionGatesIn() << ",\n";
     out << "    \"fusion_blocks_out\": " << m.fusionBlocks() << ",\n";

@@ -8,12 +8,14 @@
 
 #include <cmath>
 #include <complex>
+#include <cstdint>
 #include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <type_traits>
+#include <typeinfo>
 #include <utility>
 #include <vector>
 
@@ -28,6 +30,10 @@
 #include "qclab/simulation.hpp"
 
 namespace qclab {
+
+namespace sim {
+struct BatchOptions;  // sim/batch.hpp — knobs of QCircuit::simulateBatch
+}
 
 /// Simulation-time options of QCircuit::simulate.
 struct SimulateOptions {
@@ -144,8 +150,32 @@ class QCircuit final : public QObject<T> {
     return layers;
   }
 
+  /// Structural fingerprint of the circuit SHAPE: a 64-bit FNV-1a hash
+  /// over everything the simulate path's plan depends on — qubit count,
+  /// object kinds (concrete gate types), qubit layout, control qubits and
+  /// control states, measurement bases, nesting structure and offsets —
+  /// and over no parameter VALUE (rotation angles and phases are
+  /// excluded).  Two circuits with equal shapeHash can share one fusion
+  /// plan + block schedule and differ only by parameter rebinding
+  /// (sim::BatchedSimulation); circuits with the same gate sequence but
+  /// different qubit counts, targets, or control layouts hash apart.
+  std::uint64_t shapeHash() const {
+    std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+    hashShapeValue(h, 0x51c1ab);                // domain tag
+    hashShapeValue(h, static_cast<std::uint64_t>(nbQubits_));
+    hashShape(h, 0);
+    return h;
+  }
+
   /// Object access.
   const QObject<T>& objectAt(std::size_t pos) const {
+    util::require(pos < objects_.size(), "object position out of range");
+    return *objects_[pos];
+  }
+
+  /// Mutable object access — the surface the parameter rebinding layer
+  /// (parameter_binding.hpp) uses to reach gate setTheta in place.
+  QObject<T>& objectAt(std::size_t pos) {
     util::require(pos < objects_.size(), "object position out of range");
     return *objects_[pos];
   }
@@ -303,6 +333,21 @@ class QCircuit final : public QObject<T> {
     return simulation;
   }
 
+  /// Batched parameter sweep (sim/batch.hpp — include it to use these):
+  /// compiles this circuit's shape ONCE (fusion plan + block schedule),
+  /// then executes one member per parameter vector by rebinding the
+  /// plan's gate parameters (ParameterBinding slot order).  Every
+  /// member's amplitudes are bit-identical to binding the same vector on
+  /// a copy and calling simulate with the matching options.  Defined
+  /// out-of-line in qclab/sim/batch.hpp.
+  std::vector<Simulation<T>> simulateBatch(
+      const std::vector<std::vector<T>>& parameterSets,
+      const sim::BatchOptions& options) const;
+
+  /// simulateBatch with default BatchOptions.
+  std::vector<Simulation<T>> simulateBatch(
+      const std::vector<std::vector<T>>& parameterSets) const;
+
   /// Applies this circuit to an existing simulation (used recursively for
   /// sub-circuits; `offset` accumulates parent offsets, this circuit's own
   /// offset is added on top).
@@ -373,6 +418,59 @@ class QCircuit final : public QObject<T> {
   /// (suppresses branches created purely by rounding, e.g. Grover's "wrong"
   /// outcomes at probability ~1e-32).
   static constexpr T kDropTol = T(100) * std::numeric_limits<T>::epsilon();
+
+  // ---- shape hashing (see shapeHash) ------------------------------------
+
+  static void hashShapeValue(std::uint64_t& h, std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (value >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;  // FNV-1a prime
+    }
+  }
+
+  static void hashShapeBytes(std::uint64_t& h, const char* bytes) {
+    for (; *bytes != '\0'; ++bytes) {
+      h ^= static_cast<unsigned char>(*bytes);
+      h *= 1099511628211ull;
+    }
+  }
+
+  /// Hashes this circuit's objects with absolute qubit indices (`offset`
+  /// accumulates parent offsets, mirroring the simulate walk).  Gate
+  /// kinds are keyed by typeid name: stable within a process, and — the
+  /// property the batch engine needs — equal exactly when the concrete
+  /// gate class is the same regardless of its parameter values.
+  void hashShape(std::uint64_t& h, int offset) const {
+    const int total = offset + offset_;
+    hashShapeValue(h, static_cast<std::uint64_t>(objects_.size()));
+    for (const auto& object : objects_) {
+      hashShapeValue(h, static_cast<std::uint64_t>(object->objectType()));
+      if (object->objectType() == ObjectType::kCircuit) {
+        const auto& sub = static_cast<const QCircuit<T>&>(*object);
+        hashShapeValue(h, static_cast<std::uint64_t>(sub.nbQubits_));
+        sub.hashShape(h, total);
+        continue;
+      }
+      hashShapeBytes(h, typeid(*object).name());
+      for (const int qubit : object->qubits()) {
+        hashShapeValue(h, static_cast<std::uint64_t>(qubit + total));
+      }
+      if (object->objectType() == ObjectType::kGate) {
+        const auto& gate = static_cast<const qgates::QGate<T>&>(*object);
+        const auto controls = gate.controls();
+        const auto states = gate.controlStates();
+        hashShapeValue(h, static_cast<std::uint64_t>(controls.size()));
+        for (std::size_t i = 0; i < controls.size(); ++i) {
+          hashShapeValue(h, static_cast<std::uint64_t>(controls[i] + total));
+          hashShapeValue(h, static_cast<std::uint64_t>(states[i]));
+        }
+      } else if (object->objectType() == ObjectType::kMeasurement) {
+        hashShapeValue(h, static_cast<std::uint64_t>(
+                              static_cast<const Measurement<T>&>(*object)
+                                  .basis()));
+      }
+    }
+  }
 
   void collectGateCounts(std::map<std::string, std::size_t>& counts) const {
     for (const auto& object : objects_) {

@@ -21,7 +21,9 @@
 #include "qclab/noise/noise.hpp"
 #include "qclab/obs/obs.hpp"
 #include "qclab/observable.hpp"
+#include "qclab/parameter_binding.hpp"
 #include "qclab/qcircuit.hpp"
+#include "qclab/sim/batch.hpp"
 #include "qclab/qgates/qgates.hpp"
 #include "qclab/reset.hpp"
 #include "qclab/simulation.hpp"

@@ -214,6 +214,8 @@ class CRotationX final : public QControlledGate2<T> {
         gate_(target, theta) {}
   const QGate1<T>& gate1() const override { return gate_; }
   T theta() const noexcept { return gate_.theta(); }
+  /// Updates the rotation angle in place (parameter rebinding surface).
+  void setTheta(T theta) noexcept { gate_.setTheta(theta); }
   std::string qasmName() const override {
     return "crx(" + io::formatAngle(static_cast<double>(theta())) + ")";
   }
@@ -238,6 +240,8 @@ class CRotationY final : public QControlledGate2<T> {
         gate_(target, theta) {}
   const QGate1<T>& gate1() const override { return gate_; }
   T theta() const noexcept { return gate_.theta(); }
+  /// Updates the rotation angle in place (parameter rebinding surface).
+  void setTheta(T theta) noexcept { gate_.setTheta(theta); }
   std::string qasmName() const override {
     return "cry(" + io::formatAngle(static_cast<double>(theta())) + ")";
   }
@@ -262,6 +266,8 @@ class CRotationZ final : public QControlledGate2<T> {
         gate_(target, theta) {}
   const QGate1<T>& gate1() const override { return gate_; }
   T theta() const noexcept { return gate_.theta(); }
+  /// Updates the rotation angle in place (parameter rebinding surface).
+  void setTheta(T theta) noexcept { gate_.setTheta(theta); }
   std::string qasmName() const override {
     return "crz(" + io::formatAngle(static_cast<double>(theta())) + ")";
   }

@@ -21,8 +21,9 @@
 /// per-chunk kernels below are the same dispatched span kernels.
 ///
 /// The scheduler here is generic over any block type exposing `.qubits`
-/// (ascending), `.matrix`, and `.diagonal`, so fusion.hpp can build a
-/// BlockSchedule into its FusionPlan without a dependency cycle.
+/// (ascending), `.diagonal`, and the matching payload (`.matrix` for
+/// dense blocks, the `.diag` table for diagonal ones), so fusion.hpp can
+/// build a BlockSchedule into its FusionPlan without a dependency cycle.
 
 #include <algorithm>
 #include <complex>
@@ -166,10 +167,7 @@ CompiledBlock<T> compileBlock(const Block& block, int nbQubits) {
   }
 
   if (block.diagonal) {
-    compiled.diagonal.resize(std::size_t{1} << k);
-    for (std::size_t i = 0; i < compiled.diagonal.size(); ++i) {
-      compiled.diagonal[i] = block.matrix(i, i);
-    }
+    compiled.diagonal = block.diag;
     compiled.kernel =
         k == 1 ? ChunkKernel::kDiagonal1 : ChunkKernel::kDiagonalK;
     compiled.positions = std::move(msbFirst);
@@ -237,8 +235,8 @@ void applyCompiledChunk(std::complex<T>* chunk, std::int64_t chunkDim,
                          block.positions[1], block.u4, level);
         break;
       case ChunkKernel::kDiagonalK:
-        simd::applyDiagonalKSpan(chunk, chunkDim, block.positions,
-                                 block.diagonal);
+        simd::applyDiagonalRunsSpan(chunk, chunkDim, block.positions,
+                                    block.diagonal, level);
         break;
       case ChunkKernel::kDenseK:
         simd::applyKSpan(chunk, chunkDim, block.positions, block.offsets,

@@ -29,10 +29,12 @@ enum class KernelPath : int {
   kSimdDenseK,           ///< SIMD tier: vectorized two-qubit dense apply
   kBlocked,              ///< cache-blocked executor: one streamed sweep
                          ///< applying a whole low-qubit gate run per chunk
+  kBatch,                ///< batched engine: one parameter-rebound member
+                         ///< executed against a shared circuit-shape plan
 };
 
 /// Number of enumerators in KernelPath (for counter arrays).
-inline constexpr int kKernelPathCount = 15;
+inline constexpr int kKernelPathCount = 16;
 
 /// Stable short name of a kernel path (used in reports and traces).
 inline const char* kernelPathName(KernelPath path) noexcept {
@@ -52,6 +54,7 @@ inline const char* kernelPathName(KernelPath path) noexcept {
     case KernelPath::kSimdDiagonal1:       return "simd-diagonal1";
     case KernelPath::kSimdDenseK:          return "simd-dense-k";
     case KernelPath::kBlocked:             return "blocked";
+    case KernelPath::kBatch:               return "batch";
   }
   return "unknown";
 }

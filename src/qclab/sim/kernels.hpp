@@ -28,6 +28,10 @@
 #include "qclab/util/bits.hpp"
 #include "qclab/util/errors.hpp"
 
+#ifdef QCLAB_HAS_OPENMP
+#include <omp.h>
+#endif
+
 namespace qclab::sim {
 
 /// Threshold below which kernels stay single-threaded: parallelising tiny
@@ -104,11 +108,25 @@ void apply1(std::vector<std::complex<T>>& state, int nbQubits, int qubit,
 
   const std::int64_t dim = std::int64_t{1} << nbQubits;
   const std::int64_t stride = std::int64_t{1} << pos;
+  std::complex<T>* const data = state.data();
+  if (stride < simd::kVectorLanes<T>) {
+    // Short runs: a dispatch call per pair would dominate; hand aligned
+    // power-of-two chunks (many groups each) to the hoisted span walker.
+    const std::int64_t chunk =
+        std::min(dim, std::max(2 * stride, kRunTile));
+    const std::int64_t chunks = dim / chunk;
+#ifdef QCLAB_HAS_OPENMP
+#pragma omp parallel for schedule(static) if (dim >= 2 * kOmpThreshold)
+#endif
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      simd::apply1Span(data + c * chunk, chunk, pos, coeffs, level);
+    }
+    return;
+  }
   // Each task updates one `tile`-length slice of a (|0>, |1>) run pair.
   const std::int64_t tile = std::min(stride, kRunTile);
   const std::int64_t tilesPerRun = stride / tile;
   const std::int64_t tasks = (dim / (2 * stride)) * tilesPerRun;
-  std::complex<T>* const data = state.data();
 #ifdef QCLAB_HAS_OPENMP
 #pragma omp parallel for schedule(static) if (dim >= 2 * kOmpThreshold)
 #endif
@@ -170,13 +188,27 @@ void apply2(std::vector<std::complex<T>>& state, int nbQubits, int qubit0,
   const std::int64_t dim = std::int64_t{1} << nbQubits;
   const std::int64_t sHi = std::int64_t{1} << posHi;
   const std::int64_t sLo = std::int64_t{1} << posLo;
+  std::complex<T>* const data = state.data();
+  if (sLo < simd::kVectorLanes<T>) {
+    // Short runs: a dispatch call + matrix re-hoist per quad would
+    // dominate; hand aligned power-of-two chunks to the span walker.
+    const std::int64_t chunk = std::min(dim, std::max(2 * sHi, kRunTile));
+    const std::int64_t chunks = dim / chunk;
+#ifdef QCLAB_HAS_OPENMP
+#pragma omp parallel for schedule(static) if (dim >= 4 * kOmpThreshold)
+#endif
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      simd::apply2SpanShortRuns(data + c * chunk, chunk, posHi, posLo,
+                                coeffs);
+    }
+    return;
+  }
   // Flattened (outer group, inner group, run tile) task index; each task
   // updates one `tile`-length slice of a quad of partner runs.
   const std::int64_t tile = std::min(sLo, kRunTile);
   const std::int64_t tilesPerRun = sLo / tile;
   const std::int64_t innerGroups = sHi / (2 * sLo);
   const std::int64_t tasks = (dim / (2 * sHi)) * innerGroups * tilesPerRun;
-  std::complex<T>* const data = state.data();
 #ifdef QCLAB_HAS_OPENMP
 #pragma omp parallel for schedule(static) if (dim >= 4 * kOmpThreshold)
 #endif
@@ -392,6 +424,46 @@ void applyDiagonalK(std::vector<std::complex<T>>& state, int nbQubits,
     const T xr = psi[i].real(), xi = psi[i].imag();
     psi[i] = std::complex<T>(d.real() * xr - d.imag() * xi,
                              d.real() * xi + d.imag() * xr);
+  }
+}
+
+/// Applies a diagonal k-qubit gate given by its 2^k diagonal entries on
+/// the (ascending, MSB-first) `qubits` list, in place, through the
+/// run-structured sweep of simd::applyDiagonalRunsSpan — the fused-path
+/// diagonal kernel (wide diagonal blocks from sim/fusion.hpp land here).
+/// The state splits into independent 2^{maxPos+1}-amplitude groups, which
+/// is also the OpenMP work division.
+template <typename T>
+void applyDiagonalBlock(std::vector<std::complex<T>>& state, int nbQubits,
+                        const std::vector<int>& qubits,
+                        const std::vector<std::complex<T>>& diagonal) {
+  const int k = static_cast<int>(qubits.size());
+  util::require(k >= 1 && k <= nbQubits, "gate qubit count out of range");
+  util::require(diagonal.size() == (std::size_t{1} << k),
+                "diagonal length mismatch");
+  std::vector<int> positions(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    util::checkQubit(qubits[static_cast<std::size_t>(i)], nbQubits);
+    if (i > 0) {
+      util::require(qubits[static_cast<std::size_t>(i)] >
+                        qubits[static_cast<std::size_t>(i - 1)],
+                    "applyDiagonalBlock qubits must be strictly ascending");
+    }
+    positions[static_cast<std::size_t>(i)] =
+        util::bitPosition(qubits[static_cast<std::size_t>(i)], nbQubits);
+  }
+  const SimdLevel level = activeSimdLevel();
+  const std::int64_t dim = std::int64_t{1} << nbQubits;
+  const std::int64_t groupDim = std::int64_t{1} << (positions.front() + 1);
+  const std::int64_t groups = dim / groupDim;
+  std::complex<T>* const data = state.data();
+#ifdef QCLAB_HAS_OPENMP
+#pragma omp parallel for schedule(static) \
+    if (dim >= kOmpThreshold && groups > 1 && !omp_in_parallel())
+#endif
+  for (std::int64_t g = 0; g < groups; ++g) {
+    simd::applyDiagonalRunsSpan(data + g * groupDim, groupDim, positions,
+                                diagonal, level);
   }
 }
 

@@ -287,10 +287,34 @@ inline void apply2Runs(std::complex<T>* const a[4], std::int64_t count,
 
 /// 2x2 dense gate at bit position `pos` over `dim` amplitudes.  `dim`
 /// must be a multiple of 2^{pos+1} and `state` 2^{pos+1}-group aligned.
+/// Short runs (stride below a vector width) take a hoisted-matrix index
+/// walk instead of a per-pair run call — same scalar accumulation order
+/// the run dispatch would have picked at that count, so the path split
+/// never changes results.
 template <typename T>
 void apply1Span(std::complex<T>* state, std::int64_t dim, int pos,
                 const std::complex<T> u[4], SimdLevel level) {
   const std::int64_t stride = std::int64_t{1} << pos;
+  if (stride < kVectorLanes<T>) {
+    const T u00r = u[0].real(), u00i = u[0].imag();
+    const T u01r = u[1].real(), u01i = u[1].imag();
+    const T u10r = u[2].real(), u10i = u[2].imag();
+    const T u11r = u[3].real(), u11i = u[3].imag();
+    std::complex<T>* __restrict__ psi = state;
+    for (std::int64_t base = 0; base < dim; base += 2 * stride) {
+      for (std::int64_t j = base; j < base + stride; ++j) {
+        const T x0r = psi[j].real(), x0i = psi[j].imag();
+        const T x1r = psi[j + stride].real(), x1i = psi[j + stride].imag();
+        psi[j] =
+            std::complex<T>(u00r * x0r - u00i * x0i + u01r * x1r - u01i * x1i,
+                            u00r * x0i + u00i * x0r + u01r * x1i + u01i * x1r);
+        psi[j + stride] =
+            std::complex<T>(u10r * x0r - u10i * x0i + u11r * x1r - u11i * x1i,
+                            u10r * x0i + u10i * x0r + u11r * x1i + u11i * x1r);
+      }
+    }
+    return;
+  }
   for (std::int64_t base = 0; base < dim; base += 2 * stride) {
     apply1Runs(state + base, state + base + stride, stride, u, level);
   }
@@ -310,14 +334,68 @@ void applyDiagonal1Span(std::complex<T>* state, std::int64_t dim, int pos,
   }
 }
 
+/// apply2Span for short runs (sLo below a vector width): the run path
+/// re-hoists the 4x4 matrix into split locals and builds a pointer quad
+/// per FOUR amplitudes, which dominates at these strides (a contiguous
+/// qubit pair at the bottom of the register was ~6x slower than a strided
+/// one).  This variant hoists the matrix once and walks the groups with
+/// index arithmetic, using the same per-amplitude accumulation order as
+/// apply2RunsScalar.
+template <typename T>
+void apply2SpanShortRuns(std::complex<T>* state, std::int64_t dim, int posHi,
+                         int posLo, const std::complex<T> u[16]) {
+  T ur[16], ui[16];
+  for (int e = 0; e < 16; ++e) {
+    ur[e] = u[e].real();
+    ui[e] = u[e].imag();
+  }
+  const std::int64_t sHi = std::int64_t{1} << posHi;
+  const std::int64_t sLo = std::int64_t{1} << posLo;
+  std::complex<T>* __restrict__ psi = state;
+  for (std::int64_t b2 = 0; b2 < dim; b2 += 2 * sHi) {
+    for (std::int64_t b1 = b2; b1 < b2 + sHi; b1 += 2 * sLo) {
+      for (std::int64_t j = 0; j < sLo; ++j) {
+        const std::int64_t i0 = b1 + j;
+        const std::int64_t i1 = i0 + sLo;
+        const std::int64_t i2 = i0 + sHi;
+        const std::int64_t i3 = i2 + sLo;
+        const T inr[4] = {psi[i0].real(), psi[i1].real(), psi[i2].real(),
+                          psi[i3].real()};
+        const T ini[4] = {psi[i0].imag(), psi[i1].imag(), psi[i2].imag(),
+                          psi[i3].imag()};
+        T outr[4], outi[4];
+        for (int r = 0; r < 4; ++r) {
+          T re = 0, im = 0;
+          for (int c = 0; c < 4; ++c) {
+            re += ur[4 * r + c] * inr[c] - ui[4 * r + c] * ini[c];
+            im += ur[4 * r + c] * ini[c] + ui[4 * r + c] * inr[c];
+          }
+          outr[r] = re;
+          outi[r] = im;
+        }
+        psi[i0] = std::complex<T>(outr[0], outi[0]);
+        psi[i1] = std::complex<T>(outr[1], outi[1]);
+        psi[i2] = std::complex<T>(outr[2], outi[2]);
+        psi[i3] = std::complex<T>(outr[3], outi[3]);
+      }
+    }
+  }
+}
+
 /// 4x4 dense gate at bit positions posHi > posLo over `dim` amplitudes
 /// (`dim` a multiple of 2^{posHi+1}, group-aligned).  `u` is MSB-first
-/// over (bit at posHi, bit at posLo).
+/// over (bit at posHi, bit at posLo).  The path choice depends only on
+/// the positions, never on `dim`, so chunked and full sweeps stay
+/// bit-identical.
 template <typename T>
 void apply2Span(std::complex<T>* state, std::int64_t dim, int posHi,
                 int posLo, const std::complex<T> u[16], SimdLevel level) {
   const std::int64_t sHi = std::int64_t{1} << posHi;
   const std::int64_t sLo = std::int64_t{1} << posLo;
+  if (sLo < kVectorLanes<T>) {
+    apply2SpanShortRuns(state, dim, posHi, posLo, u);
+    return;
+  }
   for (std::int64_t b2 = 0; b2 < dim; b2 += 2 * sHi) {
     for (std::int64_t b1 = b2; b1 < b2 + sHi; b1 += 2 * sLo) {
       std::complex<T>* const quad[4] = {state + b1, state + b1 + sLo,
@@ -386,6 +464,89 @@ void applyDiagonalKSpan(std::complex<T>* __restrict__ state, std::int64_t dim,
     const T xr = state[i].real(), xi = state[i].imag();
     state[i] = std::complex<T>(d.real() * xr - d.imag() * xi,
                                d.real() * xi + d.imag() * xr);
+  }
+}
+
+/// Run-structured diagonal k-qubit gate over `dim` amplitudes: the row
+/// index is constant over every unit-stride run of 2^minPos amplitudes
+/// (minPos = the lowest gate bit position), so instead of the per-amplitude
+/// bit-gather of applyDiagonalKSpan the table row is computed once per run
+/// and the run is scaled through the dispatched scaleRun kernel.  Row
+/// indices walk by XOR deltas: bit-gathering distributes over XOR and a
+/// sequential counter flips exactly its ctz+1 low bits per increment, so
+/// after precomputing the gather of each of the m+1 possible flip patterns
+/// the per-step gather collapses to one ctz plus one XOR.  Three paths:
+///  - gate bits contiguous at position 0 (the full-window / suffix case):
+///    row = i mod 2^k, a sequential cyclic table walk,
+///  - runs of >= 4 amplitudes: delta-walked row + scaleRun per run,
+///  - short runs: per-amplitude delta-walked row.
+/// The path choice depends only on `positions`, never on `dim`, so chunked
+/// (blocked) and full-state sweeps stay bit-identical.
+template <typename T>
+void applyDiagonalRunsSpan(std::complex<T>* state, std::int64_t dim,
+                           const std::vector<int>& positions,
+                           const std::vector<std::complex<T>>& diagonal,
+                           SimdLevel level) {
+  const int k = static_cast<int>(positions.size());
+  // `positions` is MSB-first over ascending qubits => strictly descending,
+  // so front() is the highest bit and back() the lowest.
+  if (positions.front() == k - 1) {
+    // Contiguous suffix [0, k): row = i mod 2^k, cyclic table walk.
+    const util::index_t mask = (util::index_t{1} << k) - 1;
+    std::complex<T>* __restrict__ psi = state;
+    const std::complex<T>* __restrict__ diag = diagonal.data();
+    for (std::int64_t i = 0; i < dim; ++i) {
+      const std::complex<T> d = diag[static_cast<util::index_t>(i) & mask];
+      const T xr = psi[i].real(), xi = psi[i].imag();
+      psi[i] = std::complex<T>(d.real() * xr - d.imag() * xi,
+                               d.real() * xi + d.imag() * xr);
+    }
+    return;
+  }
+  const int minPos = positions.back();
+  const std::int64_t runLen = std::int64_t{1} << minPos;
+  // deltas[j]: gather of the flip pattern with j low counter bits set —
+  // counter bit c lives at span position shift + c, and row bit (k-1-i)
+  // collects span position positions[i].
+  const int shift = runLen >= 4 ? minPos : 0;
+  const int counterBits = [&] {
+    int m = 0;
+    while ((std::int64_t{1} << (m + shift)) < dim) ++m;
+    return m;
+  }();
+  util::index_t deltas[64];
+  for (int j = 0; j <= counterBits; ++j) {
+    util::index_t g = 0;
+    for (int i = 0; i < k; ++i) {
+      const int c = positions[static_cast<std::size_t>(i)] - shift;
+      if (c >= 0 && c < j) g |= util::index_t{1} << (k - 1 - i);
+    }
+    deltas[j] = g;
+  }
+  if (runLen >= 4) {
+    const std::int64_t runs = dim >> minPos;
+    util::index_t row = 0;
+    for (std::int64_t t = 0;;) {
+      scaleRun(state + (t << minPos), runLen, diagonal[row], level);
+      if (++t == runs) break;
+      row ^= deltas[util::countTrailingZeros(
+                        static_cast<util::index_t>(t)) + 1];
+    }
+    return;
+  }
+  // Short runs: per-amplitude delta walk (same multiply as the naive
+  // gather, only the row indexing is cheaper).
+  std::complex<T>* __restrict__ psi = state;
+  const std::complex<T>* __restrict__ diag = diagonal.data();
+  util::index_t row = 0;
+  for (std::int64_t i = 0;;) {
+    const std::complex<T> d = diag[row];
+    const T xr = psi[i].real(), xi = psi[i].imag();
+    psi[i] = std::complex<T>(d.real() * xr - d.imag() * xi,
+                             d.real() * xi + d.imag() * xr);
+    if (++i == dim) break;
+    row ^= deltas[util::countTrailingZeros(
+                      static_cast<util::index_t>(i)) + 1];
   }
 }
 

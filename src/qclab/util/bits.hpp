@@ -8,6 +8,7 @@
 /// |b0 b1 ... b_{n-1}> lives at index  b0*2^{n-1} + b1*2^{n-2} + ... + b_{n-1}.
 /// This is the ordering produced by kron(q0_state, kron(q1_state, ...)).
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -85,6 +86,11 @@ constexpr index_t removeBit(index_t i, int pos) noexcept {
   const index_t low = i & ((index_t{1} << pos) - 1);
   const index_t high = (i >> (pos + 1)) << pos;
   return high | low;
+}
+
+/// Number of trailing zero bits of a nonzero index.
+constexpr int countTrailingZeros(index_t value) noexcept {
+  return std::countr_zero(value);
 }
 
 /// True if `value` is a power of two (and nonzero).

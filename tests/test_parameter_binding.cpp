@@ -1,0 +1,117 @@
+/// \file test_parameter_binding.cpp
+/// \brief Tests of the ParameterBinding layer: slot discovery across the
+/// parametrized gate catalog (including nested sub-circuits), bind/read
+/// round-trips through the gates' setTheta surfaces, slot membership
+/// queries, and argument validation.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qclab/parameter_binding.hpp"
+#include "test_helpers.hpp"
+
+namespace qclab {
+namespace {
+
+using namespace qclab::qgates;
+
+/// Angles round-trip through the gates' (cos θ/2, sin θ/2) storage, so
+/// read-back is exact only up to the atan2 reconstruction.
+template <typename T>
+void expectAnglesNear(const std::vector<T>& actual,
+                      const std::vector<T>& expected) {
+  ASSERT_EQ(actual.size(), expected.size());
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], test::tol<T>()) << "slot " << i;
+  }
+}
+
+TEST(ParameterBinding, CollectsEveryParametrizedFamilyInOrder) {
+  QCircuit<double> circuit(3);
+  circuit.push_back(Hadamard<double>(0));          // no slot
+  circuit.push_back(RotationX<double>(0, 0.1));    // slot 0
+  circuit.push_back(RotationY<double>(1, 0.2));    // slot 1
+  circuit.push_back(RotationZ<double>(2, 0.3));    // slot 2
+  circuit.push_back(Phase<double>(0, 0.4));        // slot 3
+  circuit.push_back(CX<double>(0, 1));             // no slot
+  circuit.push_back(CPhase<double>(0, 1, 0.5));    // slot 4
+  circuit.push_back(CRotationX<double>(0, 1, 0.6));  // slot 5
+  circuit.push_back(CRotationY<double>(1, 2, 0.7));  // slot 6
+  circuit.push_back(CRotationZ<double>(0, 2, 0.8));  // slot 7
+  circuit.push_back(RotationXX<double>(0, 1, 0.9));  // slot 8
+  circuit.push_back(RotationYY<double>(1, 2, 1.0));  // slot 9
+  circuit.push_back(RotationZZ<double>(0, 2, 1.1));  // slot 10
+
+  ParameterBinding<double> binding(circuit);
+  ASSERT_EQ(binding.nbParameters(), 11u);
+  const std::vector<double> expected = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6,
+                                        0.7, 0.8, 0.9, 1.0, 1.1};
+  expectAnglesNear(binding.parameters(), expected);
+}
+
+TEST(ParameterBinding, DescendsIntoSubCircuits) {
+  QCircuit<double> inner(2);
+  inner.push_back(RotationZ<double>(0, 0.25));
+  inner.push_back(RotationZ<double>(1, 0.50));
+
+  QCircuit<double> circuit(3);
+  circuit.push_back(RotationX<double>(0, 0.1));
+  circuit.push_back(std::make_unique<QCircuit<double>>(inner));
+  circuit.push_back(RotationY<double>(2, 0.9));
+
+  ParameterBinding<double> binding(circuit);
+  ASSERT_EQ(binding.nbParameters(), 4u);
+  expectAnglesNear(binding.parameters(), {0.1, 0.25, 0.50, 0.9});
+}
+
+TEST(ParameterBinding, BindWritesThroughSetTheta) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(RotationX<double>(0, 0.0));
+  circuit.push_back(CPhase<double>(0, 1, 0.0));
+  circuit.push_back(RotationZZ<double>(0, 1, 0.0));
+
+  ParameterBinding<double> binding(circuit);
+  const std::vector<double> values = {1.5, -0.75, 2.25};
+  binding.bind(values);
+  expectAnglesNear(binding.parameters(), values);
+
+  // The values landed on the gates themselves, not a side table.
+  const auto& rx =
+      static_cast<const RotationX<double>&>(circuit.objectAt(0));
+  EXPECT_NEAR(rx.theta(), 1.5, test::tol<double>());
+}
+
+TEST(ParameterBinding, BindRejectsWrongLength) {
+  QCircuit<double> circuit(1);
+  circuit.push_back(RotationX<double>(0, 0.0));
+  ParameterBinding<double> binding(circuit);
+  EXPECT_THROW(binding.bind({}), InvalidArgumentError);
+  EXPECT_THROW(binding.bind({0.1, 0.2}), InvalidArgumentError);
+}
+
+TEST(ParameterBinding, IsBoundDistinguishesSlotGates) {
+  QCircuit<double> circuit(2);
+  circuit.push_back(Hadamard<double>(0));
+  circuit.push_back(RotationZ<double>(1, 0.3));
+  circuit.push_back(CX<double>(0, 1));
+
+  ParameterBinding<double> binding(circuit);
+  EXPECT_FALSE(binding.isBound(&circuit.objectAt(0)));
+  EXPECT_TRUE(binding.isBound(&circuit.objectAt(1)));
+  EXPECT_FALSE(binding.isBound(&circuit.objectAt(2)));
+}
+
+TEST(ParameterBinding, BindingSurvivesAngleRebindsFloat) {
+  QCircuit<float> circuit(2);
+  circuit.push_back(RotationY<float>(0, 0.5f));
+  circuit.push_back(RotationY<float>(1, 0.5f));
+
+  ParameterBinding<float> binding(circuit);
+  binding.bind({1.0f, 2.0f});
+  binding.bind({3.0f, 4.0f});
+  expectAnglesNear(binding.parameters(), {3.0f, 4.0f});
+}
+
+}  // namespace
+}  // namespace qclab

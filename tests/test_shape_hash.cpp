@@ -1,0 +1,132 @@
+/// \file test_shape_hash.cpp
+/// \brief Adversarial tests of QCircuit::shapeHash: circuits that differ
+/// only in qubit count, gate targets, control layout, control state, or
+/// gate kind must hash apart, while parameter (angle) changes must not
+/// change the hash — two circuits share a fusion plan iff their shapes
+/// match.
+
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+
+namespace qclab {
+namespace {
+
+using namespace qclab::qgates;
+
+TEST(ShapeHash, EqualForIdenticalCircuits) {
+  QCircuit<double> a(3), b(3);
+  for (auto* c : {&a, &b}) {
+    c->push_back(Hadamard<double>(0));
+    c->push_back(CX<double>(0, 1));
+    c->push_back(RotationZ<double>(2, 0.4));
+  }
+  EXPECT_EQ(a.shapeHash(), b.shapeHash());
+}
+
+TEST(ShapeHash, InvariantUnderParameterChanges) {
+  QCircuit<double> a(2), b(2);
+  a.push_back(RotationX<double>(0, 0.1));
+  a.push_back(CPhase<double>(0, 1, -2.0));
+  b.push_back(RotationX<double>(0, 2.9));
+  b.push_back(CPhase<double>(0, 1, 0.0));
+  EXPECT_EQ(a.shapeHash(), b.shapeHash());
+
+  // Rebinding in place does not move the hash either.
+  const auto before = a.shapeHash();
+  static_cast<RotationX<double>&>(a.objectAt(0)).setTheta(1.7);
+  EXPECT_EQ(a.shapeHash(), before);
+}
+
+TEST(ShapeHash, SameGateSequenceDifferentQubitCounts) {
+  // Identical object lists on registers of different width: the wider
+  // register changes kernel strides, so the plans are NOT interchangeable.
+  QCircuit<double> a(2), b(3);
+  for (auto* c : {&a, &b}) {
+    c->push_back(Hadamard<double>(0));
+    c->push_back(CX<double>(0, 1));
+  }
+  EXPECT_NE(a.shapeHash(), b.shapeHash());
+}
+
+TEST(ShapeHash, ControlAndTargetSwapDiffer) {
+  QCircuit<double> a(2), b(2);
+  a.push_back(CX<double>(0, 1));
+  b.push_back(CX<double>(1, 0));
+  EXPECT_NE(a.shapeHash(), b.shapeHash());
+}
+
+TEST(ShapeHash, ControlStateDiffers) {
+  QCircuit<double> a(2), b(2);
+  a.push_back(CX<double>(0, 1, 1));
+  b.push_back(CX<double>(0, 1, 0));
+  EXPECT_NE(a.shapeHash(), b.shapeHash());
+}
+
+TEST(ShapeHash, GateKindDiffers) {
+  // Same targets, same parameter, different rotation axis.
+  QCircuit<double> a(1), b(1);
+  a.push_back(RotationX<double>(0, 0.3));
+  b.push_back(RotationY<double>(0, 0.3));
+  EXPECT_NE(a.shapeHash(), b.shapeHash());
+}
+
+TEST(ShapeHash, GateOrderDiffers) {
+  QCircuit<double> a(2), b(2);
+  a.push_back(Hadamard<double>(0));
+  a.push_back(PauliX<double>(1));
+  b.push_back(PauliX<double>(1));
+  b.push_back(Hadamard<double>(0));
+  EXPECT_NE(a.shapeHash(), b.shapeHash());
+}
+
+TEST(ShapeHash, SubCircuitOffsetDiffers) {
+  // The same sub-circuit anchored at different offsets addresses
+  // different qubits.
+  QCircuit<double> inner(1);
+  inner.push_back(Hadamard<double>(0));
+
+  QCircuit<double> a(3), b(3);
+  QCircuit<double> atOffset0(1, 0), atOffset2(1, 2);
+  atOffset0.push_back(Hadamard<double>(0));
+  atOffset2.push_back(Hadamard<double>(0));
+  a.push_back(atOffset0);
+  b.push_back(atOffset2);
+  EXPECT_NE(a.shapeHash(), b.shapeHash());
+}
+
+TEST(ShapeHash, FlatVersusNestedDiffer) {
+  // H on qubit 0 directly vs. wrapped in a sub-circuit: the simulate
+  // path produces the same state, but the structures are distinct and
+  // hashing them apart is the conservative (safe) choice.
+  QCircuit<double> flat(1);
+  flat.push_back(Hadamard<double>(0));
+
+  QCircuit<double> inner(1);
+  inner.push_back(Hadamard<double>(0));
+  QCircuit<double> nested(1);
+  nested.push_back(inner);
+
+  EXPECT_NE(flat.shapeHash(), nested.shapeHash());
+}
+
+TEST(ShapeHash, MatchesShapeGatesBatchMembership) {
+  QCircuit<double> prototype(2);
+  prototype.push_back(Hadamard<double>(0));
+  prototype.push_back(RotationZZ<double>(0, 1, 0.2));
+
+  QCircuit<double> member(2);
+  member.push_back(Hadamard<double>(0));
+  member.push_back(RotationZZ<double>(0, 1, -1.9));
+
+  QCircuit<double> intruder(2);
+  intruder.push_back(Hadamard<double>(1));
+  intruder.push_back(RotationZZ<double>(0, 1, 0.2));
+
+  sim::BatchedSimulation<double> engine(prototype);
+  EXPECT_TRUE(engine.matchesShape(member));
+  EXPECT_FALSE(engine.matchesShape(intruder));
+}
+
+}  // namespace
+}  // namespace qclab
