@@ -11,7 +11,9 @@
 int main(int argc, char** argv) {
   const std::string obsJsonPath =
       qclab::benchutil::extractObsJsonPath(argc, argv);
-  qclab::benchutil::initObsRun(obsJsonPath);
+  const std::string obsProfPath =
+      qclab::benchutil::extractObsProfPath(argc, argv);
+  qclab::benchutil::initObsRun(obsJsonPath, obsProfPath);
   const qclab::benchutil::WallTimer wallTimer;
 
   using T = double;
@@ -47,5 +49,5 @@ int main(int argc, char** argv) {
                 "0.5 0.5", probabilities.c_str(), backend->name());
   }
   return qclab::benchutil::writeReproReport(obsJsonPath, "repro_e1_bell",
-                                            wallTimer);
+                                            wallTimer, obsProfPath);
 }

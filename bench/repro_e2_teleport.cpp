@@ -12,7 +12,9 @@
 int main(int argc, char** argv) {
   const std::string obsJsonPath =
       qclab::benchutil::extractObsJsonPath(argc, argv);
-  qclab::benchutil::initObsRun(obsJsonPath);
+  const std::string obsProfPath =
+      qclab::benchutil::extractObsProfPath(argc, argv);
+  qclab::benchutil::initObsRun(obsJsonPath, obsProfPath);
   const qclab::benchutil::WallTimer wallTimer;
 
   using T = double;
@@ -36,5 +38,5 @@ int main(int argc, char** argv) {
                 reduced[0].imag(), reduced[1].real(), reduced[1].imag());
   }
   return qclab::benchutil::writeReproReport(obsJsonPath, "repro_e2_teleport",
-                                            wallTimer);
+                                            wallTimer, obsProfPath);
 }

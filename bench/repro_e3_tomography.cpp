@@ -17,7 +17,9 @@
 int main(int argc, char** argv) {
   const std::string obsJsonPath =
       qclab::benchutil::extractObsJsonPath(argc, argv);
-  qclab::benchutil::initObsRun(obsJsonPath);
+  const std::string obsProfPath =
+      qclab::benchutil::extractObsProfPath(argc, argv);
+  qclab::benchutil::initObsRun(obsJsonPath, obsProfPath);
   const qclab::benchutil::WallTimer wallTimer;
 
   using T = double;
@@ -56,5 +58,5 @@ int main(int argc, char** argv) {
                 density::traceDistance(trueRho, sweep.estimate));
   }
   return qclab::benchutil::writeReproReport(obsJsonPath, "repro_e3_tomography",
-                                            wallTimer);
+                                            wallTimer, obsProfPath);
 }

@@ -12,7 +12,9 @@
 int main(int argc, char** argv) {
   const std::string obsJsonPath =
       qclab::benchutil::extractObsJsonPath(argc, argv);
-  qclab::benchutil::initObsRun(obsJsonPath);
+  const std::string obsProfPath =
+      qclab::benchutil::extractObsProfPath(argc, argv);
+  qclab::benchutil::initObsRun(obsJsonPath, obsProfPath);
   const qclab::benchutil::WallTimer wallTimer;
 
   using T = double;
@@ -53,5 +55,5 @@ int main(int argc, char** argv) {
                 std::norm(overlap));
   }
   return qclab::benchutil::writeReproReport(obsJsonPath, "repro_e5_qec",
-                                            wallTimer);
+                                            wallTimer, obsProfPath);
 }

@@ -12,7 +12,9 @@
 int main(int argc, char** argv) {
   const std::string obsJsonPath =
       qclab::benchutil::extractObsJsonPath(argc, argv);
-  qclab::benchutil::initObsRun(obsJsonPath);
+  const std::string obsProfPath =
+      qclab::benchutil::extractObsProfPath(argc, argv);
+  qclab::benchutil::initObsRun(obsJsonPath, obsProfPath);
   const qclab::benchutil::WallTimer wallTimer;
 
   using T = double;
@@ -43,5 +45,5 @@ int main(int argc, char** argv) {
                 analytic, logicalError < p - 1e-12 ? "yes" : "no");
   }
   return qclab::benchutil::writeReproReport(obsJsonPath, "repro_e5b_qec_noise",
-                                            wallTimer);
+                                            wallTimer, obsProfPath);
 }

@@ -171,6 +171,20 @@ inline PathHistograms& latencyHistograms() {
   return instance;
 }
 
+namespace detail {
+
+/// Kernel path currently being timed on this thread (-1 = none).
+/// Maintained by PathTimer (save/restore, so nested timers unwind
+/// correctly) and read by the SIGPROF sampling profiler to attribute
+/// samples to kernel paths.  Constant-initialized thread_local: safe to
+/// read from a signal handler interrupting this thread.
+inline std::atomic<int>& currentTimedPath() noexcept {
+  thread_local std::atomic<int> path{-1};
+  return path;
+}
+
+}  // namespace detail
+
 /// RAII timer: records [construction, destruction) in nanoseconds into the
 /// process-wide histogram of a kernel path, and — when the perf registry
 /// is enabled — samples hardware counters over the same scope so each
@@ -178,12 +192,18 @@ inline PathHistograms& latencyHistograms() {
 class PathTimer {
  public:
   explicit PathTimer(sim::KernelPath path) noexcept
-      : perf_(path), path_(path), start_(std::chrono::steady_clock::now()) {}
+      : perf_(path), path_(path), start_(std::chrono::steady_clock::now()) {
+    auto& current = detail::currentTimedPath();
+    previousPath_ = current.load(std::memory_order_relaxed);
+    current.store(static_cast<int>(path), std::memory_order_relaxed);
+  }
 
   PathTimer(const PathTimer&) = delete;
   PathTimer& operator=(const PathTimer&) = delete;
 
   ~PathTimer() {
+    detail::currentTimedPath().store(previousPath_,
+                                     std::memory_order_relaxed);
     const auto elapsed = std::chrono::steady_clock::now() - start_;
     latencyHistograms().record(
         path_,
@@ -196,6 +216,7 @@ class PathTimer {
   PerfScope perf_;  // destroyed after the histogram record; scope covers
                     // at least the timed region
   sim::KernelPath path_;
+  int previousPath_ = -1;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "qclab/obs/flightrecorder.hpp"
 #include "qclab/obs/histogram.hpp"
 #include "qclab/obs/metrics.hpp"
 #include "qclab/obs/trace.hpp"
@@ -82,6 +83,9 @@ class InstrumentedBackend final : public sim::Backend<T> {
       }
       metrics().countGate(path, kind.c_str(),
                           bytesTouchedEstimate(path, state.size(), gate));
+      flightRecorder().record(FlightEventKind::kGate,
+                              static_cast<std::uint16_t>(path),
+                              qubitMask64(gate.qubits()));
     } else {
       inner_.applyGate(state, nbQubits, gate, offset);
     }

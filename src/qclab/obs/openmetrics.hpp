@@ -24,9 +24,11 @@
 #include <string>
 #include <vector>
 
+#include "qclab/obs/flightrecorder.hpp"
 #include "qclab/obs/histogram.hpp"
 #include "qclab/obs/metrics.hpp"
 #include "qclab/obs/perfcounters.hpp"
+#include "qclab/obs/sentinel.hpp"
 #include "qclab/obs/trace.hpp"
 #include "qclab/sim/kernel_path.hpp"
 #include "qclab/sim/simd.hpp"
@@ -49,6 +51,12 @@ struct ObsSnapshot {
   std::uint64_t noiseChannelApplications = 0;
   std::uint64_t trajectoryRuns = 0;
   std::uint64_t trajectoriesSimulated = 0;
+  std::uint64_t batchRuns = 0;
+  std::uint64_t batchMembersSimulated = 0;
+  std::uint64_t sentinelChecks = 0;
+  std::uint64_t sentinelNanDetected = 0;
+  std::uint64_t sentinelNormAlerts = 0;
+  std::uint64_t flightEventsRecorded = 0;
   std::uint64_t fusionGatesIn = 0;
   std::uint64_t fusionBlocks = 0;
   std::uint64_t fusionSweepsSaved = 0;
@@ -85,6 +93,12 @@ inline ObsSnapshot captureSnapshot() {
   snap.noiseChannelApplications = m.noiseChannelApplications();
   snap.trajectoryRuns = m.trajectoryRuns();
   snap.trajectoriesSimulated = m.trajectoriesSimulated();
+  snap.batchRuns = m.batchRuns();
+  snap.batchMembersSimulated = m.batchMembersSimulated();
+  snap.sentinelChecks = sentinel().checks();
+  snap.sentinelNanDetected = sentinel().nanDetected();
+  snap.sentinelNormAlerts = sentinel().normAlerts();
+  snap.flightEventsRecorded = flightRecorder().totalRecorded();
   snap.fusionGatesIn = m.fusionGatesIn();
   snap.fusionBlocks = m.fusionBlocks();
   snap.fusionSweepsSaved = m.fusionSweepsSaved();
@@ -180,6 +194,17 @@ inline ObsSnapshot snapshotDelta(const ObsSnapshot& previous) {
       saturatingSub(delta.trajectoryRuns, previous.trajectoryRuns);
   delta.trajectoriesSimulated = saturatingSub(
       delta.trajectoriesSimulated, previous.trajectoriesSimulated);
+  delta.batchRuns = saturatingSub(delta.batchRuns, previous.batchRuns);
+  delta.batchMembersSimulated = saturatingSub(
+      delta.batchMembersSimulated, previous.batchMembersSimulated);
+  delta.sentinelChecks =
+      saturatingSub(delta.sentinelChecks, previous.sentinelChecks);
+  delta.sentinelNanDetected = saturatingSub(delta.sentinelNanDetected,
+                                            previous.sentinelNanDetected);
+  delta.sentinelNormAlerts = saturatingSub(delta.sentinelNormAlerts,
+                                           previous.sentinelNormAlerts);
+  delta.flightEventsRecorded = saturatingSub(
+      delta.flightEventsRecorded, previous.flightEventsRecorded);
   delta.fusionGatesIn =
       saturatingSub(delta.fusionGatesIn, previous.fusionGatesIn);
   delta.fusionBlocks =
@@ -251,6 +276,24 @@ inline std::string renderOpenMetrics(const ObsSnapshot& snap) {
   counter("qclab_trajectory_runs", nullptr, snap.trajectoryRuns);
   counter("qclab_trajectories_simulated", nullptr,
           snap.trajectoriesSimulated);
+  counter("qclab_batch_runs",
+          "Batched multi-circuit executions (BatchedSimulation runs).",
+          snap.batchRuns);
+  counter("qclab_batch_members_simulated",
+          "Parameter-set members executed across all batch runs.",
+          snap.batchMembersSimulated);
+  counter("qclab_sentinel_checks",
+          "Numerical-health checks performed by the sentinels.",
+          snap.sentinelChecks);
+  counter("qclab_sentinel_nan_detected",
+          "Sentinel checks that found non-finite amplitudes.",
+          snap.sentinelNanDetected);
+  counter("qclab_sentinel_norm_alerts",
+          "Sentinel checks that found norm drift beyond tolerance.",
+          snap.sentinelNormAlerts);
+  counter("qclab_flight_events_recorded",
+          "Events recorded by the always-on flight recorder.",
+          snap.flightEventsRecorded);
   counter("qclab_fusion_gates_in", nullptr, snap.fusionGatesIn);
   counter("qclab_fusion_blocks", nullptr, snap.fusionBlocks);
   counter("qclab_fusion_sweeps_saved", nullptr, snap.fusionSweepsSaved);

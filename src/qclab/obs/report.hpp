@@ -9,13 +9,13 @@
 /// It renders as
 ///  - a pretty text block for terminals, and
 ///  - one JSON object in the repo's canonical BENCH_*.json shape
-///    (schema "qclab-obs-v3"), so every bench and every instrumented run
+///    (schema "qclab-obs-v4"), so every bench and every instrumented run
 ///    exports machine-readable numbers the trajectory tooling can diff.
 ///
 /// Each schema is a strict superset of the previous one.  v2 added
 /// "histograms" (per-path log2 buckets with p50/p90/p99), "memory" (live
 /// and high-water state bytes), and "bandwidth" (effective GB/s per path =
-/// bytes touched / timed ns) to v1's counters/trace/results.  v3 adds
+/// bytes touched / timed ns) to v1's counters/trace/results.  v3 added
 ///  - "perf": hardware-counter totals per kernel path (IPC, LLC miss
 ///    rate, stall fraction) or an explicit unavailable marker when the
 ///    host PMU delivers nothing (perfcounters.hpp),
@@ -25,6 +25,15 @@
 ///  - "stages": pipeline-stage wall time (parse, optimize, fusion
 ///    planning, state allocation, execute, measurement) from the
 ///    always-on StageStats registry (trace.hpp).
+/// v4 adds
+///  - "sentinel": the numerical-health policy, check and alert counters,
+///    last norm and peak amplitude, and the cost percentiles of the
+///    checks themselves (sentinel.hpp),
+///  - "flight": the always-on flight recorder's thread count and total
+///    events recorded (flightrecorder.hpp; the events themselves are a
+///    crash-dump concern, not a report concern),
+///  - "profiler": SIGPROF sample totals and distinct stacks when the
+///    sampling profiler ran (profiler.hpp).
 /// Every quoted string goes through jsonEscape().
 ///
 /// The same implementation serves QCLAB_OBS_DISABLED builds: the no-op
@@ -38,11 +47,14 @@
 #include <utility>
 #include <vector>
 
+#include "qclab/obs/flightrecorder.hpp"
 #include "qclab/obs/histogram.hpp"
 #include "qclab/obs/json.hpp"
 #include "qclab/obs/metrics.hpp"
 #include "qclab/obs/perfcounters.hpp"
+#include "qclab/obs/profiler.hpp"
 #include "qclab/obs/roofline.hpp"
+#include "qclab/obs/sentinel.hpp"
 #include "qclab/obs/trace.hpp"
 #include "qclab/sim/kernel_path.hpp"
 #include "qclab/sim/simd.hpp"
@@ -191,6 +203,25 @@ class Report {
                                    static_cast<double>(agg.count))
           << "ns\n";
     }
+    const Sentinel& sentinelRef = sentinel();
+    out << "sentinel: policy " << sentinelPolicyName(sentinelRef.policy())
+        << ", " << sentinelRef.checks() << " checks, "
+        << sentinelRef.nanDetected() << " nan, "
+        << sentinelRef.normAlerts() << " norm alerts";
+    if (sentinelRef.checks() != 0) {
+      out << " (last |psi|^2 " << std::fixed << std::setprecision(6)
+          << sentinelRef.lastNormSq() << ")";
+    }
+    out << "\n";
+    out << "flight recorder: "
+        << (flightRecorder().enabled() ? "on" : "off") << ", "
+        << flightRecorder().totalRecorded() << " events over "
+        << flightRecorder().threadCount() << " threads\n";
+    if (profiler().samples() != 0) {
+      out << "profiler: " << profiler().samples() << " samples, "
+          << profiler().distinctStacks() << " stacks, "
+          << profiler().dropped() << " dropped\n";
+    }
     out << "trace: " << tracer().nbEvents() << " spans retained, "
         << tracer().dropped() << " dropped\n";
     if (!results_.empty()) {
@@ -205,12 +236,12 @@ class Report {
     return out.str();
   }
 
-  /// The canonical BENCH_*.json object (schema "qclab-obs-v3").
+  /// The canonical BENCH_*.json object (schema "qclab-obs-v4").
   std::string json() const {
     const Metrics& m = metrics();
     std::ostringstream out;
     out << "{\n";
-    out << "  \"schema\": \"qclab-obs-v3\",\n";
+    out << "  \"schema\": \"qclab-obs-v4\",\n";
     out << "  \"name\": \"" << jsonEscape(name_) << "\",\n";
     out << "  \"build\": {\n";
     out << "    \"version\": \"" << jsonEscape(versionString()) << "\",\n";
@@ -422,6 +453,42 @@ class Report {
     }
     if (!first) out << "\n  ";
     out << "},\n";
+    // v4: numerical-health sentinels — policy, alert counters, and the
+    // cost distribution of the checks themselves.
+    const Sentinel& sentinelRef = sentinel();
+    const HistogramSnapshot checkSnap = sentinelRef.checkHistogram().snapshot();
+    out << "  \"sentinel\": {\n";
+    out << "    \"policy\": \""
+        << jsonEscape(sentinelPolicyName(sentinelRef.policy())) << "\",\n";
+    out << "    \"checks\": " << sentinelRef.checks() << ",\n";
+    out << "    \"nan_detected\": " << sentinelRef.nanDetected() << ",\n";
+    out << "    \"norm_alerts\": " << sentinelRef.normAlerts() << ",\n";
+    out << "    \"violations\": " << sentinelRef.violations() << ",\n";
+    out << "    \"last_norm_sq\": " << std::setprecision(17)
+        << sentinelRef.lastNormSq() << ",\n";
+    out << "    \"max_amp_sq\": " << sentinelRef.maxAmpSq() << ",\n";
+    out << "    \"check_cost_ns\": {\"count\": " << checkSnap.count
+        << ", \"sum_ns\": " << checkSnap.sumNs
+        << ", \"p50_ns\": " << checkSnap.percentileNs(0.50)
+        << ", \"p99_ns\": " << checkSnap.percentileNs(0.99) << "}\n";
+    out << "  },\n";
+    // v4: flight-recorder occupancy (the events themselves go to crash
+    // dumps, not reports).
+    out << "  \"flight\": {\n";
+    out << "    \"enabled\": "
+        << (flightRecorder().enabled() ? "true" : "false") << ",\n";
+    out << "    \"threads\": " << flightRecorder().threadCount() << ",\n";
+    out << "    \"recorded_total\": " << flightRecorder().totalRecorded()
+        << ",\n";
+    out << "    \"ring_capacity\": " << kFlightRingCapacity << "\n";
+    out << "  },\n";
+    // v4: SIGPROF sampling-profiler totals (zeros unless start() ran).
+    out << "  \"profiler\": {\n";
+    out << "    \"samples\": " << profiler().samples() << ",\n";
+    out << "    \"distinct_stacks\": " << profiler().distinctStacks()
+        << ",\n";
+    out << "    \"dropped\": " << profiler().dropped() << "\n";
+    out << "  },\n";
     out << "  \"trace\": {\"events\": " << tracer().nbEvents()
         << ", \"dropped\": " << tracer().dropped() << "},\n";
     out << "  \"results\": [";

@@ -30,9 +30,11 @@
 #include "qclab/obs/json.hpp"
 
 #ifndef QCLAB_OBS_DISABLED
+#include <atomic>
 #include <chrono>
 #include <fstream>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <utility>
 #endif
@@ -244,6 +246,37 @@ inline StageStats& stageStats() {
   return instance;
 }
 
+/// Async-signal-safe mirror of each thread's ScopedSpan nesting: a fixed
+/// array of interned stage-key pointers plus an atomic depth.  The crash
+/// handler (crashdump.hpp) reads the crashing thread's own stack, and the
+/// SIGPROF sampling profiler (profiler.hpp) reads it from interrupted
+/// threads — both with plain loads of static-lifetime strings, no
+/// allocation, no locks.  Depths beyond kMaxDepth keep counting but stop
+/// storing frames (the overflow is visible as depth > kMaxDepth).
+struct SpanFrameStack {
+  static constexpr int kMaxDepth = 32;
+  const char* frames[kMaxDepth] = {};
+  std::atomic<int> depth{0};
+};
+
+/// This thread's frame stack (constant-initialized thread_local: safe to
+/// touch from signal handlers once any span has run on the thread).
+inline SpanFrameStack& spanFrames() noexcept {
+  thread_local SpanFrameStack stack;
+  return stack;
+}
+
+/// Interns `key` into a process-lifetime pool and returns a stable
+/// const char* — the currency of SpanFrameStack and the profiler's sample
+/// table (pointer equality == key equality).  The pool is leaked on
+/// purpose so crash handlers can read frames during static destruction.
+inline const char* internStageKey(const std::string& key) {
+  static std::mutex mutex;
+  static std::set<std::string>* pool = new std::set<std::string>();
+  const std::lock_guard<std::mutex> lock(mutex);
+  return pool->insert(key).first->c_str();
+}
+
 /// RAII hierarchical span for pipeline stages.  A thread-local stack links
 /// nested ScopedSpans: each records its enclosing span's name and its
 /// depth into the trace (when the tracer is enabled) and always
@@ -262,6 +295,14 @@ class ScopedSpan {
     if (!stack.empty()) parent_ = *stack.back();
     depth_ = static_cast<int>(stack.size());
     stack.push_back(&name_);
+    // Mirror onto the signal-safe frame stack (interned pointer: stable
+    // for the process lifetime, readable from crash/profiler handlers).
+    SpanFrameStack& frames = spanFrames();
+    const int d = frames.depth.load(std::memory_order_relaxed);
+    if (d >= 0 && d < SpanFrameStack::kMaxDepth) {
+      frames.frames[d] = internStageKey(stageKey_);
+    }
+    frames.depth.store(d + 1, std::memory_order_release);
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -270,6 +311,9 @@ class ScopedSpan {
   ~ScopedSpan() {
     auto& stack = spanStack();
     if (!stack.empty() && stack.back() == &name_) stack.pop_back();
+    SpanFrameStack& frames = spanFrames();
+    const int d = frames.depth.load(std::memory_order_relaxed);
+    if (d > 0) frames.depth.store(d - 1, std::memory_order_release);
     const std::uint64_t durationNs = tracer().nowNs() - startNs_;
     stageStats().record(stageKey_, durationNs);
     if (tracer().enabled()) {

@@ -23,6 +23,7 @@
 #include "qclab/io/layout.hpp"
 #include "qclab/measurement.hpp"
 #include "qclab/obs/metrics.hpp"
+#include "qclab/obs/sentinel.hpp"
 #include "qclab/obs/trace.hpp"
 #include "qclab/qgates/qgates.hpp"
 #include "qclab/reset.hpp"
@@ -330,6 +331,17 @@ class QCircuit final : public QObject<T> {
         applyTo(simulation, 0, backend);
       }
     }
+    // Throttled numerical-health check on the finished state (sentinel.hpp;
+    // covers the scalar, SIMD, fused, and blocked execution paths alike).
+    // Branch weights are factored out of branch states, so each branch
+    // should be unit-norm on its own.
+    if (obs::sentinel().shouldCheck()) {
+      for (const auto& branch : simulation.branches()) {
+        obs::sentinelCheckState(branch.state.data(), branch.state.size(),
+                                "simulate");
+      }
+    }
+    obs::sentinel().throwIfPending();
     return simulation;
   }
 

@@ -52,8 +52,10 @@
 #include <utility>
 #include <vector>
 
+#include "qclab/obs/flightrecorder.hpp"
 #include "qclab/obs/histogram.hpp"
 #include "qclab/obs/metrics.hpp"
+#include "qclab/obs/sentinel.hpp"
 #include "qclab/obs/trace.hpp"
 #include "qclab/parameter_binding.hpp"
 #include "qclab/qcircuit.hpp"
@@ -226,6 +228,16 @@ class BatchedSimulation {
           const obs::PathTimer timer(KernelPath::kBatch);
           runMember(*worker, parameterSets[member], buffer);
         }
+        obs::flightRecorder().record(
+            obs::FlightEventKind::kBatchMember,
+            static_cast<std::uint16_t>(KernelPath::kBatch),
+            /*qubitMask=*/0, static_cast<std::uint32_t>(member));
+        // Throttled numerical-health check on the finished member's state.
+        // kThrow cannot raise here (we may be inside the OMP region);
+        // report() just latches and throwIfPending() below raises it.
+        if (obs::sentinel().shouldCheck()) {
+          obs::sentinelCheckState(buffer.data(), buffer.size(), "batch");
+        }
         Simulation<T> simulation(prototype_.nbQubits(), std::move(buffer));
         callback(member, std::move(simulation));
         // Reclaim the buffer when the callback left the state behind.
@@ -242,6 +254,9 @@ class BatchedSimulation {
 #ifdef QCLAB_HAS_OPENMP
     (void)workersDone.load(std::memory_order_acquire);
 #endif
+    // Safe point: back on the calling thread, outside any parallel
+    // region — raise a sentinel violation latched by any member.
+    obs::sentinel().throwIfPending();
   }
 
  private:

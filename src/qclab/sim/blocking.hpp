@@ -26,11 +26,13 @@
 /// build a BlockSchedule into its FusionPlan without a dependency cycle.
 
 #include <algorithm>
+#include <chrono>
 #include <complex>
 #include <cstdint>
 #include <vector>
 
 #include "qclab/dense/matrix.hpp"
+#include "qclab/obs/sentinel.hpp"
 #include "qclab/obs/trace.hpp"
 #include "qclab/sim/simd.hpp"
 #include "qclab/util/bits.hpp"
@@ -272,6 +274,20 @@ void applyBlockedRun(std::vector<std::complex<T>>& state, int nbQubits,
   const SimdLevel level = activeSimdLevel();
   const std::int64_t chunkDim = std::int64_t{1} << blockQubits;
   const std::int64_t chunks = std::int64_t{1} << (nbQubits - blockQubits);
+
+  // Numerical-health sentinel: when this run's check is due, each chunk is
+  // scanned right after its kernels while it is still cache-hot, per-thread
+  // partials are merged once, and ONE report covers the whole sweep — the
+  // sentinel cost rides the blocking win instead of forcing its own
+  // full-state pass.
+  const bool sentinelDue = obs::sentinel().shouldCheck();
+  double sentinelNormSq = 0.0;
+  double sentinelMaxAmpSq = 0.0;
+  bool sentinelNanSeen = false;
+  const auto sentinelBegin = sentinelDue
+                                 ? std::chrono::steady_clock::now()
+                                 : std::chrono::steady_clock::time_point{};
+
 #ifdef QCLAB_HAS_OPENMP
   // Trajectory workers call fusion plans from inside an OMP region;
   // nested teams would only add overhead there.
@@ -279,13 +295,42 @@ void applyBlockedRun(std::vector<std::complex<T>>& state, int nbQubits,
 #endif
   {
     std::vector<std::complex<T>> scratch;
+    double threadNormSq = 0.0;
+    double threadMaxAmpSq = 0.0;
+    bool threadNanSeen = false;
 #ifdef QCLAB_HAS_OPENMP
 #pragma omp for schedule(static)
 #endif
     for (std::int64_t c = 0; c < chunks; ++c) {
       detail::applyCompiledChunk(state.data() + c * chunkDim, chunkDim, run,
                                  level, scratch);
+      if (sentinelDue) {
+        obs::sentinelAccumulateChunk(state.data() + c * chunkDim,
+                                     static_cast<std::size_t>(chunkDim),
+                                     threadNormSq, threadMaxAmpSq,
+                                     threadNanSeen);
+      }
     }
+    if (sentinelDue) {
+#ifdef QCLAB_HAS_OPENMP
+#pragma omp critical(qclab_blocked_sentinel)
+#endif
+      {
+        sentinelNormSq += threadNormSq;
+        if (threadMaxAmpSq > sentinelMaxAmpSq) {
+          sentinelMaxAmpSq = threadMaxAmpSq;
+        }
+        sentinelNanSeen = sentinelNanSeen || threadNanSeen;
+      }
+    }
+  }
+  if (sentinelDue) {
+    const auto elapsed = std::chrono::steady_clock::now() - sentinelBegin;
+    obs::sentinel().report(
+        sentinelNormSq, sentinelMaxAmpSq, sentinelNanSeen, "blocked",
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()));
   }
 }
 

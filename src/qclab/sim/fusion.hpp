@@ -48,6 +48,7 @@
 #include <vector>
 
 #include "qclab/dense/matrix.hpp"
+#include "qclab/obs/flightrecorder.hpp"
 #include "qclab/obs/histogram.hpp"
 #include "qclab/obs/metrics.hpp"
 #include "qclab/obs/trace.hpp"
@@ -652,6 +653,13 @@ void applyFusedBlock(std::vector<std::complex<T>>& state, int nbQubits,
     applyK(state, nbQubits, block.qubits, block.matrix);
     obs::metrics().countGate(KernelPath::kFusedDenseK, nullptr, bytes);
   }
+  obs::flightRecorder().record(
+      obs::FlightEventKind::kFusedBlock,
+      static_cast<std::uint16_t>(block.diagonal
+                                     ? KernelPath::kFusedDiagonalK
+                                     : KernelPath::kFusedDenseK),
+      obs::qubitMask64(block.qubits),
+      static_cast<std::uint32_t>(block.gatesIn));
 }
 
 }  // namespace detail
@@ -693,6 +701,10 @@ void applyFusionPlan(std::vector<std::complex<T>>& state, int nbQubits,
         applyBlockedRun(state, nbQubits, plan.blocks, item.first, item.count,
                         plan.schedule.blockQubits);
         obs::metrics().countGate(KernelPath::kBlocked, nullptr, bytes);
+        obs::flightRecorder().record(
+            obs::FlightEventKind::kBlockedRun,
+            static_cast<std::uint16_t>(KernelPath::kBlocked),
+            /*qubitMask=*/0, static_cast<std::uint32_t>(item.count));
       } else {
         const std::size_t start = std::max(item.first, firstBlock);
         for (std::size_t i = start; i < item.first + item.count; ++i) {

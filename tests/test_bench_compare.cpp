@@ -58,12 +58,12 @@ TEST(BenchJson, ParserRejectsMalformedInput) {
   EXPECT_THROW(bj::parseJson("\"\\q\""), qclab::InvalidArgumentError);
 }
 
-TEST(BenchJson, ParsesObsReportJsonAndSchemaIsV3) {
+TEST(BenchJson, ParsesObsReportJsonAndSchemaIsV4) {
   qclab::obs::Report report("bench_demo");
   report.add("kernel/dense1", 123.5, "ns/op");
   const bj::JsonValue value = bj::parseJson(report.json());
   ASSERT_TRUE(value.isObject());
-  EXPECT_EQ(value.stringOr("schema", ""), "qclab-obs-v3");
+  EXPECT_EQ(value.stringOr("schema", ""), "qclab-obs-v4");
   EXPECT_EQ(value.stringOr("name", ""), "bench_demo");
   const bj::JsonValue* results = value.find("results");
   ASSERT_NE(results, nullptr);

@@ -1,0 +1,230 @@
+/// \file test_crashdump.cpp
+/// \brief Crash-diagnostics tests: obs::dumpNow() emits well-formed
+/// qclab-crash-v1 JSON (validated with the benchjson parser), forked
+/// children dying by SIGSEGV / std::terminate leave dumps behind while
+/// the exit status still names the original signal, handler installation
+/// is idempotent, and the no-op surface under QCLAB_OBS_DISABLED.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "qclab/obs/benchjson.hpp"
+#include "qclab/qclab.hpp"
+
+#ifdef QCLAB_OBS_CRASH_POSIX
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+namespace {
+
+using T = double;
+namespace bj = qclab::obs::benchjson;
+
+/// Populates counters / flight rings / stage stats worth dumping.
+void simulateSomething() {
+  const qclab::obs::InstrumentedBackend<T> backend;
+  qclab::QCircuit<T> circuit(6);
+  circuit.push_back(qclab::qgates::Hadamard<T>(0));
+  for (int q = 1; q < 6; ++q) {
+    circuit.push_back(qclab::qgates::CX<T>(q - 1, q));
+  }
+  circuit.simulate("000000", backend);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+#ifdef QCLAB_OBS_CRASH_POSIX
+
+namespace {
+
+/// Fresh scratch directory under the test's working directory.
+std::string makeScratchDir() {
+  char dirTemplate[] = "qclab-crash-test-XXXXXX";
+  const char* dir = mkdtemp(dirTemplate);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+/// Forks, runs `die` in the child (after building some obs state and
+/// installing handlers with dumps routed into `dir`), and returns the
+/// child's wait status.
+template <typename Die>
+int forkAndDie(const std::string& dir, pid_t& childPid, Die die) {
+  childPid = fork();
+  if (childPid == 0) {
+    setenv("QCLAB_OBS_CRASH_DIR", dir.c_str(), 1);
+    if (!qclab::obs::installCrashHandlers()) _exit(96);
+    simulateSomething();
+    die();
+    _exit(97);  // the death mode failed to kill us
+  }
+  int status = 0;
+  waitpid(childPid, &status, 0);
+  return status;
+}
+
+std::string crashPathFor(const std::string& dir, pid_t pid) {
+  return dir + "/qclab-crash-" + std::to_string(pid) + ".json";
+}
+
+}  // namespace
+
+TEST(CrashDump, SignalNamesAreStable) {
+  EXPECT_STREQ(qclab::obs::detail::crashSignalName(SIGSEGV), "SIGSEGV");
+  EXPECT_STREQ(qclab::obs::detail::crashSignalName(SIGABRT), "SIGABRT");
+  EXPECT_STREQ(qclab::obs::detail::crashSignalName(SIGFPE), "SIGFPE");
+}
+
+TEST(CrashDump, ForkedChildSegfaultLeavesAWellFormedDump) {
+  const std::string dir = makeScratchDir();
+  ASSERT_FALSE(dir.empty());
+
+  pid_t childPid = 0;
+  const int status =
+      forkAndDie(dir, childPid, [] { std::raise(SIGSEGV); });
+
+  // The handler re-raises through SIG_DFL, so the child still dies by
+  // the original signal.
+  ASSERT_TRUE(WIFSIGNALED(status)) << "status " << status;
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  const std::string path = crashPathFor(dir, childPid);
+  const std::string text = slurp(path);
+  ASSERT_FALSE(text.empty()) << "no dump at " << path;
+
+  const bj::JsonValue dump = bj::parseJson(text);
+  ASSERT_TRUE(dump.isObject());
+  EXPECT_EQ(dump.stringOr("schema", ""), "qclab-crash-v1");
+  EXPECT_EQ(dump.stringOr("signal_name", ""), "SIGSEGV");
+  EXPECT_EQ(dump.stringOr("reason", ""), "fatal-signal");
+  EXPECT_EQ(dump.find("pid")->number, static_cast<double>(childPid));
+
+  const bj::JsonValue* counters = dump.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_GE(counters->find("gate_applications")->number, 6.0);
+
+  const bj::JsonValue* flight = dump.find("flight");
+  ASSERT_NE(flight, nullptr);
+  const bj::JsonValue* rings = flight->find("rings");
+  ASSERT_NE(rings, nullptr);
+  ASSERT_TRUE(rings->isArray());
+  ASSERT_FALSE(rings->array.empty());
+  bool anyEvents = false;
+  for (const auto& ring : rings->array) {
+    const bj::JsonValue* events = ring.find("events");
+    if (events != nullptr && !events->array.empty()) anyEvents = true;
+  }
+  EXPECT_TRUE(anyEvents) << "flight rings carry no events";
+
+  EXPECT_NE(dump.find("stage_stack"), nullptr);
+  EXPECT_NE(dump.find("sentinel"), nullptr);
+
+  std::remove(path.c_str());
+  rmdir(dir.c_str());
+}
+
+TEST(CrashDump, ForkedChildTerminateAlsoDumps) {
+  const std::string dir = makeScratchDir();
+  ASSERT_FALSE(dir.empty());
+
+  // The lambda is noexcept so the escaping exception reaches
+  // std::terminate directly (gtest's own try/catch around the test body
+  // would otherwise swallow it in the forked child).
+  pid_t childPid = 0;
+  const int status = forkAndDie(dir, childPid, []() noexcept {
+    throw std::runtime_error("uncaught on purpose");
+  });
+
+  // terminate handler dumps then aborts.
+  ASSERT_TRUE(WIFSIGNALED(status)) << "status " << status;
+  EXPECT_EQ(WTERMSIG(status), SIGABRT);
+
+  const std::string path = crashPathFor(dir, childPid);
+  const bj::JsonValue dump = bj::parseJson(slurp(path));
+  EXPECT_EQ(dump.stringOr("schema", ""), "qclab-crash-v1");
+  EXPECT_EQ(dump.stringOr("reason", ""), "terminate");
+
+  std::remove(path.c_str());
+  rmdir(dir.c_str());
+}
+
+TEST(CrashDump, DumpNowWritesWellFormedJsonAndKeepsRunning) {
+  qclab::obs::resetAll();
+  simulateSomething();
+
+  const std::string dir = makeScratchDir();
+  ASSERT_FALSE(dir.empty());
+  const std::string path = dir + "/manual-dump.json";
+  ASSERT_TRUE(qclab::obs::dumpNow(path.c_str()));
+
+  const bj::JsonValue dump = bj::parseJson(slurp(path));
+  ASSERT_TRUE(dump.isObject());
+  EXPECT_EQ(dump.stringOr("schema", ""), "qclab-crash-v1");
+  EXPECT_EQ(dump.stringOr("reason", ""), "manual");
+  EXPECT_EQ(dump.find("signal")->number, 0.0);
+  EXPECT_GE(dump.find("counters")->find("gate_applications")->number, 6.0);
+  EXPECT_NE(dump.find("flight"), nullptr);
+
+  // A second dump to the same path overwrites cleanly.
+  simulateSomething();
+  ASSERT_TRUE(qclab::obs::dumpNow(path.c_str()));
+  const bj::JsonValue again = bj::parseJson(slurp(path));
+  EXPECT_GE(again.find("counters")->find("gate_applications")->number, 12.0);
+
+  std::remove(path.c_str());
+  rmdir(dir.c_str());
+}
+
+TEST(CrashDump, DumpNowFailsOnUnwritablePath) {
+  EXPECT_FALSE(
+      qclab::obs::dumpNow("definitely/not/a/real/dir/qclab-dump.json"));
+}
+
+// Runs last in this suite: installs the handlers in the test process
+// itself (sticky for the remainder of the process).
+TEST(CrashDump, InstallIsIdempotentAndRoutesDumpNow) {
+  const std::string dir = makeScratchDir();
+  ASSERT_FALSE(dir.empty());
+  setenv("QCLAB_OBS_CRASH_DIR", dir.c_str(), 1);
+
+  EXPECT_TRUE(qclab::obs::installCrashHandlers());
+  EXPECT_TRUE(qclab::obs::crashHandlersInstalled());
+  EXPECT_TRUE(qclab::obs::installCrashHandlers());  // second call: still ok
+
+  // Pathless dumpNow lands on the installed qclab-crash-<pid>.json.
+  ASSERT_TRUE(qclab::obs::dumpNow());
+  const std::string path = crashPathFor(dir, getpid());
+  const bj::JsonValue dump = bj::parseJson(slurp(path));
+  EXPECT_EQ(dump.stringOr("schema", ""), "qclab-crash-v1");
+  EXPECT_EQ(dump.find("pid")->number, static_cast<double>(getpid()));
+
+  unsetenv("QCLAB_OBS_CRASH_DIR");
+  std::remove(path.c_str());
+  rmdir(dir.c_str());
+}
+
+#else  // !QCLAB_OBS_CRASH_POSIX
+
+TEST(CrashDump, NoOpSurfaceInThisBuild) {
+  EXPECT_FALSE(qclab::obs::installCrashHandlers());
+  EXPECT_FALSE(qclab::obs::crashHandlersInstalled());
+  EXPECT_FALSE(qclab::obs::dumpNow());
+  EXPECT_FALSE(qclab::obs::dumpNow("anywhere.json"));
+}
+
+#endif  // QCLAB_OBS_CRASH_POSIX

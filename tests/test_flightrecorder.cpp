@@ -1,0 +1,207 @@
+/// \file test_flightrecorder.cpp
+/// \brief Flight-recorder tests: event capture through the instrumented
+/// pipeline (gates, fused blocks, blocked runs, batch members), ring wrap
+/// at capacity, enable/disable toggling, the qubit-mask helper, and the
+/// no-op surface under QCLAB_OBS_DISABLED.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "qclab/qclab.hpp"
+
+using qclab::obs::FlightEventKind;
+using qclab::obs::flightRecorder;
+using qclab::obs::kFlightRingCapacity;
+using qclab::obs::qubitMask64;
+using qclab::sim::KernelPath;
+
+namespace {
+
+using T = double;
+
+qclab::QCircuit<T> ghz(int n) {
+  qclab::QCircuit<T> circuit(n);
+  circuit.push_back(qclab::qgates::Hadamard<T>(0));
+  for (int q = 1; q < n; ++q) {
+    circuit.push_back(qclab::qgates::CX<T>(q - 1, q));
+  }
+  return circuit;
+}
+
+}  // namespace
+
+TEST(FlightRecorder, QubitMask64CoversLowQubitsAndDropsTheRest) {
+  EXPECT_EQ(qubitMask64({}), 0u);
+  EXPECT_EQ(qubitMask64({0}), 1u);
+  EXPECT_EQ(qubitMask64({0, 1}), 3u);
+  EXPECT_EQ(qubitMask64({2, 63}),
+            (std::uint64_t{1} << 2) | (std::uint64_t{1} << 63));
+  // Out-of-range indices drop from the mask without corrupting it.
+  EXPECT_EQ(qubitMask64({64, 100, -1, 3}), std::uint64_t{1} << 3);
+}
+
+TEST(FlightRecorder, EventKindNamesAreStable) {
+  EXPECT_STREQ(qclab::obs::flightEventKindName(FlightEventKind::kGate),
+               "gate");
+  EXPECT_STREQ(qclab::obs::flightEventKindName(FlightEventKind::kFusedBlock),
+               "fused-block");
+  EXPECT_STREQ(
+      qclab::obs::flightEventKindName(FlightEventKind::kSentinelAlert),
+      "sentinel-alert");
+}
+
+#ifndef QCLAB_OBS_DISABLED
+
+TEST(FlightRecorder, RecordsGateEventsFromInstrumentedSimulate) {
+  qclab::obs::resetAll();
+  flightRecorder().enable();
+
+  const qclab::obs::InstrumentedBackend<T> backend;
+  const auto circuit = ghz(4);  // 1 H + 3 CX
+  circuit.simulate("0000", backend);
+
+  EXPECT_GE(flightRecorder().totalRecorded(), 4u);
+  const auto snapshots = flightRecorder().snapshot();
+  ASSERT_FALSE(snapshots.empty());
+
+  bool sawHadamard = false, sawCx = false;
+  for (const auto& snap : snapshots) {
+    for (const auto& event : snap.events) {
+      if (event.kind != static_cast<std::uint16_t>(FlightEventKind::kGate)) {
+        continue;
+      }
+      if (event.qubitMask == qubitMask64({0})) sawHadamard = true;
+      if (event.qubitMask == qubitMask64({0, 1})) sawCx = true;
+    }
+  }
+  EXPECT_TRUE(sawHadamard) << "no single-qubit gate event on qubit 0";
+  EXPECT_TRUE(sawCx) << "no two-qubit gate event on qubits {0,1}";
+}
+
+TEST(FlightRecorder, FusedAndBlockedSweepsRecordTheirOwnKinds) {
+  qclab::obs::resetAll();
+  flightRecorder().enable();
+
+  // The recipe from test_blocking: gates on high qubits with a small
+  // chunk guarantee at least one cache-blocked run.
+  qclab::QCircuit<T> circuit(8);
+  circuit.push_back(qclab::qgates::Hadamard<T>(5));
+  circuit.push_back(qclab::qgates::CX<T>(5, 6));
+  circuit.push_back(qclab::qgates::Hadamard<T>(7));
+  circuit.push_back(qclab::qgates::CX<T>(6, 7));
+
+  qclab::SimulateOptions options;
+  options.fusion = true;
+  options.fusionOptions.maxQubits = 2;
+  options.fusionOptions.blockQubits = 3;
+  circuit.simulate("00000000", options);
+
+  ASSERT_GE(qclab::obs::metrics().gateApplications(KernelPath::kBlocked), 1u)
+      << "workload did not reach the blocked executor";
+
+  bool sawBlockedRun = false;
+  for (const auto& snap : flightRecorder().snapshot()) {
+    for (const auto& event : snap.events) {
+      if (event.kind ==
+          static_cast<std::uint16_t>(FlightEventKind::kBlockedRun)) {
+        sawBlockedRun = true;
+        EXPECT_EQ(event.path,
+                  static_cast<std::uint16_t>(KernelPath::kBlocked));
+        EXPECT_GE(event.aux, 1u);  // blocks executed in the run
+      }
+    }
+  }
+  EXPECT_TRUE(sawBlockedRun);
+}
+
+TEST(FlightRecorder, BatchMembersRecordMemberIndices) {
+  qclab::obs::resetAll();
+  flightRecorder().enable();
+
+  qclab::QCircuit<T> circuit(3);
+  for (int q = 0; q < 3; ++q) {
+    circuit.push_back(qclab::qgates::RotationY<T>(q, 0.0));
+  }
+  circuit.simulateBatch({{0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}});
+
+  std::vector<bool> memberSeen(2, false);
+  for (const auto& snap : flightRecorder().snapshot()) {
+    for (const auto& event : snap.events) {
+      if (event.kind ==
+              static_cast<std::uint16_t>(FlightEventKind::kBatchMember) &&
+          event.aux < memberSeen.size()) {
+        memberSeen[event.aux] = true;
+        EXPECT_EQ(event.path,
+                  static_cast<std::uint16_t>(KernelPath::kBatch));
+      }
+    }
+  }
+  EXPECT_TRUE(memberSeen[0]);
+  EXPECT_TRUE(memberSeen[1]);
+}
+
+TEST(FlightRecorder, RingWrapsAtCapacityKeepingNewestEvents) {
+  qclab::obs::resetAll();
+  flightRecorder().enable();
+
+  const std::uint64_t total = kFlightRingCapacity + 500;
+  for (std::uint64_t i = 0; i < total; ++i) {
+    flightRecorder().record(FlightEventKind::kGate, 0, 0,
+                            static_cast<std::uint32_t>(i));
+  }
+
+  // Find this thread's ring: the one that recorded `total` events.
+  bool found = false;
+  for (const auto& snap : flightRecorder().snapshot()) {
+    if (snap.recorded != total) continue;
+    found = true;
+    ASSERT_EQ(snap.events.size(), kFlightRingCapacity);
+    // Oldest retained event is number total - capacity; newest is total-1.
+    EXPECT_EQ(snap.events.front().aux,
+              static_cast<std::uint32_t>(total - kFlightRingCapacity));
+    EXPECT_EQ(snap.events.back().aux, static_cast<std::uint32_t>(total - 1));
+  }
+  EXPECT_TRUE(found) << "no ring recorded the expected event count";
+}
+
+TEST(FlightRecorder, DisableStopsRecordingEnableResumes) {
+  qclab::obs::resetAll();
+  flightRecorder().enable();
+  flightRecorder().record(FlightEventKind::kGate, 0, 1);
+  const std::uint64_t afterOne = flightRecorder().totalRecorded();
+  EXPECT_GE(afterOne, 1u);
+
+  flightRecorder().disable();
+  EXPECT_FALSE(flightRecorder().enabled());
+  flightRecorder().record(FlightEventKind::kGate, 0, 2);
+  EXPECT_EQ(flightRecorder().totalRecorded(), afterOne);
+
+  flightRecorder().enable();
+  EXPECT_TRUE(flightRecorder().enabled());
+  flightRecorder().record(FlightEventKind::kGate, 0, 3);
+  EXPECT_EQ(flightRecorder().totalRecorded(), afterOne + 1);
+}
+
+TEST(FlightRecorder, ResetRewindsEveryRing) {
+  flightRecorder().enable();
+  flightRecorder().record(FlightEventKind::kGate, 0, 0);
+  EXPECT_GE(flightRecorder().totalRecorded(), 1u);
+  flightRecorder().reset();
+  EXPECT_EQ(flightRecorder().totalRecorded(), 0u);
+}
+
+#else  // QCLAB_OBS_DISABLED
+
+TEST(FlightRecorder, DisabledBuildRecordsNothing) {
+  flightRecorder().enable();  // no-op
+  EXPECT_FALSE(flightRecorder().enabled());
+  flightRecorder().record(FlightEventKind::kGate, 0, 1, 2);
+  EXPECT_EQ(flightRecorder().totalRecorded(), 0u);
+  EXPECT_EQ(flightRecorder().threadCount(), 0u);
+  EXPECT_TRUE(flightRecorder().snapshot().empty());
+}
+
+#endif  // QCLAB_OBS_DISABLED

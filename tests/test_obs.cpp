@@ -256,7 +256,7 @@ TEST(ObsReport, JsonIsWellFormedAndStamped) {
   const std::string json = report.json();
   JsonChecker checker(json);
   EXPECT_TRUE(checker.valid()) << json;
-  EXPECT_NE(json.find("\"schema\": \"qclab-obs-v3\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"qclab-obs-v4\""), std::string::npos);
   EXPECT_NE(json.find("\"name\": \"unit_test\""), std::string::npos);
   EXPECT_NE(json.find(qclab::obs::kEnabled ? "\"obs\": true"
                                            : "\"obs\": false"),
@@ -271,6 +271,11 @@ TEST(ObsReport, JsonIsWellFormedAndStamped) {
   EXPECT_NE(json.find("\"perf\""), std::string::npos);
   EXPECT_NE(json.find("\"roofline\""), std::string::npos);
   EXPECT_NE(json.find("\"stages\""), std::string::npos);
+  // v4 sections: sentinel, flight recorder, and profiler totals appear in
+  // every build (all zeros / disabled markers when inert).
+  EXPECT_NE(json.find("\"sentinel\""), std::string::npos);
+  EXPECT_NE(json.find("\"flight\""), std::string::npos);
+  EXPECT_NE(json.find("\"profiler\""), std::string::npos);
 
   const std::string text = report.text();
   EXPECT_NE(text.find("unit_test"), std::string::npos);

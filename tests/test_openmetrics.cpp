@@ -6,11 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "qclab/qclab.hpp"
@@ -209,6 +211,94 @@ TEST(OpenMetrics, CountersReflectRegistries) {
   EXPECT_NE(exposition.find("qclab_path_latency_seconds_bucket{"),
             std::string::npos);
   EXPECT_NE(exposition.find("le=\"+Inf\""), std::string::npos);
+  qclab::obs::resetAll();
+}
+
+TEST(OpenMetrics, BatchAndFlightFamiliesRender) {
+  qclab::obs::resetAll();
+  // A parameterized 3-qubit ansatz swept over 3 members exercises the
+  // batch engine, whose activity must surface in the exposition: run and
+  // member counters, the kBatch latency family, and flight events.
+  qclab::QCircuit<T> circuit(3);
+  for (int q = 0; q < 3; ++q) {
+    circuit.push_back(qclab::qgates::RotationY<T>(q, 0.1));
+  }
+  circuit.push_back(qclab::qgates::CX<T>(0, 1));
+  circuit.simulateBatch({{0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}, {0.7, 0.8, 0.9}});
+
+  const std::string exposition = qclab::obs::renderOpenMetrics();
+  OpenMetricsChecker checker;
+  EXPECT_TRUE(checker.check(exposition))
+      << checker.report() << "\n" << exposition;
+  EXPECT_NE(exposition.find("qclab_batch_runs_total 1"), std::string::npos);
+  EXPECT_NE(exposition.find("qclab_batch_members_simulated_total 3"),
+            std::string::npos);
+  // Member execution is timed under KernelPath::kBatch.
+  EXPECT_NE(exposition.find(
+                "qclab_path_latency_seconds_count{path=\"batch\"} 3"),
+            std::string::npos);
+  // Batch stage spans surface through the stage families.
+  EXPECT_NE(exposition.find(
+                "qclab_stage_runs_total{stage=\"batch\"} 1"),
+            std::string::npos);
+  // The flight recorder saw the member events (and possibly more).
+  EXPECT_NE(exposition.find("qclab_flight_events_recorded_total"),
+            std::string::npos);
+  EXPECT_GE(qclab::obs::flightRecorder().totalRecorded(), 3u);
+  // Sentinel counter families render in every enabled build.
+  EXPECT_NE(exposition.find("qclab_sentinel_checks_total"),
+            std::string::npos);
+
+  // Deltas subtract batch counters like every other counter.
+  const qclab::obs::ObsSnapshot before = qclab::obs::captureSnapshot();
+  circuit.simulateBatch({{1.0, 1.1, 1.2}});
+  const qclab::obs::ObsSnapshot delta = qclab::obs::snapshotDelta(before);
+  EXPECT_EQ(delta.batchRuns, 1u);
+  EXPECT_EQ(delta.batchMembersSimulated, 1u);
+  qclab::obs::resetAll();
+}
+
+TEST(OpenMetrics, SnapshotDeltaUnderConcurrentCounterUpdates) {
+  qclab::obs::resetAll();
+  // Snapshots race benignly with concurrent recording: every capture must
+  // stay internally usable (no torn 64-bit reads, per-field monotonic
+  // against an earlier capture) while worker threads hammer the counter,
+  // histogram, and stage registries.  Runs under TSan in CI.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&stop]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        qclab::obs::metrics().countGate(KernelPath::kDense1, "h", 64);
+        qclab::obs::latencyHistograms().record(KernelPath::kDense1, 100);
+        qclab::obs::stageStats().record("concurrent", 50);
+      }
+    });
+  }
+
+  qclab::obs::ObsSnapshot previous = qclab::obs::captureSnapshot();
+  for (int i = 0; i < 50; ++i) {
+    const qclab::obs::ObsSnapshot delta =
+        qclab::obs::snapshotDelta(previous);
+    // saturatingSub guarantees deltas never wrap below zero even while
+    // the registries move under the capture.
+    EXPECT_LE(delta.gateApplications,
+              std::uint64_t{1} << 62);  // not a wrapped negative
+    const qclab::obs::ObsSnapshot current = qclab::obs::captureSnapshot();
+    EXPECT_GE(current.gateApplications, previous.gateApplications);
+    EXPECT_GE(current.bytesTouched, previous.bytesTouched);
+    const auto i1 = static_cast<std::size_t>(KernelPath::kDense1);
+    EXPECT_GE(current.gateByPath[i1], previous.gateByPath[i1]);
+    EXPECT_GE(current.histograms[i1].count, previous.histograms[i1].count);
+    previous = current;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& worker : workers) worker.join();
+
+  // The final exposition still renders structurally valid.
+  OpenMetricsChecker checker;
+  EXPECT_TRUE(checker.check(qclab::obs::renderOpenMetrics()))
+      << checker.report();
   qclab::obs::resetAll();
 }
 

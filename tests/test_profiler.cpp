@@ -1,0 +1,141 @@
+/// \file test_profiler.cpp
+/// \brief Sampling-profiler tests: SIGPROF samples attribute to the live
+/// stage-span stack and kernel path, collapsed-stack rendering and file
+/// export, start/stop/reset state discipline, and the no-op surface when
+/// the profiler is unavailable.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "qclab/qclab.hpp"
+
+using qclab::obs::profiler;
+
+namespace {
+
+/// Burns CPU (not wall clock: ITIMER_PROF counts CPU time) for roughly
+/// `ms` milliseconds.
+void burnCpuMs(int ms) {
+  volatile double sink = 1.0;
+  const auto begin = std::chrono::steady_clock::now();
+  while (std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - begin)
+             .count() < ms) {
+    for (int i = 0; i < 4096; ++i) sink = sink * 1.0000001 + 0.0000001;
+  }
+  (void)sink;
+}
+
+}  // namespace
+
+#ifdef QCLAB_OBS_PROFILER_POSIX
+
+TEST(Profiler, SamplesAttributeToSpansAndPaths) {
+  ASSERT_TRUE(profiler().reset());
+  ASSERT_TRUE(profiler().start(997));
+  {
+    qclab::obs::ScopedSpan span("profiler-test-span");
+    qclab::obs::PathTimer timer(qclab::sim::KernelPath::kDense1);
+    burnCpuMs(300);
+  }
+  profiler().stop();
+
+  if (profiler().samples() == 0) {
+    GTEST_SKIP() << "no SIGPROF delivery in this environment";
+  }
+  EXPECT_GE(profiler().distinctStacks(), 1u);
+
+  const auto folded = profiler().folded();
+  bool sawSpan = false;
+  for (const auto& [stack, count] : folded) {
+    EXPECT_GT(count, 0u);
+    if (stack.find("profiler-test-span") != std::string::npos) {
+      sawSpan = true;
+      EXPECT_NE(stack.find("path:dense1"), std::string::npos)
+          << "sample under a PathTimer lost its path: " << stack;
+    }
+  }
+  EXPECT_TRUE(sawSpan) << "no sample landed inside the busy span";
+}
+
+TEST(Profiler, CollapsedRendersOneStackPerLine) {
+  // Reuses whatever the previous test collected; collect again if the
+  // table is empty (e.g. when tests are sharded).
+  if (profiler().samples() == 0) {
+    ASSERT_TRUE(profiler().reset());
+    ASSERT_TRUE(profiler().start(997));
+    {
+      qclab::obs::ScopedSpan span("collapsed-span");
+      burnCpuMs(200);
+    }
+    profiler().stop();
+  }
+  if (profiler().samples() == 0) {
+    GTEST_SKIP() << "no SIGPROF delivery in this environment";
+  }
+
+  const std::string collapsed = profiler().collapsed();
+  ASSERT_FALSE(collapsed.empty());
+  std::istringstream lines(collapsed);
+  std::string line;
+  std::size_t parsed = 0;
+  while (std::getline(lines, line)) {
+    // "frame;frame;path:name 42" — ends in a positive count.
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(std::stoull(line.substr(space + 1)), 0u) << line;
+    ++parsed;
+  }
+  EXPECT_GE(parsed, 1u);
+}
+
+TEST(Profiler, WriteCollapsedCreatesTheFile) {
+  const std::string path = "qclab-profiler-test.folded";
+  ASSERT_TRUE(profiler().writeCollapsed(path));
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good());
+  file.close();
+  std::remove(path.c_str());
+}
+
+TEST(Profiler, StateDiscipline) {
+  ASSERT_TRUE(profiler().reset());
+  EXPECT_FALSE(profiler().running());
+  ASSERT_TRUE(profiler().start());
+  EXPECT_TRUE(profiler().running());
+  EXPECT_FALSE(profiler().start()) << "double start must refuse";
+  EXPECT_FALSE(profiler().reset()) << "reset while running must refuse";
+  profiler().stop();
+  EXPECT_FALSE(profiler().running());
+  EXPECT_TRUE(profiler().reset());
+  EXPECT_EQ(profiler().samples(), 0u);
+  EXPECT_EQ(profiler().distinctStacks(), 0u);
+}
+
+#else  // !QCLAB_OBS_PROFILER_POSIX
+
+TEST(Profiler, NoOpSurfaceInThisBuild) {
+  EXPECT_FALSE(profiler().start());
+  EXPECT_FALSE(profiler().running());
+  profiler().stop();
+  EXPECT_EQ(profiler().samples(), 0u);
+  EXPECT_EQ(profiler().distinctStacks(), 0u);
+  EXPECT_TRUE(profiler().folded().empty());
+  EXPECT_TRUE(profiler().collapsed().empty());
+  EXPECT_TRUE(profiler().reset());
+
+  // writeCollapsed still produces (an empty) file so --obs-prof works.
+  const std::string path = "qclab-profiler-noop.folded";
+  EXPECT_TRUE(profiler().writeCollapsed(path));
+  std::ifstream file(path);
+  EXPECT_TRUE(file.good());
+  file.close();
+  std::remove(path.c_str());
+}
+
+#endif  // QCLAB_OBS_PROFILER_POSIX

@@ -1,0 +1,81 @@
+/// \file crash_fixture.cpp
+/// \brief CI fixture that dies mid-circuit to exercise the crash handler.
+///
+/// Installs the obs v4 crash handlers, simulates a few GHZ layers through
+/// the instrumented backend (so the flight recorder, stage spans, and
+/// counters hold real data), then kills itself the way the smoke test
+/// asks:
+///
+///   qclab_crash_fixture segv       # write through a null pointer
+///   qclab_crash_fixture abort      # std::abort mid-run
+///   qclab_crash_fixture fpe        # raise SIGFPE
+///   qclab_crash_fixture terminate  # uncaught exception -> std::terminate
+///   qclab_crash_fixture dump       # obs::dumpNow() then exit 0
+///
+/// The CI crash-smoke job runs the segv mode, expects a nonzero
+/// (signal-fatal) exit status, and asserts the qclab-crash-<pid>.json
+/// left in QCLAB_OBS_CRASH_DIR is well-formed.  The `dump` mode is the
+/// graceful path: same JSON, clean exit, for testing without a corpse.
+
+#include <cstdio>
+#include <cstring>
+#include <csignal>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "qclab/qclab.hpp"
+
+namespace {
+
+using T = double;
+
+/// Builds flight-recorder and counter state worth dumping.
+void simulateSomething() {
+  const qclab::obs::InstrumentedBackend<T> backend;
+  qclab::QCircuit<T> circuit(10);
+  circuit.push_back(std::make_unique<qclab::qgates::Hadamard<T>>(0));
+  for (int q = 1; q < 10; ++q) {
+    circuit.push_back(std::make_unique<qclab::qgates::CNOT<T>>(q - 1, q));
+  }
+  auto simulation = circuit.simulate(std::string(10, '0'), backend);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "segv";
+  if (!qclab::obs::installCrashHandlers()) {
+    std::fprintf(stderr,
+                 "crash_fixture: crash handlers unavailable in this build "
+                 "(QCLAB_OBS_DISABLED or non-POSIX)\n");
+    // The smoke test should skip, not fail, on such builds.
+    return 77;
+  }
+
+  simulateSomething();
+  std::fprintf(stderr, "crash_fixture: circuit done, dying via '%s'\n",
+               mode.c_str());
+  std::fflush(nullptr);
+
+  if (mode == "segv") {
+    volatile int* null = nullptr;
+    *null = 42;  // SIGSEGV
+  } else if (mode == "abort") {
+    std::abort();
+  } else if (mode == "fpe") {
+    std::raise(SIGFPE);
+  } else if (mode == "terminate") {
+    throw std::runtime_error("crash_fixture: uncaught on purpose");
+  } else if (mode == "dump") {
+    if (!qclab::obs::dumpNow()) {
+      std::fprintf(stderr, "crash_fixture: dumpNow failed\n");
+      return 1;
+    }
+    return 0;
+  } else {
+    std::fprintf(stderr, "crash_fixture: unknown mode '%s'\n", mode.c_str());
+    return 2;
+  }
+  return 3;  // a fatal mode survived — the smoke test treats this as failure
+}

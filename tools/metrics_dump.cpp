@@ -35,9 +35,10 @@ int usage() {
   return 2;
 }
 
-/// Built-in demo: a fused GHZ simulate plus a sampled Grover run, enough
-/// to populate counters, histograms, stages, and (where the host PMU
-/// allows) perf families across several kernel paths.
+/// Built-in demo: a fused GHZ simulate, a sampled Grover run, and a small
+/// batched parameter sweep — enough to populate counters, histograms,
+/// stages, the qclab_batch_* families, and (where the host PMU allows)
+/// perf families across several kernel paths.
 void demoWorkload(std::uint64_t shots) {
   const qclab::obs::InstrumentedBackend<T> backend;
   {
@@ -57,6 +58,21 @@ void demoWorkload(std::uint64_t shots) {
         "111", qclab::algorithms::groverIterations(3));
     auto simulation = grover.simulate("000", backend);
     auto counts = simulation.countsMap(shots);
+  }
+  {
+    qclab::QCircuit<T> sweep(4);
+    for (int q = 0; q < 4; ++q) {
+      sweep.push_back(std::make_unique<qclab::qgates::RotationY<T>>(q, 0.0));
+    }
+    for (int q = 1; q < 4; ++q) {
+      sweep.push_back(std::make_unique<qclab::qgates::CNOT<T>>(q - 1, q));
+    }
+    std::vector<std::vector<T>> parameterSets;
+    for (int member = 0; member < 4; ++member) {
+      parameterSets.push_back(
+          {0.1 * member, 0.2 * member, 0.3 * member, 0.4 * member});
+    }
+    auto simulations = sweep.simulateBatch(parameterSets);
   }
 }
 
@@ -82,6 +98,9 @@ int main(int argc, char** argv) {
     }
   }
 
+  // A crashing workload (bad QASM input, kernel bug) should still leave a
+  // qclab-crash-<pid>.json behind for diagnosis.
+  qclab::obs::installCrashHandlers();
   qclab::obs::perfRegistry().enable();
   const qclab::obs::ObsSnapshot before = qclab::obs::captureSnapshot();
 
