@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "qclab/sim/dispatch_mode.hpp"
 #include "qclab/sim/kernel_path.hpp"
 
 namespace qclab::obs {
@@ -193,6 +194,24 @@ class Metrics {
     batchMembersSimulated_.fetch_add(members, std::memory_order_relaxed);
   }
 
+  /// Records one dispatched circuit execution routed as `route`
+  /// (statevector / stabilizer / hybrid).
+  void countDispatchRoute(sim::DispatchRoute route) {
+    dispatchRoutes_[static_cast<int>(route)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// Records one auto-dispatch fallback: the tableau refused a gate with
+  /// UnsupportedGateError and the run continued on the statevector path.
+  void countDispatchFallback() {
+    dispatchFallbacks_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records one tableau -> statevector conversion (per expanded branch).
+  void countDispatchConversion() {
+    dispatchConversions_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Records one fusion-plan application: `gatesIn` gates were merged into
   /// `blocks` fused blocks, avoiding `sweepsSaved` full-state sweeps.
   void countFusion(std::uint64_t gatesIn, std::uint64_t blocks,
@@ -240,6 +259,11 @@ class Metrics {
     trajectoriesSimulated_.store(0, std::memory_order_relaxed);
     batchRuns_.store(0, std::memory_order_relaxed);
     batchMembersSimulated_.store(0, std::memory_order_relaxed);
+    for (auto& counter : dispatchRoutes_) {
+      counter.store(0, std::memory_order_relaxed);
+    }
+    dispatchFallbacks_.store(0, std::memory_order_relaxed);
+    dispatchConversions_.store(0, std::memory_order_relaxed);
     fusionGatesIn_.store(0, std::memory_order_relaxed);
     fusionBlocks_.store(0, std::memory_order_relaxed);
     fusionSweepsSaved_.store(0, std::memory_order_relaxed);
@@ -328,6 +352,31 @@ class Metrics {
     return batchMembersSimulated_.load(std::memory_order_relaxed);
   }
 
+  /// Dispatched circuit executions routed as `route`.
+  std::uint64_t dispatchRoutes(sim::DispatchRoute route) const {
+    return dispatchRoutes_[static_cast<int>(route)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// All dispatched circuit executions (any route).
+  std::uint64_t dispatchRoutesTotal() const {
+    std::uint64_t total = 0;
+    for (const auto& counter : dispatchRoutes_) {
+      total += counter.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  /// Auto-dispatch fallbacks to the statevector path.
+  std::uint64_t dispatchFallbacks() const {
+    return dispatchFallbacks_.load(std::memory_order_relaxed);
+  }
+
+  /// Tableau -> statevector conversions (per expanded branch).
+  std::uint64_t dispatchConversions() const {
+    return dispatchConversions_.load(std::memory_order_relaxed);
+  }
+
   /// Gates consumed by fusion scheduling (per plan application).
   std::uint64_t fusionGatesIn() const {
     return fusionGatesIn_.load(std::memory_order_relaxed);
@@ -359,6 +408,9 @@ class Metrics {
   std::atomic<std::uint64_t> trajectoriesSimulated_{0};
   std::atomic<std::uint64_t> batchRuns_{0};
   std::atomic<std::uint64_t> batchMembersSimulated_{0};
+  std::atomic<std::uint64_t> dispatchRoutes_[sim::kDispatchRouteCount] = {};
+  std::atomic<std::uint64_t> dispatchFallbacks_{0};
+  std::atomic<std::uint64_t> dispatchConversions_{0};
   std::atomic<std::uint64_t> fusionGatesIn_{0};
   std::atomic<std::uint64_t> fusionBlocks_{0};
   std::atomic<std::uint64_t> fusionSweepsSaved_{0};
@@ -379,6 +431,7 @@ inline Metrics& metrics() {
 #include <map>
 #include <string>
 
+#include "qclab/sim/dispatch_mode.hpp"
 #include "qclab/sim/kernel_path.hpp"
 
 namespace qclab::obs {
@@ -397,6 +450,9 @@ class Metrics {
   void countNoiseChannel() {}
   void countTrajectoryRun(std::uint64_t) {}
   void countBatchRun(std::uint64_t) {}
+  void countDispatchRoute(sim::DispatchRoute) {}
+  void countDispatchFallback() {}
+  void countDispatchConversion() {}
   void countFusion(std::uint64_t, std::uint64_t, std::uint64_t) {}
   void addStateBytes(std::uint64_t) {}
   void releaseStateBytes(std::uint64_t) {}
@@ -418,6 +474,10 @@ class Metrics {
   std::uint64_t trajectoriesSimulated() const { return 0; }
   std::uint64_t batchRuns() const { return 0; }
   std::uint64_t batchMembersSimulated() const { return 0; }
+  std::uint64_t dispatchRoutes(sim::DispatchRoute) const { return 0; }
+  std::uint64_t dispatchRoutesTotal() const { return 0; }
+  std::uint64_t dispatchFallbacks() const { return 0; }
+  std::uint64_t dispatchConversions() const { return 0; }
   std::uint64_t fusionGatesIn() const { return 0; }
   std::uint64_t fusionBlocks() const { return 0; }
   std::uint64_t fusionSweepsSaved() const { return 0; }

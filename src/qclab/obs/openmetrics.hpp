@@ -60,6 +60,9 @@ struct ObsSnapshot {
   std::uint64_t fusionGatesIn = 0;
   std::uint64_t fusionBlocks = 0;
   std::uint64_t fusionSweepsSaved = 0;
+  std::vector<std::uint64_t> dispatchRoutes;  ///< kDispatchRouteCount entries
+  std::uint64_t dispatchFallbacks = 0;
+  std::uint64_t dispatchConversions = 0;
   std::uint64_t currentStateBytes = 0;  ///< gauge
   std::uint64_t peakStateBytes = 0;     ///< gauge
   std::vector<HistogramSnapshot> histograms;  ///< per kernel path
@@ -102,6 +105,13 @@ inline ObsSnapshot captureSnapshot() {
   snap.fusionGatesIn = m.fusionGatesIn();
   snap.fusionBlocks = m.fusionBlocks();
   snap.fusionSweepsSaved = m.fusionSweepsSaved();
+  snap.dispatchRoutes.resize(sim::kDispatchRouteCount);
+  for (int r = 0; r < sim::kDispatchRouteCount; ++r) {
+    snap.dispatchRoutes[static_cast<std::size_t>(r)] =
+        m.dispatchRoutes(static_cast<sim::DispatchRoute>(r));
+  }
+  snap.dispatchFallbacks = m.dispatchFallbacks();
+  snap.dispatchConversions = m.dispatchConversions();
   snap.currentStateBytes = m.currentStateBytes();
   snap.peakStateBytes = m.peakStateBytes();
   snap.stages = stageStats().snapshot();
@@ -211,6 +221,16 @@ inline ObsSnapshot snapshotDelta(const ObsSnapshot& previous) {
       saturatingSub(delta.fusionBlocks, previous.fusionBlocks);
   delta.fusionSweepsSaved =
       saturatingSub(delta.fusionSweepsSaved, previous.fusionSweepsSaved);
+  for (std::size_t r = 0; r < delta.dispatchRoutes.size() &&
+                          r < previous.dispatchRoutes.size();
+       ++r) {
+    delta.dispatchRoutes[r] =
+        saturatingSub(delta.dispatchRoutes[r], previous.dispatchRoutes[r]);
+  }
+  delta.dispatchFallbacks =
+      saturatingSub(delta.dispatchFallbacks, previous.dispatchFallbacks);
+  delta.dispatchConversions =
+      saturatingSub(delta.dispatchConversions, previous.dispatchConversions);
   return delta;
 }
 
@@ -297,6 +317,13 @@ inline std::string renderOpenMetrics(const ObsSnapshot& snap) {
   counter("qclab_fusion_gates_in", nullptr, snap.fusionGatesIn);
   counter("qclab_fusion_blocks", nullptr, snap.fusionBlocks);
   counter("qclab_fusion_sweeps_saved", nullptr, snap.fusionSweepsSaved);
+  counter("qclab_dispatch_fallbacks",
+          "Tableau-phase refusals that fell back to the statevector path.",
+          snap.dispatchFallbacks);
+  counter("qclab_dispatch_conversions",
+          "Tableau branches expanded into statevectors at the conversion "
+          "point.",
+          snap.dispatchConversions);
 
   out << "# TYPE qclab_state_bytes gauge\n"
       << "# HELP qclab_state_bytes Live simulation-state bytes.\n"
@@ -337,6 +364,20 @@ inline std::string renderOpenMetrics(const ObsSnapshot& snap) {
       out << "qclab_kind_gate_applications_total{kind=\""
           << openMetricsLabel(kind) << "\"} " << count << "\n";
     }
+  }
+  any = false;
+  for (std::size_t r = 0; r < snap.dispatchRoutes.size(); ++r) {
+    if (snap.dispatchRoutes[r] == 0) continue;
+    if (!any) {
+      out << "# TYPE qclab_dispatch_routes counter\n"
+          << "# HELP qclab_dispatch_routes Route decisions of the "
+             "adaptive dispatcher.\n";
+      any = true;
+    }
+    out << "qclab_dispatch_routes_total{route=\""
+        << openMetricsLabel(sim::dispatchRouteName(
+               static_cast<sim::DispatchRoute>(static_cast<int>(r))))
+        << "\"} " << snap.dispatchRoutes[r] << "\n";
   }
 
   if (!snap.stages.empty()) {

@@ -149,6 +149,16 @@ class Report {
           << m.fusionBlocks() << " blocks (" << m.fusionSweepsSaved()
           << " sweeps saved)\n";
     }
+    if (m.dispatchRoutesTotal() != 0) {
+      out << "dispatch:";
+      for (int r = 0; r < sim::kDispatchRouteCount; ++r) {
+        const auto route = static_cast<sim::DispatchRoute>(r);
+        out << " " << sim::dispatchRouteName(route) << " "
+            << m.dispatchRoutes(route);
+      }
+      out << " (" << m.dispatchConversions() << " conversions, "
+          << m.dispatchFallbacks() << " fallbacks)\n";
+    }
     const PerfCapability& perfCap = perfCapability();
     if (!perfCap.any()) {
       out << "perf counters: unavailable (" << perfCap.reason << ")\n";
@@ -307,7 +317,23 @@ class Report {
         << ",\n";
     out << "    \"fusion_gates_in\": " << m.fusionGatesIn() << ",\n";
     out << "    \"fusion_blocks_out\": " << m.fusionBlocks() << ",\n";
-    out << "    \"fusion_sweeps_saved\": " << m.fusionSweepsSaved() << "\n";
+    out << "    \"fusion_sweeps_saved\": " << m.fusionSweepsSaved() << ",\n";
+    // v4 (additive): adaptive-dispatch route decisions.
+    out << "    \"dispatch_routes\": {";
+    first = true;
+    for (int r = 0; r < sim::kDispatchRouteCount; ++r) {
+      const auto route = static_cast<sim::DispatchRoute>(r);
+      const std::uint64_t count = m.dispatchRoutes(route);
+      if (count == 0) continue;
+      if (!first) out << ", ";
+      first = false;
+      out << "\"" << jsonEscape(sim::dispatchRouteName(route))
+          << "\": " << count;
+    }
+    out << "},\n";
+    out << "    \"dispatch_conversions\": " << m.dispatchConversions()
+        << ",\n";
+    out << "    \"dispatch_fallbacks\": " << m.dispatchFallbacks() << "\n";
     out << "  },\n";
     out << "  \"memory\": {\n";
     out << "    \"current_state_bytes\": " << m.currentStateBytes() << ",\n";

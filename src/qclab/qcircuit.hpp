@@ -28,12 +28,15 @@
 #include "qclab/qgates/qgates.hpp"
 #include "qclab/reset.hpp"
 #include "qclab/sim/backend.hpp"
+#include "qclab/sim/dispatch_mode.hpp"
 #include "qclab/simulation.hpp"
 
 namespace qclab {
 
 namespace sim {
 struct BatchOptions;  // sim/batch.hpp — knobs of QCircuit::simulateBatch
+template <typename U>
+class DispatchRunner;  // sim/dispatch.hpp — executes routed simulate calls
 }
 
 /// Simulation-time options of QCircuit::simulate.
@@ -45,6 +48,16 @@ struct SimulateOptions {
   bool fusion = false;
   /// Scheduler knobs used when `fusion` is on.
   sim::FusionOptions fusionOptions{};
+  /// Which engine runs the circuit (sim/dispatch.hpp).  kAuto analyzes
+  /// the circuit and runs its Clifford prefix on a CHP stabilizer tableau
+  /// (O(n^2) per gate), expanding to a statevector at the first
+  /// non-Clifford op; kStabilizer forces the tableau prefix regardless of
+  /// length.  The QCLAB_DISPATCH environment variable overrides this
+  /// field.  Only the bits-overload of simulate routes — simulating from
+  /// an arbitrary state vector always uses the statevector pipeline.
+  sim::DispatchMode dispatch = sim::DispatchMode::kStatevector;
+  /// Tuning knobs of the kAuto router.
+  sim::DispatchOptions dispatchOptions{};
 };
 
 template <typename T>
@@ -287,11 +300,20 @@ class QCircuit final : public QObject<T> {
   }
 
   /// Simulates from the basis state given by `bits` with explicit options.
+  /// When the resolved dispatch mode (options.dispatch, overridden by the
+  /// QCLAB_DISPATCH environment variable) is not kStatevector, the run is
+  /// routed through sim::DispatchRunner (sim/dispatch.hpp).
   Simulation<T> simulate(
       const std::string& bits, const SimulateOptions& options,
       const sim::Backend<T>& backend = sim::defaultBackend<T>()) const {
     util::require(static_cast<int>(bits.size()) == nbQubits_,
                   "initial bitstring length must equal nbQubits");
+    const sim::DispatchMode mode = sim::resolveDispatchMode(options.dispatch);
+    if (mode != sim::DispatchMode::kStatevector) {
+      return sim::DispatchRunner<T>::simulate(*this, bits, options, backend,
+                                              mode);
+    }
+    obs::metrics().countDispatchRoute(sim::DispatchRoute::kStatevector);
     std::vector<std::complex<T>> state;
     {
       const obs::ScopedSpan span("state/alloc", "stage");
@@ -426,6 +448,10 @@ class QCircuit final : public QObject<T> {
   }
 
  private:
+  /// The dispatch router hands the post-conversion suffix back to the
+  /// statevector pipeline through applyObject / flushFusedRun.
+  friend class sim::DispatchRunner<T>;
+
   /// Probability below which a measurement outcome is treated as impossible
   /// (suppresses branches created purely by rounding, e.g. Grover's "wrong"
   /// outcomes at probability ~1e-32).
@@ -739,3 +765,8 @@ class QCircuit final : public QObject<T> {
 };
 
 }  // namespace qclab
+
+// The dispatch engine behind SimulateOptions::dispatch.  Included at the
+// bottom because DispatchRunner needs the complete QCircuit (and vice
+// versa); the mutual includes are #pragma-once safe in either order.
+#include "qclab/sim/dispatch.hpp"

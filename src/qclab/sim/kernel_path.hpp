@@ -31,10 +31,14 @@ enum class KernelPath : int {
                          ///< applying a whole low-qubit gate run per chunk
   kBatch,                ///< batched engine: one parameter-rebound member
                          ///< executed against a shared circuit-shape plan
+  kStabilizer,           ///< CHP tableau engine: one O(n^2) Clifford
+                         ///< gate / measurement on the binary tableau
+  kDispatch,             ///< adaptive router: one routed circuit execution
+                         ///< (stabilizer prefix, conversion, or fallback)
 };
 
 /// Number of enumerators in KernelPath (for counter arrays).
-inline constexpr int kKernelPathCount = 16;
+inline constexpr int kKernelPathCount = 18;
 
 /// Stable short name of a kernel path (used in reports and traces).
 inline const char* kernelPathName(KernelPath path) noexcept {
@@ -55,6 +59,8 @@ inline const char* kernelPathName(KernelPath path) noexcept {
     case KernelPath::kSimdDenseK:          return "simd-dense-k";
     case KernelPath::kBlocked:             return "blocked";
     case KernelPath::kBatch:               return "batch";
+    case KernelPath::kStabilizer:          return "stabilizer";
+    case KernelPath::kDispatch:            return "dispatch";
   }
   return "unknown";
 }

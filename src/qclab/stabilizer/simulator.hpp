@@ -3,154 +3,21 @@
 /// \file simulator.hpp
 /// \brief Runs QCircuits on the stabilizer tableau.
 ///
-/// Supports the Clifford subset of the gate catalog (Paulis, H, S/S†,
-/// sqrt(X)/sqrt(X)†, CX/CY/CZ, SWAP/iSWAP, singly-controlled X/Z through
-/// MCX/MCZ) plus Z/X/Y-basis measurements and resets.  Non-Clifford gates
-/// throw InvalidArgumentError.  One run produces one shot; measurement
-/// randomness draws from the provided generator.
+/// Supports the Clifford subset of the gate catalog (see
+/// stabilizer/apply.hpp for the full coverage map, including the
+/// value-Clifford angles of the parametric gates) plus Z/X/Y-basis
+/// measurements and resets.  Non-Clifford gates throw
+/// UnsupportedGateError (an InvalidArgumentError).  One run produces one
+/// shot; measurement randomness draws from the provided generator.
 
 #include <map>
 
 #include "qclab/qcircuit.hpp"
-#include "qclab/stabilizer/tableau.hpp"
+#include "qclab/stabilizer/apply.hpp"
 
 namespace qclab::stabilizer {
 
 namespace detail {
-
-template <typename T>
-void applyGate(Tableau& tableau, const qgates::QGate<T>& gate, int offset) {
-  using namespace qclab::qgates;
-  if (dynamic_cast<const Identity<T>*>(&gate)) return;
-  if (const auto* g = dynamic_cast<const PauliX<T>*>(&gate)) {
-    tableau.x(g->qubit() + offset);
-    return;
-  }
-  if (const auto* g = dynamic_cast<const PauliY<T>*>(&gate)) {
-    tableau.y(g->qubit() + offset);
-    return;
-  }
-  if (const auto* g = dynamic_cast<const PauliZ<T>*>(&gate)) {
-    tableau.z(g->qubit() + offset);
-    return;
-  }
-  if (const auto* g = dynamic_cast<const Hadamard<T>*>(&gate)) {
-    tableau.h(g->qubit() + offset);
-    return;
-  }
-  if (const auto* g = dynamic_cast<const SGate<T>*>(&gate)) {
-    tableau.s(g->qubit() + offset);
-    return;
-  }
-  if (const auto* g = dynamic_cast<const SdgGate<T>*>(&gate)) {
-    tableau.sdg(g->qubit() + offset);
-    return;
-  }
-  if (const auto* g = dynamic_cast<const SX<T>*>(&gate)) {
-    tableau.sx(g->qubit() + offset);
-    return;
-  }
-  if (const auto* g = dynamic_cast<const SXdg<T>*>(&gate)) {
-    tableau.sxdg(g->qubit() + offset);
-    return;
-  }
-  if (const auto* g = dynamic_cast<const CX<T>*>(&gate)) {
-    const int c = g->control() + offset;
-    const int t = g->target() + offset;
-    if (g->controlState() == 0) tableau.x(c);
-    tableau.cx(c, t);
-    if (g->controlState() == 0) tableau.x(c);
-    return;
-  }
-  if (const auto* g = dynamic_cast<const CY<T>*>(&gate)) {
-    const int c = g->control() + offset;
-    const int t = g->target() + offset;
-    if (g->controlState() == 0) tableau.x(c);
-    tableau.sdg(t);
-    tableau.cx(c, t);
-    tableau.s(t);
-    if (g->controlState() == 0) tableau.x(c);
-    return;
-  }
-  if (const auto* g = dynamic_cast<const CZ<T>*>(&gate)) {
-    const int c = g->control() + offset;
-    const int t = g->target() + offset;
-    if (g->controlState() == 0) tableau.x(c);
-    tableau.cz(c, t);
-    if (g->controlState() == 0) tableau.x(c);
-    return;
-  }
-  if (const auto* g = dynamic_cast<const SWAP<T>*>(&gate)) {
-    tableau.swap(g->qubit0() + offset, g->qubit1() + offset);
-    return;
-  }
-  if (const auto* g = dynamic_cast<const iSWAP<T>*>(&gate)) {
-    tableau.iswap(g->qubit0() + offset, g->qubit1() + offset);
-    return;
-  }
-  if (const auto* g = dynamic_cast<const iSWAPdg<T>*>(&gate)) {
-    // Inverse of iSWAP = SWAP . CZ . (S (x) S).
-    const int a = g->qubit0() + offset;
-    const int b = g->qubit1() + offset;
-    tableau.swap(a, b);
-    tableau.cz(a, b);
-    tableau.sdg(a);
-    tableau.sdg(b);
-    return;
-  }
-  if (const auto* g = dynamic_cast<const MCGate<T>*>(&gate)) {
-    if (g->controlQubits().size() == 1) {
-      const int c = g->controlQubits()[0] + offset;
-      const int t = g->target() + offset;
-      const bool invert = g->states()[0] == 0;
-      if (invert) tableau.x(c);
-      if (dynamic_cast<const MCX<T>*>(&gate)) {
-        tableau.cx(c, t);
-      } else if (dynamic_cast<const MCZ<T>*>(&gate)) {
-        tableau.cz(c, t);
-      } else if (dynamic_cast<const MCY<T>*>(&gate)) {
-        tableau.sdg(t);
-        tableau.cx(c, t);
-        tableau.s(t);
-      } else {
-        throw InvalidArgumentError("unsupported multi-controlled gate in "
-                                   "stabilizer simulation");
-      }
-      if (invert) tableau.x(c);
-      return;
-    }
-  }
-  throw InvalidArgumentError(
-      "gate is not in the Clifford subset supported by the stabilizer "
-      "simulator");
-}
-
-template <typename T>
-void applyMeasurementBasisChange(Tableau& tableau,
-                                 const Measurement<T>& measurement, int qubit,
-                                 bool revert) {
-  switch (measurement.basis()) {
-    case Basis::kZ:
-      break;
-    case Basis::kX:
-      tableau.h(qubit);
-      break;
-    case Basis::kY:
-      // V^H = H S^H before, V = S H after.
-      if (!revert) {
-        tableau.sdg(qubit);
-        tableau.h(qubit);
-      } else {
-        tableau.h(qubit);
-        tableau.s(qubit);
-      }
-      break;
-    case Basis::kCustom:
-      throw InvalidArgumentError(
-          "custom-basis measurement is not supported by the stabilizer "
-          "simulator");
-  }
-}
 
 template <typename T>
 void run(const QCircuit<T>& circuit, Tableau& tableau, random::Rng& rng,

@@ -169,45 +169,29 @@ class Tableau {
   /// from `rng`.  Returns 0 or 1 and collapses the state.
   int measure(int a, random::Rng& rng) {
     check(a);
-    // Find a stabilizer row anticommuting with Z_a.
-    int pivot = -1;
-    for (int p = n_; p < 2 * n_; ++p) {
-      if (x_[static_cast<std::size_t>(p)][static_cast<std::size_t>(a)]) {
-        pivot = p;
-        break;
-      }
-    }
+    const int pivot = measurePivot(a);
     if (pivot >= 0) {
-      // Random outcome.
-      const std::size_t p = static_cast<std::size_t>(pivot);
-      for (std::size_t i = 0; i < 2 * static_cast<std::size_t>(n_); ++i) {
-        if (i != p && x_[i][static_cast<std::size_t>(a)]) {
-          rowsum(i, p);
-        }
-      }
-      // Destabilizer partner takes the old stabilizer row.
-      x_[p - static_cast<std::size_t>(n_)] = x_[p];
-      z_[p - static_cast<std::size_t>(n_)] = z_[p];
-      r_[p - static_cast<std::size_t>(n_)] = r_[p];
-      // New stabilizer: +/- Z_a with a random sign.
-      std::fill(x_[p].begin(), x_[p].end(), std::uint8_t{0});
-      std::fill(z_[p].begin(), z_[p].end(), std::uint8_t{0});
-      z_[p][static_cast<std::size_t>(a)] = 1;
       const int outcome = static_cast<int>(rng.uniformInt(2));
-      r_[p] = static_cast<std::uint8_t>(outcome);
+      collapseRandom(a, pivot, outcome);
       return outcome;
     }
-    // Deterministic outcome: accumulate into the scratch row.
-    const std::size_t scratch = 2 * static_cast<std::size_t>(n_);
-    std::fill(x_[scratch].begin(), x_[scratch].end(), std::uint8_t{0});
-    std::fill(z_[scratch].begin(), z_[scratch].end(), std::uint8_t{0});
-    r_[scratch] = 0;
-    for (int i = 0; i < n_; ++i) {
-      if (x_[static_cast<std::size_t>(i)][static_cast<std::size_t>(a)]) {
-        rowsum(scratch, static_cast<std::size_t>(n_ + i));
-      }
+    return deterministicOutcome(a);
+  }
+
+  /// Measures qubit `a` forcing a random outcome to `desired` (0 or 1) —
+  /// the dispatch layer's branch-forking primitive: a 50/50 measurement is
+  /// explored once per outcome instead of sampled.  When the outcome is
+  /// deterministic `desired` is ignored and the determined value returned.
+  int measureForced(int a, int desired) {
+    check(a);
+    util::require(desired == 0 || desired == 1,
+                  "forced measurement outcome must be 0 or 1");
+    const int pivot = measurePivot(a);
+    if (pivot >= 0) {
+      collapseRandom(a, pivot, desired);
+      return desired;
     }
-    return r_[scratch];
+    return deterministicOutcome(a);
   }
 
   /// Resets qubit `a` to |0> (measure, flip on outcome 1).
@@ -278,6 +262,28 @@ class Tableau {
     return r_[scratch] ? -1 : 1;
   }
 
+  // ---- raw row access (statevector conversion, tests) ----------------------
+
+  /// X bit of stabilizer generator `k` (0..n-1) on qubit `a`.
+  bool stabilizerX(int k, int a) const {
+    checkRow(k);
+    check(a);
+    return x_[static_cast<std::size_t>(n_ + k)][static_cast<std::size_t>(a)];
+  }
+
+  /// Z bit of stabilizer generator `k` (0..n-1) on qubit `a`.
+  bool stabilizerZ(int k, int a) const {
+    checkRow(k);
+    check(a);
+    return z_[static_cast<std::size_t>(n_ + k)][static_cast<std::size_t>(a)];
+  }
+
+  /// Sign bit of stabilizer generator `k` (0..n-1): true for "-".
+  bool stabilizerSign(int k) const {
+    checkRow(k);
+    return r_[static_cast<std::size_t>(n_ + k)];
+  }
+
   /// The sign and Pauli letters of stabilizer row `k` (0..n-1), e.g.
   /// "+XXI" — for inspection and tests.
   std::string stabilizer(int k) const {
@@ -298,6 +304,55 @@ class Tableau {
   }
 
   void check(int a) const { util::checkQubit(a, n_); }
+
+  void checkRow(int k) const {
+    util::require(k >= 0 && k < n_, "stabilizer index out of range");
+  }
+
+  /// Index of a stabilizer row anticommuting with Z_a, or -1 when the
+  /// measurement outcome is deterministic.
+  int measurePivot(int a) const {
+    for (int p = n_; p < 2 * n_; ++p) {
+      if (x_[static_cast<std::size_t>(p)][static_cast<std::size_t>(a)]) {
+        return p;
+      }
+    }
+    return -1;
+  }
+
+  /// Collapses a random Z_a measurement through stabilizer row `pivot`
+  /// to the given outcome (the Aaronson-Gottesman random branch).
+  void collapseRandom(int a, int pivot, int outcome) {
+    const std::size_t p = static_cast<std::size_t>(pivot);
+    for (std::size_t i = 0; i < 2 * static_cast<std::size_t>(n_); ++i) {
+      if (i != p && x_[i][static_cast<std::size_t>(a)]) {
+        rowsum(i, p);
+      }
+    }
+    // Destabilizer partner takes the old stabilizer row.
+    x_[p - static_cast<std::size_t>(n_)] = x_[p];
+    z_[p - static_cast<std::size_t>(n_)] = z_[p];
+    r_[p - static_cast<std::size_t>(n_)] = r_[p];
+    // New stabilizer: +/- Z_a with the chosen sign.
+    std::fill(x_[p].begin(), x_[p].end(), std::uint8_t{0});
+    std::fill(z_[p].begin(), z_[p].end(), std::uint8_t{0});
+    z_[p][static_cast<std::size_t>(a)] = 1;
+    r_[p] = static_cast<std::uint8_t>(outcome);
+  }
+
+  /// Deterministic Z_a measurement outcome, accumulated in the scratch row.
+  int deterministicOutcome(int a) {
+    const std::size_t scratch = 2 * static_cast<std::size_t>(n_);
+    std::fill(x_[scratch].begin(), x_[scratch].end(), std::uint8_t{0});
+    std::fill(z_[scratch].begin(), z_[scratch].end(), std::uint8_t{0});
+    r_[scratch] = 0;
+    for (int i = 0; i < n_; ++i) {
+      if (x_[static_cast<std::size_t>(i)][static_cast<std::size_t>(a)]) {
+        rowsum(scratch, static_cast<std::size_t>(n_ + i));
+      }
+    }
+    return r_[scratch];
+  }
 
   /// Phase-exponent contribution of multiplying single-qubit Paulis
   /// (x1, z1) * (x2, z2), in {-1, 0, +1} (mod 4 arithmetic).

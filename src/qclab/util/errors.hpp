@@ -27,6 +27,17 @@ class InvalidArgumentError : public Error {
   using Error::Error;
 };
 
+/// Thrown when a gate (or measurement basis) is outside the set a
+/// simulation engine supports — e.g. a non-Clifford gate handed to the
+/// stabilizer tableau.  Derives from InvalidArgumentError so callers that
+/// treat "bad gate for this engine" as an argument error keep working;
+/// the dispatch layer catches this type specifically to fall back to the
+/// statevector path.
+class UnsupportedGateError : public InvalidArgumentError {
+ public:
+  using InvalidArgumentError::InvalidArgumentError;
+};
+
 /// Thrown by the OpenQASM parser on malformed input.
 class QasmParseError : public Error {
  public:

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "qclab/random/rng.hpp"
+#include "qclab/stabilizer/tableau.hpp"
 #include "qclab/util/errors.hpp"
 
 namespace qclab::random {
@@ -192,6 +193,34 @@ TEST(Rng, JumpStreamsAreMutuallyDisjoint) {
 
 TEST(Rng, JumpStreamsZeroCountIsEmpty) {
   EXPECT_TRUE(Rng::jumpStreams(1, 0).empty());
+}
+
+TEST(Rng, JumpStreamsDriveTableauMeasurementSampler) {
+  // The dispatch sampler assigns one jump stream per shot chunk; the
+  // outcome sequence a stream feeds into Tableau::measure must be
+  // reproducible from the same seed and disjoint across streams.
+  const auto collect = [](Rng rng) {
+    std::string outcomes;
+    for (int shot = 0; shot < 64; ++shot) {
+      stabilizer::Tableau tableau(3);
+      tableau.h(0);
+      tableau.cx(0, 1);
+      tableau.h(2);
+      for (int q = 0; q < 3; ++q) {
+        outcomes += static_cast<char>('0' + tableau.measure(q, rng));
+      }
+    }
+    return outcomes;
+  };
+  const auto streams = Rng::jumpStreams(77, 3);
+  const auto again = Rng::jumpStreams(77, 3);
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    EXPECT_EQ(collect(streams[s]), collect(again[s])) << "stream " << s;
+  }
+  // Different streams sample different measurement records (3 streams x
+  // 192 fair coin flips: collisions are astronomically unlikely).
+  EXPECT_NE(collect(streams[0]), collect(streams[1]));
+  EXPECT_NE(collect(streams[1]), collect(streams[2]));
 }
 
 class MultinomialSweep

@@ -235,6 +235,55 @@ TEST(StabilizerSimulator, RejectsNonClifford) {
   QCircuit<double> rotation(1);
   rotation.push_back(RotationX<double>(0, 0.3));
   EXPECT_THROW(simulateShot(rotation, tableau, rng), InvalidArgumentError);
+  // The refusal carries the dispatcher's typed error, not just the base.
+  EXPECT_THROW(simulateShot(rotation, tableau, rng), UnsupportedGateError);
+}
+
+TEST(StabilizerSimulator, ValueCliffordRotationsApply) {
+  // Parametric gates at Clifford angles run on the tableau (they used to
+  // throw): RY(pi/2) == H Z and RZZ(pi/2) == (S (x) S) CZ up to phase.
+  QCircuit<double> circuit(2);
+  circuit.push_back(RotationY<double>(0, M_PI_2));
+  circuit.push_back(RotationZZ<double>(0, 1, M_PI_2));
+  circuit.push_back(RotationX<double>(1, M_PI));
+  circuit.push_back(CRotationZ<double>(0, 1, M_PI));
+  circuit.push_back(Measurement<double>(0));
+  circuit.push_back(Measurement<double>(1));
+
+  // Statevector reference distribution.
+  const auto simulation = circuit.simulate("00");
+  std::map<std::string, double> probabilities;
+  for (std::size_t i = 0; i < simulation.nbBranches(); ++i) {
+    probabilities[simulation.result(i)] = simulation.probability(i);
+  }
+  random::Rng rng(21);
+  const auto histogram = sampleCounts(circuit, 400, rng);
+  for (const auto& [outcome, count] : histogram) {
+    ASSERT_TRUE(probabilities.count(outcome))
+        << "impossible outcome " << outcome;
+  }
+  for (const auto& [outcome, probability] : probabilities) {
+    const double frequency =
+        histogram.count(outcome)
+            ? static_cast<double>(histogram.at(outcome)) / 400.0
+            : 0.0;
+    EXPECT_NEAR(frequency, probability, 0.1) << outcome;
+  }
+}
+
+TEST(Tableau, ForcedMeasurementBranches) {
+  // measureForced is the dispatcher's branch-forking primitive: both
+  // outcomes of a 50/50 measurement are explorable, and deterministic
+  // outcomes ignore the requested value.
+  Tableau plus(1);
+  plus.h(0);
+  Tableau copy = plus;
+  EXPECT_EQ(plus.measureForced(0, 0), 0);
+  EXPECT_EQ(plus.measureForced(0, 0), 0);  // collapsed: now deterministic
+  EXPECT_EQ(copy.measureForced(0, 1), 1);
+  EXPECT_EQ(copy.measureForced(0, 0), 1);  // desired ignored once collapsed
+  Tableau zero(1);
+  EXPECT_EQ(zero.measureForced(0, 1), 0);  // deterministic |0>
 }
 
 /// Cross validation: on random Clifford circuits, any outcome the tableau
