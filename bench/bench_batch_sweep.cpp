@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
     const auto circuit =
         qclab::algorithms::qaoaCircuit<T>(graph, gammas[m], betas[m]);
     auto simulation = circuit.simulate(std::string(n, '0'));
-    naive[m] = std::move(simulation.branches().front().state);
+    naive[m] = simulation.branches().front().state.takeVector();
   }
   const double naiveMs = msSince(naiveStart);
 

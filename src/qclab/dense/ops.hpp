@@ -79,17 +79,18 @@ Matrix<T> pauliZ() {
   return Matrix<T>{{1, 0}, {0, -1}};
 }
 
-/// Squared 2-norm of a complex vector.
-template <typename T>
-T normSquared(const std::vector<std::complex<T>>& v) {
-  T sum(0);
+/// Squared 2-norm of a complex vector (any contiguous complex
+/// container — std::vector, sim::StateBuffer, ...).
+template <typename State>
+auto normSquared(const State& v) {
+  typename State::value_type::value_type sum(0);
   for (const auto& x : v) sum += std::norm(x);
   return sum;
 }
 
 /// 2-norm of a complex vector.
-template <typename T>
-T norm2(const std::vector<std::complex<T>>& v) {
+template <typename State>
+auto norm2(const State& v) {
   return std::sqrt(normSquared(v));
 }
 

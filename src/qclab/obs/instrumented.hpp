@@ -66,7 +66,7 @@ class InstrumentedBackend final : public sim::Backend<T> {
       : inner_(inner),
         name_(std::string("instrumented(") + inner.name() + ")") {}
 
-  void applyGate(std::vector<std::complex<T>>& state, int nbQubits,
+  void applyGate(sim::StateSpan<T> state, int nbQubits,
                  const qgates::QGate<T>& gate,
                  int offset = 0) const override {
     if constexpr (kEnabled) {

@@ -37,6 +37,7 @@
 
 #include "qclab/sim/dispatch_mode.hpp"
 #include "qclab/sim/kernel_path.hpp"
+#include "qclab/sim/memory_advisor.hpp"
 
 namespace qclab::obs {
 
@@ -238,6 +239,44 @@ class Metrics {
     stateBytes_.fetch_sub(bytes, std::memory_order_relaxed);
   }
 
+  /// Attributes bytes to a resolved memory tier (sim::StateBuffer).
+  /// `mapped` is address space reserved by the tier; `resident` is the
+  /// part expected to be RAM-backed.  Heap/NUMA allocations pass equal
+  /// values; the mmap tier maps the whole state but counts resident
+  /// bytes only as its prefetch advisor faults granules in.
+  void addTierBytes(sim::StateTier tier, std::uint64_t resident,
+                    std::uint64_t mapped) {
+    tierResident_[static_cast<int>(tier)].fetch_add(
+        resident, std::memory_order_relaxed);
+    tierMapped_[static_cast<int>(tier)].fetch_add(
+        mapped, std::memory_order_relaxed);
+  }
+
+  /// Releases tier-attributed bytes (buffer freed / granules retired).
+  void releaseTierBytes(sim::StateTier tier, std::uint64_t resident,
+                        std::uint64_t mapped) {
+    tierResident_[static_cast<int>(tier)].fetch_sub(
+        resident, std::memory_order_relaxed);
+    tierMapped_[static_cast<int>(tier)].fetch_sub(
+        mapped, std::memory_order_relaxed);
+  }
+
+  /// Records prefetch-advisor activity of the out-of-core tier:
+  /// `issued` WILLNEED granule advices, `hits` granules that were
+  /// already resident when re-requested, `retired` DONTNEED drops.
+  void countPrefetch(std::uint64_t issued, std::uint64_t hits,
+                     std::uint64_t retired) {
+    if (issued != 0) {
+      prefetchIssued_.fetch_add(issued, std::memory_order_relaxed);
+    }
+    if (hits != 0) {
+      prefetchHits_.fetch_add(hits, std::memory_order_relaxed);
+    }
+    if (retired != 0) {
+      prefetchRetired_.fetch_add(retired, std::memory_order_relaxed);
+    }
+  }
+
   /// Zeroes every counter (start of a measured region / test).  The
   /// high-water mark restarts from the currently live state bytes, so
   /// long-lived simulations stay attributed.
@@ -269,6 +308,11 @@ class Metrics {
     fusionSweepsSaved_.store(0, std::memory_order_relaxed);
     peakStateBytes_.store(stateBytes_.load(std::memory_order_relaxed),
                           std::memory_order_relaxed);
+    // Tier byte gauges track LIVE allocations (like stateBytes_), so a
+    // reset must not zero them; only the prefetch flow counters restart.
+    prefetchIssued_.store(0, std::memory_order_relaxed);
+    prefetchHits_.store(0, std::memory_order_relaxed);
+    prefetchRetired_.store(0, std::memory_order_relaxed);
     gateByKind_.reset();
   }
 
@@ -310,6 +354,33 @@ class Metrics {
   /// High-water mark of currentStateBytes() since the last reset.
   std::uint64_t peakStateBytes() const {
     return peakStateBytes_.load(std::memory_order_relaxed);
+  }
+
+  /// RAM-resident bytes currently attributed to `tier`.
+  std::uint64_t tierResidentBytes(sim::StateTier tier) const {
+    return tierResident_[static_cast<int>(tier)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Mapped (address-space) bytes currently attributed to `tier`.
+  std::uint64_t tierMappedBytes(sim::StateTier tier) const {
+    return tierMapped_[static_cast<int>(tier)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// WILLNEED granule advices issued by the out-of-core advisor.
+  std::uint64_t prefetchIssued() const {
+    return prefetchIssued_.load(std::memory_order_relaxed);
+  }
+
+  /// Granules that were already resident when the executor asked.
+  std::uint64_t prefetchHits() const {
+    return prefetchHits_.load(std::memory_order_relaxed);
+  }
+
+  /// Granules dropped with DONTNEED after their sweep retired them.
+  std::uint64_t prefetchRetired() const {
+    return prefetchRetired_.load(std::memory_order_relaxed);
   }
 
   std::uint64_t branchSpawns() const {
@@ -399,6 +470,11 @@ class Metrics {
   std::atomic<std::uint64_t> bytesByPath_[sim::kKernelPathCount] = {};
   std::atomic<std::uint64_t> stateBytes_{0};
   std::atomic<std::uint64_t> peakStateBytes_{0};
+  std::atomic<std::uint64_t> tierResident_[sim::kStateTierCount] = {};
+  std::atomic<std::uint64_t> tierMapped_[sim::kStateTierCount] = {};
+  std::atomic<std::uint64_t> prefetchIssued_{0};
+  std::atomic<std::uint64_t> prefetchHits_{0};
+  std::atomic<std::uint64_t> prefetchRetired_{0};
   std::atomic<std::uint64_t> branchSpawns_{0};
   std::atomic<std::uint64_t> branchPrunes_{0};
   std::atomic<std::uint64_t> shotsSampled_{0};
@@ -433,6 +509,7 @@ inline Metrics& metrics() {
 
 #include "qclab/sim/dispatch_mode.hpp"
 #include "qclab/sim/kernel_path.hpp"
+#include "qclab/sim/memory_advisor.hpp"
 
 namespace qclab::obs {
 
@@ -456,6 +533,9 @@ class Metrics {
   void countFusion(std::uint64_t, std::uint64_t, std::uint64_t) {}
   void addStateBytes(std::uint64_t) {}
   void releaseStateBytes(std::uint64_t) {}
+  void addTierBytes(sim::StateTier, std::uint64_t, std::uint64_t) {}
+  void releaseTierBytes(sim::StateTier, std::uint64_t, std::uint64_t) {}
+  void countPrefetch(std::uint64_t, std::uint64_t, std::uint64_t) {}
   void reset() {}
 
   std::uint64_t gateApplications() const { return 0; }
@@ -465,6 +545,11 @@ class Metrics {
   std::uint64_t bytesTouched(sim::KernelPath) const { return 0; }
   std::uint64_t currentStateBytes() const { return 0; }
   std::uint64_t peakStateBytes() const { return 0; }
+  std::uint64_t tierResidentBytes(sim::StateTier) const { return 0; }
+  std::uint64_t tierMappedBytes(sim::StateTier) const { return 0; }
+  std::uint64_t prefetchIssued() const { return 0; }
+  std::uint64_t prefetchHits() const { return 0; }
+  std::uint64_t prefetchRetired() const { return 0; }
   std::uint64_t branchSpawns() const { return 0; }
   std::uint64_t branchPrunes() const { return 0; }
   std::uint64_t shotsSampled() const { return 0; }

@@ -65,6 +65,11 @@ struct ObsSnapshot {
   std::uint64_t dispatchConversions = 0;
   std::uint64_t currentStateBytes = 0;  ///< gauge
   std::uint64_t peakStateBytes = 0;     ///< gauge
+  std::vector<std::uint64_t> tierResidentBytes;  ///< gauge, kStateTierCount
+  std::vector<std::uint64_t> tierMappedBytes;    ///< gauge, kStateTierCount
+  std::uint64_t prefetchIssued = 0;
+  std::uint64_t prefetchHits = 0;
+  std::uint64_t prefetchRetired = 0;
   std::vector<HistogramSnapshot> histograms;  ///< per kernel path
   std::map<std::string, StageAgg> stages;
   std::vector<PerfCounts> perf;               ///< per kernel path
@@ -114,6 +119,18 @@ inline ObsSnapshot captureSnapshot() {
   snap.dispatchConversions = m.dispatchConversions();
   snap.currentStateBytes = m.currentStateBytes();
   snap.peakStateBytes = m.peakStateBytes();
+  snap.tierResidentBytes.resize(sim::kStateTierCount);
+  snap.tierMappedBytes.resize(sim::kStateTierCount);
+  for (int t = 0; t < sim::kStateTierCount; ++t) {
+    const auto tier = static_cast<sim::StateTier>(t);
+    snap.tierResidentBytes[static_cast<std::size_t>(t)] =
+        m.tierResidentBytes(tier);
+    snap.tierMappedBytes[static_cast<std::size_t>(t)] =
+        m.tierMappedBytes(tier);
+  }
+  snap.prefetchIssued = m.prefetchIssued();
+  snap.prefetchHits = m.prefetchHits();
+  snap.prefetchRetired = m.prefetchRetired();
   snap.stages = stageStats().snapshot();
   return snap;
 }
@@ -231,6 +248,13 @@ inline ObsSnapshot snapshotDelta(const ObsSnapshot& previous) {
       saturatingSub(delta.dispatchFallbacks, previous.dispatchFallbacks);
   delta.dispatchConversions =
       saturatingSub(delta.dispatchConversions, previous.dispatchConversions);
+  // Tier bytes are gauges (kept current, like state bytes); the prefetch
+  // walk counters are counters and delta like the rest.
+  delta.prefetchIssued =
+      saturatingSub(delta.prefetchIssued, previous.prefetchIssued);
+  delta.prefetchHits = saturatingSub(delta.prefetchHits, previous.prefetchHits);
+  delta.prefetchRetired =
+      saturatingSub(delta.prefetchRetired, previous.prefetchRetired);
   return delta;
 }
 
@@ -330,6 +354,34 @@ inline std::string renderOpenMetrics(const ObsSnapshot& snap) {
       << "qclab_state_bytes " << snap.currentStateBytes << "\n";
   out << "# TYPE qclab_state_bytes_peak gauge\n"
       << "qclab_state_bytes_peak " << snap.peakStateBytes << "\n";
+
+  // Per-tier memory gauges (state_buffer.hpp tier ladder): resident is
+  // what the tier believes is backed by RAM, mapped is address space.
+  out << "# TYPE qclab_state_tier_resident_bytes gauge\n"
+      << "# HELP qclab_state_tier_resident_bytes Live state bytes "
+         "resident in RAM per memory tier.\n";
+  for (std::size_t t = 0; t < snap.tierResidentBytes.size(); ++t) {
+    out << "qclab_state_tier_resident_bytes{tier=\""
+        << openMetricsLabel(sim::stateTierName(
+               static_cast<sim::StateTier>(static_cast<int>(t))))
+        << "\"} " << snap.tierResidentBytes[t] << "\n";
+  }
+  out << "# TYPE qclab_state_tier_mapped_bytes gauge\n";
+  for (std::size_t t = 0; t < snap.tierMappedBytes.size(); ++t) {
+    out << "qclab_state_tier_mapped_bytes{tier=\""
+        << openMetricsLabel(sim::stateTierName(
+               static_cast<sim::StateTier>(static_cast<int>(t))))
+        << "\"} " << snap.tierMappedBytes[t] << "\n";
+  }
+  counter("qclab_prefetch_issued",
+          "madvise(WILLNEED) granules issued by the out-of-core walk.",
+          snap.prefetchIssued);
+  counter("qclab_prefetch_hits",
+          "Prefetch requests that found the granule already resident.",
+          snap.prefetchHits);
+  counter("qclab_prefetch_retired",
+          "madvise(DONTNEED) granules dropped behind the walk.",
+          snap.prefetchRetired);
 
   const auto pathName = [](std::size_t i) {
     return sim::kernelPathName(

@@ -130,6 +130,20 @@ class Report {
     out << "bytes touched (est.): " << m.bytesTouched() << "\n";
     out << "state memory: " << m.currentStateBytes() << " live, "
         << m.peakStateBytes() << " peak\n";
+    for (int t = 0; t < sim::kStateTierCount; ++t) {
+      const auto tier = static_cast<sim::StateTier>(t);
+      const std::uint64_t resident = m.tierResidentBytes(tier);
+      const std::uint64_t mapped = m.tierMappedBytes(tier);
+      if (resident == 0 && mapped == 0) continue;
+      out << "  tier " << sim::stateTierName(tier) << ": " << resident
+          << " resident, " << mapped << " mapped\n";
+    }
+    if (m.prefetchIssued() != 0 || m.prefetchHits() != 0 ||
+        m.prefetchRetired() != 0) {
+      out << "prefetch: " << m.prefetchIssued() << " issued, "
+          << m.prefetchHits() << " hits, " << m.prefetchRetired()
+          << " retired\n";
+    }
     out << "branches: " << m.branchSpawns() << " spawned, "
         << m.branchPrunes() << " pruned\n";
     out << "shots sampled: " << m.shotsSampled() << "\n";
@@ -337,7 +351,19 @@ class Report {
     out << "  },\n";
     out << "  \"memory\": {\n";
     out << "    \"current_state_bytes\": " << m.currentStateBytes() << ",\n";
-    out << "    \"peak_state_bytes\": " << m.peakStateBytes() << "\n";
+    out << "    \"peak_state_bytes\": " << m.peakStateBytes() << ",\n";
+    out << "    \"tiers\": {";
+    for (int t = 0; t < sim::kStateTierCount; ++t) {
+      const auto tier = static_cast<sim::StateTier>(t);
+      if (t != 0) out << ",";
+      out << "\n      \"" << sim::stateTierName(tier) << "\": {"
+          << "\"resident_bytes\": " << m.tierResidentBytes(tier)
+          << ", \"mapped_bytes\": " << m.tierMappedBytes(tier) << "}";
+    }
+    out << "\n    },\n";
+    out << "    \"prefetch\": {\"issued\": " << m.prefetchIssued()
+        << ", \"hits\": " << m.prefetchHits()
+        << ", \"retired\": " << m.prefetchRetired() << "}\n";
     out << "  },\n";
     out << "  \"histograms\": {";
     first = true;

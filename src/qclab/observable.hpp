@@ -17,6 +17,7 @@
 
 #include "qclab/dense/ops.hpp"
 #include "qclab/sim/kernels.hpp"
+#include "qclab/sim/state_buffer.hpp"
 #include "qclab/util/errors.hpp"
 
 namespace qclab {
@@ -92,6 +93,12 @@ class PauliString {
     return std::real(dense::inner(state, apply(state)));
   }
 
+  /// Expectation on a tiered state buffer (any tier; reads through a
+  /// plain-vector copy).
+  T expectation(const sim::StateBuffer<T>& state) const {
+    return expectation(state.toVector());
+  }
+
   /// Dense matrix of `coefficient * P` (tests / small registers).
   dense::Matrix<T> matrix() const {
     dense::Matrix<T> m(1, 1);
@@ -163,6 +170,11 @@ class Observable {
   /// <psi| H |psi>.
   T expectation(const std::vector<std::complex<T>>& state) const {
     return std::real(dense::inner(state, apply(state)));
+  }
+
+  /// <psi| H |psi> on a tiered state buffer.
+  T expectation(const sim::StateBuffer<T>& state) const {
+    return expectation(state.toVector());
   }
 
   /// Var(H) = <H^2> - <H>^2 for the given state.

@@ -58,6 +58,13 @@ struct SimulateOptions {
   sim::DispatchMode dispatch = sim::DispatchMode::kStatevector;
   /// Tuning knobs of the kAuto router.
   sim::DispatchOptions dispatchOptions{};
+  /// Where the state amplitudes live (sim/state_buffer.hpp): heap, a
+  /// NUMA first-touch mapping, or an out-of-core mmap tier — chosen
+  /// automatically by state size, overridable here and through the
+  /// QCLAB_STATE_TIER / QCLAB_STATE_DIR environment variables.  Only
+  /// the bits-overload of simulate allocates tiered; simulating from an
+  /// arbitrary state vector adopts it on the heap tier.
+  sim::StateTierOptions stateTier{};
 };
 
 template <typename T>
@@ -314,10 +321,16 @@ class QCircuit final : public QObject<T> {
                                               mode);
     }
     obs::metrics().countDispatchRoute(sim::DispatchRoute::kStatevector);
-    std::vector<std::complex<T>> state;
+    sim::StateBuffer<T> state;
     {
+      // Allocating through the tier ladder (instead of basisState's
+      // plain vector) lets 30+ qubit runs land on the NUMA or
+      // out-of-core tier; on the mmap tier the zero-fill is a file
+      // hole, so only the basis amplitude's page faults in here.
       const obs::ScopedSpan span("state/alloc", "stage");
-      state = basisState<T>(bits);
+      state = sim::StateBuffer<T>::zeros(std::size_t{1} << nbQubits_,
+                                         options.stateTier);
+      state.data()[util::bitstringToIndex(bits)] = std::complex<T>(1);
     }
     return simulate(std::move(state), options, backend);
   }
@@ -326,8 +339,10 @@ class QCircuit final : public QObject<T> {
   /// With options.fusion the unitary gate runs between measurement / reset
   /// / barrier boundaries are fused into blocks (plan built once, applied
   /// to every branch); non-gate objects still go through `backend`.
+  /// Takes a StateBuffer so both legacy vectors (implicit heap adoption)
+  /// and tiered allocations flow through one pipeline.
   Simulation<T> simulate(
-      std::vector<std::complex<T>> state, const SimulateOptions& options,
+      sim::StateBuffer<T> state, const SimulateOptions& options,
       const sim::Backend<T>& backend = sim::defaultBackend<T>()) const {
     util::require(state.size() == (std::size_t{1} << nbQubits_),
                   "initial state dimension must be 2^nbQubits");

@@ -12,6 +12,7 @@
 /// Both produce identical states (up to rounding); bench_backend_compare
 /// measures the performance gap the paper alludes to.
 
+#include <algorithm>
 #include <complex>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "qclab/sim/fusion.hpp"
 #include "qclab/sim/kernel_path.hpp"
 #include "qclab/sim/kernels.hpp"
+#include "qclab/sim/state_buffer.hpp"
 #include "qclab/sparse/csr.hpp"
 
 namespace qclab::sim {
@@ -55,8 +57,10 @@ class Backend {
   virtual ~Backend() = default;
 
   /// Applies `gate` (with its qubit indices shifted by `offset`) to the
-  /// n-qubit state, in place.
-  virtual void applyGate(std::vector<std::complex<T>>& state, int nbQubits,
+  /// n-qubit state, in place.  Takes a StateSpan so one virtual
+  /// signature serves plain vectors and tiered StateBuffers alike (both
+  /// convert implicitly).
+  virtual void applyGate(StateSpan<T> state, int nbQubits,
                          const qgates::QGate<T>& gate, int offset = 0) const = 0;
 
   /// The kernel path this backend would dispatch `gate` to.  Defaults to
@@ -74,7 +78,7 @@ class Backend {
 template <typename T>
 class KernelBackend final : public Backend<T> {
  public:
-  void applyGate(std::vector<std::complex<T>>& state, int nbQubits,
+  void applyGate(StateSpan<T> state, int nbQubits,
                  const qgates::QGate<T>& gate, int offset = 0) const override {
     switch (classifyKernelPath(gate)) {
       case KernelPath::kSwap: {
@@ -155,7 +159,7 @@ class FusionBackend final : public Backend<T> {
   explicit FusionBackend(FusionOptions options = {}) : options_(options) {}
 
   /// Single-gate call: no lookahead is possible, apply via the kernels.
-  void applyGate(std::vector<std::complex<T>>& state, int nbQubits,
+  void applyGate(StateSpan<T> state, int nbQubits,
                  const qgates::QGate<T>& gate, int offset = 0) const override {
     kernel_.applyGate(state, nbQubits, gate, offset);
   }
@@ -262,9 +266,15 @@ sparse::CsrMatrix<T> extendedUnitary(int nbQubits,
 template <typename T>
 class SparseKronBackend final : public Backend<T> {
  public:
-  void applyGate(std::vector<std::complex<T>>& state, int nbQubits,
+  void applyGate(StateSpan<T> state, int nbQubits,
                  const qgates::QGate<T>& gate, int offset = 0) const override {
-    state = extendedUnitary(nbQubits, gate, offset).apply(state);
+    // The CSR multiply produces a fresh vector; a span cannot be
+    // reseated, so copy through (this backend is the reference
+    // implementation, not a hot path).
+    const std::vector<std::complex<T>> input(state.begin(), state.end());
+    const std::vector<std::complex<T>> output =
+        extendedUnitary(nbQubits, gate, offset).apply(input);
+    std::copy(output.begin(), output.end(), state.begin());
   }
 
   KernelPath dispatchPath(const qgates::QGate<T>&) const override {

@@ -242,7 +242,7 @@ class BatchedSimulation {
         callback(member, std::move(simulation));
         // Reclaim the buffer when the callback left the state behind.
         if (!simulation.branches().empty()) {
-          buffer = std::move(simulation.branches().front().state);
+          buffer = simulation.branches().front().state.takeVector();
         } else {
           buffer.clear();
         }

@@ -29,11 +29,13 @@
 #include <chrono>
 #include <complex>
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "qclab/dense/matrix.hpp"
 #include "qclab/obs/sentinel.hpp"
 #include "qclab/obs/trace.hpp"
+#include "qclab/sim/memory_advisor.hpp"
 #include "qclab/sim/simd.hpp"
 #include "qclab/util/bits.hpp"
 #include "qclab/util/errors.hpp"
@@ -67,6 +69,29 @@ int autoBlockQubits(std::size_t l2Bytes) noexcept {
   return b;
 }
 
+/// Applies the QCLAB_L2_BYTES / QCLAB_BLOCK_QUBITS environment
+/// overrides to `options` (mirroring QCLAB_DISPATCH /
+/// resolveDispatchMode): chunk sizing becomes tunable without a
+/// rebuild.  Unparsable or out-of-range values are ignored.
+inline BlockingOptions resolveBlockingOptions(
+    BlockingOptions options) noexcept {
+  if (const char* env = std::getenv("QCLAB_L2_BYTES")) {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0) {
+      options.l2Bytes = static_cast<std::size_t>(value);
+    }
+  }
+  if (const char* env = std::getenv("QCLAB_BLOCK_QUBITS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0 && value < 63) {
+      options.blockQubits = static_cast<int>(value);
+    }
+  }
+  return options;
+}
+
 /// One scheduled run of consecutive fused blocks [first, first + count).
 struct BlockItem {
   std::size_t first = 0;  ///< index of the first fused block in the run
@@ -94,19 +119,21 @@ struct BlockSchedule {
 /// minRunBlocks stay unblocked — a lone block gains nothing from
 /// chunking.  Returns an empty schedule when blocking cannot help
 /// (disabled, or the whole state already fits one chunk).
-template <typename Block>
+template <typename T = double, typename Block>
 BlockSchedule buildBlockSchedule(const std::vector<Block>& blocks,
                                  int nbQubits,
                                  const BlockingOptions& options = {}) {
   const obs::ScopedSpan span("fusion/block-schedule", "stage");
   BlockSchedule schedule;
-  if (!options.enabled || blocks.empty()) return schedule;
+  const BlockingOptions resolved = resolveBlockingOptions(options);
+  if (!resolved.enabled || blocks.empty()) return schedule;
 
-  int b = options.blockQubits;
+  int b = resolved.blockQubits;
   if (b <= 0) {
-    // The scalar type does not change which runs are blockable enough to
-    // matter here; size for double (the wider amplitude).
-    b = autoBlockQubits<double>(options.l2Bytes);
+    // Size the chunk by the ACTUAL amplitude width: a float state fits
+    // twice the amplitudes of a double state in the same l2Bytes, so
+    // sizing for double would leave half the configured cache unused.
+    b = autoBlockQubits<T>(resolved.l2Bytes);
   }
   b = std::min(b, nbQubits);
   // Whole state fits one chunk: every gate is already "cache-blocked".
@@ -127,7 +154,7 @@ BlockSchedule buildBlockSchedule(const std::vector<Block>& blocks,
     BlockItem item;
     item.first = i;
     item.count = j - i;
-    item.blocked = runBlockable && (j - i) >= options.minRunBlocks;
+    item.blocked = runBlockable && (j - i) >= resolved.minRunBlocks;
     sawBlockedRun = sawBlockedRun || item.blocked;
     schedule.items.push_back(item);
     i = j;
@@ -255,10 +282,20 @@ void applyCompiledChunk(std::complex<T>* chunk, std::int64_t chunkDim,
 /// block in the run must have all its qubits >= nbQubits - blockQubits
 /// (enforced by buildBlockSchedule).  Bit-identical to applying the
 /// blocks sequentially with full sweeps.
-template <typename T, typename Block>
-void applyBlockedRun(std::vector<std::complex<T>>& state, int nbQubits,
+///
+/// Generic over the state container.  When the container exposes a
+/// prefetch advisor (the out-of-core tier of sim::StateBuffer), each
+/// thread walks its OWN contiguous chunk range — the same
+/// staticPartition split the NUMA first-touch pass used — keeping a
+/// WILLNEED window one advisor granule ahead of the chunk being
+/// computed and DONTNEED-retiring granules it has fully streamed past,
+/// so the resident set stays a few granules per thread regardless of
+/// state size.
+template <typename State, typename Block>
+void applyBlockedRun(State& state, int nbQubits,
                      const std::vector<Block>& blocks, std::size_t first,
                      std::size_t count, int blockQubits) {
+  using T = typename State::value_type::value_type;
   util::require(blockQubits >= 1 && blockQubits < nbQubits,
                 "applyBlockedRun: chunk size out of range");
   std::vector<detail::CompiledBlock<T>> run;
@@ -274,6 +311,13 @@ void applyBlockedRun(std::vector<std::complex<T>>& state, int nbQubits,
   const SimdLevel level = activeSimdLevel();
   const std::int64_t chunkDim = std::int64_t{1} << blockQubits;
   const std::int64_t chunks = std::int64_t{1} << (nbQubits - blockQubits);
+
+  // Out-of-core states expose a prefetch advisor; plain vectors (and
+  // the heap/NUMA tiers) do not, and the walk below compiles away.
+  MemoryAdvisor* advisor = nullptr;
+  if constexpr (requires { state.advisor(); }) {
+    advisor = state.advisor();
+  }
 
   // Numerical-health sentinel: when this run's check is due, each chunk is
   // scanned right after its kernels while it is still cache-hot, per-thread
@@ -298,10 +342,37 @@ void applyBlockedRun(std::vector<std::complex<T>>& state, int nbQubits,
     double threadNormSq = 0.0;
     double threadMaxAmpSq = 0.0;
     bool threadNanSeen = false;
+    // Manual even static partition instead of `omp for schedule(static)`:
+    // the SAME contiguous per-thread ranges the NUMA tier's first-touch
+    // pass placed pages for (the affinity contract, DESIGN.md), and the
+    // ranges the prefetch walk needs to know explicitly.
 #ifdef QCLAB_HAS_OPENMP
-#pragma omp for schedule(static)
+    const int nThreads = omp_get_num_threads();
+    const int tid = omp_get_thread_num();
+#else
+    const int nThreads = 1;
+    const int tid = 0;
 #endif
-    for (std::int64_t c = 0; c < chunks; ++c) {
+    const auto [chunkLo, chunkHi] =
+        staticPartition(static_cast<std::size_t>(chunks), nThreads, tid);
+    const std::uint64_t chunkBytes =
+        static_cast<std::uint64_t>(chunkDim) * sizeof(std::complex<T>);
+    const std::uint64_t granule = advisor ? advisor->granuleBytes() : 0;
+    const std::uint64_t threadEnd = chunkHi * chunkBytes;
+    std::uint64_t frontier = chunkLo * chunkBytes;  // willNeed high-water
+    std::uint64_t retireMark = frontier;            // retired low-water
+    for (std::size_t c = chunkLo; c < chunkHi; ++c) {
+      if (advisor != nullptr) {
+        // Keep the fault-ahead window one granule past the chunk at hand.
+        const std::uint64_t offset = c * chunkBytes;
+        const std::uint64_t wanted = std::min(
+            threadEnd, std::max(offset + chunkBytes,
+                                (offset / granule + 2) * granule));
+        if (wanted > frontier) {
+          advisor->willNeed(frontier, wanted - frontier);
+          frontier = wanted;
+        }
+      }
       detail::applyCompiledChunk(state.data() + c * chunkDim, chunkDim, run,
                                  level, scratch);
       if (sentinelDue) {
@@ -310,6 +381,18 @@ void applyBlockedRun(std::vector<std::complex<T>>& state, int nbQubits,
                                      threadNormSq, threadMaxAmpSq,
                                      threadNanSeen);
       }
+      if (advisor != nullptr) {
+        // Drop granules streamed fully past, keeping one behind so the
+        // chunk straddling the granule boundary is not refaulted.
+        const std::uint64_t done = (c + 1) * chunkBytes;
+        if (done >= retireMark + 2 * granule) {
+          advisor->retire(retireMark, done - granule - retireMark);
+          retireMark = done - granule;
+        }
+      }
+    }
+    if (advisor != nullptr && threadEnd > retireMark) {
+      advisor->retire(retireMark, threadEnd - retireMark);
     }
     if (sentinelDue) {
 #ifdef QCLAB_HAS_OPENMP

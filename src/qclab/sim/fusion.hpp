@@ -560,7 +560,7 @@ FusionPlan<T> fuseGates(const std::vector<GateRef<T>>& gates, int nbQubits,
   blocking.enabled = options.blocking;
   blocking.blockQubits = options.blockQubits;
   blocking.minRunBlocks = options.minBlockRun;
-  plan.schedule = buildBlockSchedule(plan.blocks, nbQubits, blocking);
+  plan.schedule = buildBlockSchedule<T>(plan.blocks, nbQubits, blocking);
   return plan;
 }
 
@@ -633,8 +633,8 @@ namespace detail {
 /// Applies one fused block with its own full-state sweep: diagonal blocks
 /// go through the run-structured diagonal sweep, dense blocks through
 /// apply1/apply2/applyK.
-template <typename T>
-void applyFusedBlock(std::vector<std::complex<T>>& state, int nbQubits,
+template <typename State, typename T>
+void applyFusedBlock(State& state, int nbQubits,
                      const FusedBlock<T>& block, std::uint64_t bytes) {
   if (block.diagonal) {
     const obs::PathTimer timer(KernelPath::kFusedDiagonalK);
@@ -684,8 +684,8 @@ void applyFusedBlock(std::vector<std::complex<T>>& state, int nbQubits,
 /// chunked sweep because kernel path choice never depends on the chunk
 /// length, only on qubit positions.  Fusion counters cover only the
 /// blocks actually applied.
-template <typename T>
-void applyFusionPlan(std::vector<std::complex<T>>& state, int nbQubits,
+template <typename State, typename T>
+void applyFusionPlan(State& state, int nbQubits,
                      const FusionPlan<T>& plan, std::size_t firstBlock = 0) {
   const std::uint64_t bytes =
       2 * static_cast<std::uint64_t>(state.size()) * sizeof(std::complex<T>);

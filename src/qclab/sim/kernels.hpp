@@ -96,9 +96,13 @@ inline FixedBits collectFixedBits(int nbQubits,
 
 }  // namespace detail
 
+// All kernels are generic over the state container (`std::vector`,
+// sim::StateBuffer, sim::StateSpan — anything contiguous with
+// data()/operator[]); the scalar T is deduced from the gate payload.
+
 /// Applies a 2x2 gate to `qubit` of an n-qubit state, in place.
-template <typename T>
-void apply1(std::vector<std::complex<T>>& state, int nbQubits, int qubit,
+template <typename State, typename T>
+void apply1(State& state, int nbQubits, int qubit,
             const dense::Matrix<T>& u) {
   util::checkQubit(qubit, nbQubits);
   util::require(u.rows() == 2 && u.cols() == 2, "apply1 needs a 2x2 matrix");
@@ -141,8 +145,8 @@ void apply1(std::vector<std::complex<T>>& state, int nbQubits, int qubit,
 /// Applies a diagonal 2x2 gate diag(d0, d1) to `qubit`, in place.  The
 /// two runs of every 2^{pos+1}-aligned group are scaled by their own
 /// constant — no per-element bit test.
-template <typename T>
-void applyDiagonal1(std::vector<std::complex<T>>& state, int nbQubits,
+template <typename State, typename T>
+void applyDiagonal1(State& state, int nbQubits,
                     int qubit, std::complex<T> d0, std::complex<T> d1) {
   util::checkQubit(qubit, nbQubits);
   const int pos = util::bitPosition(qubit, nbQubits);
@@ -169,8 +173,8 @@ void applyDiagonal1(std::vector<std::complex<T>>& state, int nbQubits,
 /// `u` is MSB-first over (qubit0, qubit1), like every gate matrix.  The
 /// four partner runs of each subspace are unit-stride (length 2^posLo),
 /// so this avoids the gather/scatter of applyK for the k = 2 hot path.
-template <typename T>
-void apply2(std::vector<std::complex<T>>& state, int nbQubits, int qubit0,
+template <typename State, typename T>
+void apply2(State& state, int nbQubits, int qubit0,
             int qubit1, const dense::Matrix<T>& u) {
   util::checkQubit(qubit0, nbQubits);
   util::checkQubit(qubit1, nbQubits);
@@ -227,8 +231,8 @@ void apply2(std::vector<std::complex<T>>& state, int nbQubits, int qubit0,
 /// Applies a 2x2 gate to `target`, controlled on `controls` being in the
 /// per-control `controlStates`, in place.  Only the active subspace
 /// (2^{n - nc - 1} pairs) is touched.
-template <typename T>
-void applyControlled1(std::vector<std::complex<T>>& state, int nbQubits,
+template <typename State, typename T>
+void applyControlled1(State& state, int nbQubits,
                       const std::vector<int>& controls,
                       const std::vector<int>& controlStates, int target,
                       const dense::Matrix<T>& u) {
@@ -262,8 +266,8 @@ void applyControlled1(std::vector<std::complex<T>>& state, int nbQubits,
 /// active subspace (2^{n - nc} amplitudes) is touched, with one multiply
 /// per amplitude — the fast path for CZ / CPhase / CRZ-like gates that the
 /// dense pair-update of applyControlled1 would overwork.
-template <typename T>
-void applyControlledDiagonal1(std::vector<std::complex<T>>& state,
+template <typename State, typename T>
+void applyControlledDiagonal1(State& state,
                               int nbQubits, const std::vector<int>& controls,
                               const std::vector<int>& controlStates,
                               int target, std::complex<T> d0,
@@ -288,8 +292,8 @@ void applyControlledDiagonal1(std::vector<std::complex<T>>& state,
 }
 
 /// Swaps qubits q0 and q1, in place (permutation only, no arithmetic).
-template <typename T>
-void applySwap(std::vector<std::complex<T>>& state, int nbQubits, int qubit0,
+template <typename State>
+void applySwap(State& state, int nbQubits, int qubit0,
                int qubit1) {
   util::checkQubit(qubit0, nbQubits);
   util::checkQubit(qubit1, nbQubits);
@@ -314,8 +318,8 @@ void applySwap(std::vector<std::complex<T>>& state, int nbQubits, int qubit0,
 
 /// Applies a general k-qubit gate on the (ascending, MSB-first) `qubits`
 /// list, in place, via gather / dense multiply / scatter per subspace.
-template <typename T>
-void applyK(std::vector<std::complex<T>>& state, int nbQubits,
+template <typename State, typename T>
+void applyK(State& state, int nbQubits,
             const std::vector<int>& qubits, const dense::Matrix<T>& u) {
   const int k = static_cast<int>(qubits.size());
   util::require(k >= 1 && k <= nbQubits, "gate qubit count out of range");
@@ -387,8 +391,8 @@ void applyK(std::vector<std::complex<T>>& state, int nbQubits,
 /// Applies a diagonal k-qubit gate given by its 2^k diagonal entries on
 /// the (ascending, MSB-first) `qubits` list, in place.  One multiply per
 /// amplitude — the fast path for RZZ / CZ-like gates.
-template <typename T>
-void applyDiagonalK(std::vector<std::complex<T>>& state, int nbQubits,
+template <typename State, typename T>
+void applyDiagonalK(State& state, int nbQubits,
                     const std::vector<int>& qubits,
                     const std::vector<std::complex<T>>& diagonal) {
   const int k = static_cast<int>(qubits.size());
@@ -433,8 +437,8 @@ void applyDiagonalK(std::vector<std::complex<T>>& state, int nbQubits,
 /// diagonal kernel (wide diagonal blocks from sim/fusion.hpp land here).
 /// The state splits into independent 2^{maxPos+1}-amplitude groups, which
 /// is also the OpenMP work division.
-template <typename T>
-void applyDiagonalBlock(std::vector<std::complex<T>>& state, int nbQubits,
+template <typename State, typename T>
+void applyDiagonalBlock(State& state, int nbQubits,
                         const std::vector<int>& qubits,
                         const std::vector<std::complex<T>>& diagonal) {
   const int k = static_cast<int>(qubits.size());
@@ -468,9 +472,10 @@ void applyDiagonalBlock(std::vector<std::complex<T>>& state, int nbQubits,
 }
 
 /// Probability of measuring |0> on `qubit` (paper §3.3, Eq. for P(|0>)).
-template <typename T>
-T measureProbability0(const std::vector<std::complex<T>>& state, int nbQubits,
-                      int qubit) {
+template <typename State>
+auto measureProbability0(const State& state, int nbQubits,
+                         int qubit) {
+  using T = typename State::value_type::value_type;
   util::checkQubit(qubit, nbQubits);
   const int pos = util::bitPosition(qubit, nbQubits);
   const std::int64_t half = std::int64_t{1} << (nbQubits - 1);
@@ -489,8 +494,8 @@ T measureProbability0(const std::vector<std::complex<T>>& state, int nbQubits,
 
 /// Collapses `qubit` onto `outcome` and renormalizes by 1/sqrt(probability)
 /// (paper §3.3): amplitudes of the other outcome are zeroed.
-template <typename T>
-void collapse(std::vector<std::complex<T>>& state, int nbQubits, int qubit,
+template <typename State, typename T>
+void collapse(State& state, int nbQubits, int qubit,
               int outcome, T probability) {
   util::checkQubit(qubit, nbQubits);
   util::require(outcome == 0 || outcome == 1, "outcome must be 0 or 1");

@@ -24,6 +24,7 @@
 #include "qclab/obs/trace.hpp"
 #include "qclab/random/rng.hpp"
 #include "qclab/sim/kernels.hpp"
+#include "qclab/sim/state_buffer.hpp"
 #include "qclab/util/bitstring.hpp"
 #include "qclab/util/errors.hpp"
 
@@ -46,9 +47,9 @@ std::vector<std::complex<T>> basisState(const std::string& bits) {
 /// inconsistent with that assumption (the extracted part would not carry
 /// all of the norm), i.e. if the known qubits are entangled with the rest
 /// or in a different basis state.
-template <typename T>
+template <typename T, typename State>
 std::vector<std::complex<T>> reducedStatevector(
-    const std::vector<std::complex<T>>& state,
+    const State& state,
     const std::vector<int>& knownQubits, const std::string& knownValues,
     T tol = T(1e4) * std::numeric_limits<T>::epsilon()) {
   util::require(util::isPowerOfTwo(state.size()), "state size not 2^n");
@@ -104,9 +105,9 @@ std::vector<std::complex<T>> reducedStatevector(
 /// path for *terminal* measurements: no collapse, no branch explosion —
 /// sampling 20 measured qubits costs O(2^n + shots) instead of the up-to
 /// 2^20 branches the Measurement-object route would track.
-template <typename T>
+template <typename State>
 std::vector<std::uint64_t> sampleStateCounts(
-    const std::vector<std::complex<T>>& state, const std::vector<int>& qubits,
+    const State& state, const std::vector<int>& qubits,
     std::uint64_t shots, random::Rng& rng) {
   util::require(util::isPowerOfTwo(state.size()), "state size not 2^n");
   const int nbQubits = util::log2PowerOfTwo(state.size());
@@ -134,9 +135,9 @@ std::vector<std::uint64_t> sampleStateCounts(
 }
 
 /// sampleStateCounts over the full register.
-template <typename T>
+template <typename State>
 std::vector<std::uint64_t> sampleStateCounts(
-    const std::vector<std::complex<T>>& state, std::uint64_t shots,
+    const State& state, std::uint64_t shots,
     random::Rng& rng) {
   util::require(util::isPowerOfTwo(state.size()), "state size not 2^n");
   const int nbQubits = util::log2PowerOfTwo(state.size());
@@ -148,8 +149,8 @@ std::vector<std::uint64_t> sampleStateCounts(
 /// One simulation branch.
 template <typename T>
 struct Branch {
-  std::vector<std::complex<T>> state;  ///< collapsed state vector
-  double probability = 1.0;            ///< accumulated branch probability
+  sim::StateBuffer<T> state;  ///< collapsed state (tiered storage)
+  double probability = 1.0;   ///< accumulated branch probability
   std::string result;                  ///< recorded outcomes, in order
   /// (qubit, outcome) per recorded measurement, in order.
   std::vector<std::pair<int, int>> measurements;
@@ -162,8 +163,9 @@ class Simulation {
  public:
   Simulation() = default;
 
-  /// Starts a simulation with a single branch holding `state`.
-  Simulation(int nbQubits, std::vector<std::complex<T>> state)
+  /// Starts a simulation with a single branch holding `state` (a plain
+  /// vector converts implicitly into a heap-tier StateBuffer).
+  Simulation(int nbQubits, sim::StateBuffer<T> state)
       : nbQubits_(nbQubits) {
     Branch<T> root;
     root.state = std::move(state);
@@ -260,7 +262,7 @@ class Simulation {
   std::vector<std::vector<std::complex<T>>> states() const {
     std::vector<std::vector<std::complex<T>>> s;
     s.reserve(branches_.size());
-    for (const auto& b : branches_) s.push_back(b.state);
+    for (const auto& b : branches_) s.push_back(b.state.toVector());
     return s;
   }
 
@@ -269,8 +271,15 @@ class Simulation {
   /// Probability of branch `i`.
   double probability(std::size_t i) const { return branches_.at(i).probability; }
   /// Final state vector of branch `i` (reference stays valid as long as the
-  /// Simulation lives — prefer this over states()[i]).
+  /// Simulation lives — prefer this over states()[i]).  Heap tier only
+  /// (the default); a state that lives on the NUMA/mmap tier must be
+  /// read through stateBuffer(i) instead.
   const std::vector<std::complex<T>>& state(std::size_t i) const {
+    return branches_.at(i).state.vector();
+  }
+
+  /// Tiered state buffer of branch `i` — works on every tier.
+  const sim::StateBuffer<T>& stateBuffer(std::size_t i) const {
     return branches_.at(i).state;
   }
 
@@ -370,7 +379,7 @@ class Simulation {
         qubits.push_back(qubit);
         values.push_back(static_cast<char>('0' + outcome));
       }
-      reduced.push_back(reducedStatevector(b.state, qubits, values));
+      reduced.push_back(reducedStatevector<T>(b.state, qubits, values));
     }
     return reduced;
   }

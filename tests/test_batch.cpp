@@ -20,12 +20,10 @@ namespace {
 
 using namespace qclab::qgates;
 
-template <typename T>
-bool bitIdentical(const std::vector<std::complex<T>>& a,
-                  const std::vector<std::complex<T>>& b) {
+template <typename StateA, typename StateB>
+bool bitIdentical(const StateA& a, const StateB& b) {
   return a.size() == b.size() &&
-         std::memcmp(a.data(), b.data(),
-                     a.size() * sizeof(std::complex<T>)) == 0;
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(a[0])) == 0;
 }
 
 /// Standalone reference run: bind `values` on a private clone and
@@ -45,7 +43,7 @@ std::vector<std::complex<T>> standalone(const QCircuit<T>& prototype,
     bits.assign(static_cast<std::size_t>(prototype.nbQubits()), '0');
   }
   auto simulation = instance.simulate(bits, simulate);
-  return simulation.branches().front().state;
+  return simulation.branches().front().state.toVector();
 }
 
 /// Runs `members` random parameter vectors through one engine and checks

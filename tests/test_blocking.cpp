@@ -7,6 +7,8 @@
 #include <gtest/gtest.h>
 
 #include <complex>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -50,6 +52,58 @@ TEST(Blocking, AutoBlockQubitsHalvesTheL2) {
   EXPECT_EQ(qclab::sim::autoBlockQubits<double>(std::size_t{1} << 20), 15);
   EXPECT_EQ(qclab::sim::autoBlockQubits<float>(std::size_t{1} << 20), 16);
   EXPECT_EQ(qclab::sim::autoBlockQubits<double>(std::size_t{1} << 19), 14);
+}
+
+TEST(Blocking, ScheduleSizesChunksByTheActualScalarType) {
+  // Regression: buildBlockSchedule used to size chunks as if every state
+  // were double, wasting half the L2 window for float states.  A float
+  // amplitude is 8 bytes, so the same L2 budget fits one more qubit.
+  const std::vector<StubBlock> blocks = {{{5}}, {{6, 7}}, {{7}}, {{6}}};
+  BlockingOptions options;
+  options.l2Bytes = std::size_t{1} << 8;  // double: b = 3, float: b = 4
+  const auto viaDouble =
+      qclab::sim::buildBlockSchedule<double>(blocks, 8, options);
+  const auto viaFloat =
+      qclab::sim::buildBlockSchedule<float>(blocks, 8, options);
+  EXPECT_EQ(viaDouble.blockQubits, 3);
+  EXPECT_EQ(viaFloat.blockQubits, 4);
+  // The bare (untyped) call keeps its historical double sizing.
+  EXPECT_EQ(qclab::sim::buildBlockSchedule(blocks, 8, options).blockQubits, 3);
+}
+
+// ---- environment overrides (QCLAB_L2_BYTES / QCLAB_BLOCK_QUBITS) ------
+
+TEST(Blocking, EnvironmentOverridesBlockingOptions) {
+  BlockingOptions defaults;
+
+  ::setenv("QCLAB_L2_BYTES", "524288", 1);
+  EXPECT_EQ(qclab::sim::resolveBlockingOptions(defaults).l2Bytes,
+            std::size_t{1} << 19);
+  ::setenv("QCLAB_BLOCK_QUBITS", "7", 1);
+  EXPECT_EQ(qclab::sim::resolveBlockingOptions(defaults).blockQubits, 7);
+
+  // Malformed or out-of-range values are ignored, not fatal.
+  ::setenv("QCLAB_L2_BYTES", "garbage", 1);
+  ::setenv("QCLAB_BLOCK_QUBITS", "-3", 1);
+  const auto resolved = qclab::sim::resolveBlockingOptions(defaults);
+  EXPECT_EQ(resolved.l2Bytes, defaults.l2Bytes);
+  EXPECT_EQ(resolved.blockQubits, defaults.blockQubits);
+
+  ::unsetenv("QCLAB_L2_BYTES");
+  ::unsetenv("QCLAB_BLOCK_QUBITS");
+  const auto untouched = qclab::sim::resolveBlockingOptions(defaults);
+  EXPECT_EQ(untouched.l2Bytes, defaults.l2Bytes);
+  EXPECT_EQ(untouched.blockQubits, defaults.blockQubits);
+}
+
+TEST(Blocking, EnvironmentBlockQubitsReachesTheSchedule) {
+  const std::vector<StubBlock> blocks = {{{5}}, {{6, 7}}, {{7}}, {{6}}};
+  BlockingOptions options;
+  options.blockQubits = 4;
+  ::setenv("QCLAB_BLOCK_QUBITS", "3", 1);
+  const auto schedule = qclab::sim::buildBlockSchedule(blocks, 8, options);
+  ::unsetenv("QCLAB_BLOCK_QUBITS");
+  EXPECT_EQ(schedule.blockQubits, 3);
 }
 
 // ---- schedule grouping ------------------------------------------------
@@ -152,6 +206,31 @@ TYPED_TEST(BlockingDifferential, BlockedSweepsAreBitIdenticalToPlain) {
     ASSERT_EQ(a.size(), b.size());
     for (std::size_t i = 0; i < a.size(); ++i) {
       EXPECT_EQ(a[i], b[i]) << "amplitude " << i << " (n=" << n << ")";
+    }
+  }
+}
+
+TYPED_TEST(BlockingDifferential, EveryBlockQubitsIsBitIdenticalToPlain) {
+  using T = TypeParam;
+  // Sweep the whole chunk-size range: every blockQubits in 1..n must
+  // reproduce the plain (unblocked) fusion sweep bit for bit — same
+  // kernels, same order, only the loop nest differs.
+  for (int n : {4, 7, 10}) {
+    const auto circuit = qclab::test::randomCircuit<T>(
+        n, 45, 1300u + static_cast<unsigned>(n));
+    const auto plain =
+        circuit.simulate(std::string(n, '0'), unblockedOptions());
+    const auto& a = plain.state(0);
+    for (int blockQubits = 1; blockQubits <= n; ++blockQubits) {
+      const auto blocked =
+          circuit.simulate(std::string(n, '0'), blockedOptions(blockQubits));
+      ASSERT_EQ(plain.nbBranches(), blocked.nbBranches());
+      const auto& b = blocked.state(0);
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_EQ(std::memcmp(a.data(), b.data(),
+                            a.size() * sizeof(std::complex<T>)),
+                0)
+          << "n=" << n << " blockQubits=" << blockQubits;
     }
   }
 }

@@ -22,9 +22,8 @@ using namespace qclab::qgates;
 
 /// EXPECT that two states match up to one global phase: the phase is
 /// aligned on the largest reference amplitude, then compared entrywise.
-template <typename T>
-void expectStatePhaseNear(const std::vector<std::complex<T>>& reference,
-                          const std::vector<std::complex<T>>& state,
+template <typename T, typename StateA, typename StateB>
+void expectStatePhaseNear(const StateA& reference, const StateB& state,
                           T tolerance = test::tol<T>()) {
   ASSERT_EQ(reference.size(), state.size());
   std::size_t anchor = 0;

@@ -75,11 +75,10 @@ qclab::QCircuit<T> driftCircuit(std::complex<T> scale) {
   return circuit;
 }
 
-bool bitIdentical(const std::vector<std::complex<T>>& a,
-                  const std::vector<std::complex<T>>& b) {
+template <typename StateA, typename StateB>
+bool bitIdentical(const StateA& a, const StateB& b) {
   return a.size() == b.size() &&
-         std::memcmp(a.data(), b.data(),
-                     a.size() * sizeof(std::complex<T>)) == 0;
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(a[0])) == 0;
 }
 
 /// RAII restore of the process-wide sentinel config around each test.
